@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tb := experiments.Table{
+		ID:     "figX",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	if err := writeCSV(dir, "figX", 0, &tb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figX_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(string(data))
+	if got != "a,b\n1,2" {
+		t.Fatalf("csv content %q", got)
+	}
+}
+
+func TestWriteCSVCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deeper")
+	tb := experiments.Table{ID: "t", Header: []string{"x"}, Rows: [][]string{{"1"}}}
+	if err := writeCSV(dir, "t", 3, &tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t_3.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

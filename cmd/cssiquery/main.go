@@ -1,0 +1,151 @@
+// Command cssiquery demonstrates the full pipeline: it obtains a dataset
+// (generated on the fly, or loaded from a datagen file), builds the
+// CSSI/CSSIA index, and answers a k-NN query, printing both the exact and
+// the approximate result with timing and pruning statistics.
+//
+// Query by example object:
+//
+//	cssiquery -kind yelp -size 20000 -qid 42 -k 10 -lambda 0.5
+//
+// Query by free text and location (dataset generated inline, so the
+// embedding model is available to encode the text):
+//
+//	cssiquery -kind twitter -size 20000 -x 0.4 -y 0.6 -text "wb wc wd" -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "twitter", "dataset kind: twitter or yelp")
+		size   = flag.Int("size", 20000, "number of objects (when generating)")
+		dim    = flag.Int("dim", 100, "embedding dimensionality (when generating)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		data   = flag.String("data", "", "load dataset from a datagen file instead of generating")
+		qid    = flag.Int("qid", -1, "query by the object with this ID")
+		qx     = flag.Float64("x", -1, "query longitude in [0,1] (with -text)")
+		qy     = flag.Float64("y", -1, "query latitude in [0,1] (with -text)")
+		qtext  = flag.String("text", "", "query text (requires a generated dataset)")
+		k      = flag.Int("k", 10, "number of neighbors")
+		lambda = flag.Float64("lambda", 0.5, "balance parameter λ (1 = purely spatial)")
+	)
+	flag.Parse()
+
+	ds, err := obtainDataset(*data, *kind, *size, *dim, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dataset: %d objects, n=%d\n", ds.Len(), ds.Dim)
+
+	start := time.Now()
+	idx, err := cssi.Build(ds, cssi.Options{Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("index: %d hybrid clusters, built in %v\n\n", idx.NumClusters(), time.Since(start).Round(time.Millisecond))
+
+	q, err := makeQuery(ds, *qid, *qx, *qy, *qtext)
+	if err != nil {
+		fail(err)
+	}
+
+	var stExact cssi.Stats
+	t0 := time.Now()
+	exact := idx.SearchStats(q, *k, *lambda, &stExact)
+	exactTime := time.Since(t0)
+
+	var stApprox cssi.Stats
+	t0 = time.Now()
+	approx := idx.SearchApproxStats(q, *k, *lambda, &stApprox)
+	approxTime := time.Since(t0)
+
+	fmt.Printf("CSSI (exact, %v): visited %d of %d objects (inter-pruned %d, intra-pruned %d)\n",
+		exactTime.Round(time.Microsecond), stExact.VisitedObjects, ds.Len(), stExact.InterPruned, stExact.IntraPruned)
+	printResults(ds, exact)
+	fmt.Printf("\nCSSIA (approximate, %v): visited %d objects, result error %.2f%%\n",
+		approxTime.Round(time.Microsecond), stApprox.VisitedObjects, 100*cssi.ErrorRate(exact, approx))
+	printResults(ds, approx)
+}
+
+func obtainDataset(path, kind string, size, dim int, seed uint64) (*cssi.Dataset, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.Load(f)
+	}
+	var k cssi.DatasetKind
+	switch kind {
+	case "twitter":
+		k = cssi.TwitterLike
+	case "yelp":
+		k = cssi.YelpLike
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+	return cssi.GenerateDataset(cssi.DatasetConfig{Kind: k, Size: size, Dim: dim, Seed: seed})
+}
+
+func makeQuery(ds *cssi.Dataset, qid int, x, y float64, text string) (*cssi.Object, error) {
+	if text != "" {
+		if ds.Model == nil {
+			return nil, fmt.Errorf("-text requires a generated dataset (loaded files carry no embedding model)")
+		}
+		if x < 0 || y < 0 {
+			return nil, fmt.Errorf("-text requires -x and -y")
+		}
+		v, ok := ds.Model.EncodeDocument(text)
+		if !ok {
+			return nil, fmt.Errorf("query text has fewer than 3 in-vocabulary words")
+		}
+		return &cssi.Object{ID: 1 << 31, X: x, Y: y, Text: text, Vec: v}, nil
+	}
+	if qid < 0 {
+		qid = 0
+	}
+	for i := range ds.Objects {
+		if ds.Objects[i].ID == uint32(qid) {
+			q := ds.Objects[i]
+			fmt.Printf("query object %d at (%.3f,%.3f): %q\n\n", q.ID, q.X, q.Y, truncate(q.Text, 60))
+			return &q, nil
+		}
+	}
+	return nil, fmt.Errorf("object ID %d not found", qid)
+}
+
+func printResults(ds *cssi.Dataset, rs []cssi.Result) {
+	for i, r := range rs {
+		var text string
+		var x, y float64
+		for j := range ds.Objects {
+			if ds.Objects[j].ID == r.ID {
+				text = ds.Objects[j].Text
+				x, y = ds.Objects[j].X, ds.Objects[j].Y
+				break
+			}
+		}
+		fmt.Printf("  %2d. id=%-8d d=%.5f (%.3f,%.3f) %s\n", i+1, r.ID, r.Dist, x, y, truncate(text, 50))
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cssiquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command cssiserve runs the CSSI/CSSIA index as an HTTP similarity-
+// search service. It either generates a synthetic dataset and builds a
+// fresh index, or loads a previously saved index file.
+//
+//	cssiserve -addr :8080 -kind twitter -size 20000          # fresh
+//	cssiserve -addr :8080 -index saved.idx                   # from disk
+//
+// See internal/server for the JSON API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/embed"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		kind      = flag.String("kind", "twitter", "dataset kind when generating: twitter or yelp")
+		size      = flag.Int("size", 20000, "dataset size when generating")
+		dim       = flag.Int("dim", 100, "embedding dimensionality when generating")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		indexPath = flag.String("index", "", "load a saved index instead of generating")
+		savePath  = flag.String("save", "", "after building, save the index to this file")
+	)
+	flag.Parse()
+
+	var (
+		idx   *cssi.Index
+		model *embed.Model
+		err   error
+	)
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatalf("cssiserve: %v", err)
+		}
+		idx, err = cssi.LoadIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("cssiserve: load: %v", err)
+		}
+		log.Printf("loaded index: %d objects, %d hybrid clusters", idx.Len(), idx.NumClusters())
+	} else {
+		var k cssi.DatasetKind
+		switch *kind {
+		case "twitter":
+			k = cssi.TwitterLike
+		case "yelp":
+			k = cssi.YelpLike
+		default:
+			log.Fatalf("cssiserve: unknown kind %q", *kind)
+		}
+		ds, err := cssi.GenerateDataset(cssi.DatasetConfig{Kind: k, Size: *size, Dim: *dim, Seed: *seed})
+		if err != nil {
+			log.Fatalf("cssiserve: %v", err)
+		}
+		model = ds.Model
+		start := time.Now()
+		idx, err = cssi.Build(ds, cssi.Options{Seed: *seed})
+		if err != nil {
+			log.Fatalf("cssiserve: build: %v", err)
+		}
+		log.Printf("built index over %d objects (%d hybrid clusters) in %v",
+			idx.Len(), idx.NumClusters(), time.Since(start).Round(time.Millisecond))
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatalf("cssiserve: %v", err)
+		}
+		if err := idx.Save(f); err != nil {
+			log.Fatalf("cssiserve: save: %v", err)
+		}
+		f.Close()
+		log.Printf("saved index to %s", *savePath)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(idx, model).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("cssiserve listening on %s\n", *addr)
+	if err = srv.ListenAndServe(); err != nil {
+		log.Fatalf("cssiserve: %v", err)
+	}
+}

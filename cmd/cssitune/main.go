@@ -1,0 +1,106 @@
+// Command cssitune grid-searches the index's construction knobs (the
+// projection dimensionality m and the cluster multiplier f) against a
+// sampled validation workload and recommends a configuration — the
+// automated counterpart of the paper's Figs. 9-11 sensitivity analysis,
+// runnable against your own parameters.
+//
+//	cssitune -kind twitter -size 20000 -k 50 -lambda 0.5 -max-error 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "twitter", "dataset kind: twitter or yelp")
+		size     = flag.Int("size", 20000, "dataset size")
+		dim      = flag.Int("dim", 100, "embedding dimensionality")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		k        = flag.Int("k", 50, "workload: neighbors per query")
+		lambda   = flag.Float64("lambda", 0.5, "workload: balance parameter")
+		queries  = flag.Int("queries", 30, "validation queries")
+		maxError = flag.Float64("max-error", 0.01, "CSSIA error budget")
+		mList    = flag.String("m", "1,2,3,5", "comma-separated m candidates")
+		fList    = flag.String("f", "0.1,0.3,0.5", "comma-separated f candidates")
+	)
+	flag.Parse()
+
+	var dk cssi.DatasetKind
+	switch *kind {
+	case "twitter":
+		dk = cssi.TwitterLike
+	case "yelp":
+		dk = cssi.YelpLike
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+	ds, err := cssi.GenerateDataset(cssi.DatasetConfig{Kind: dk, Size: *size, Dim: *dim, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	ms, err := parseInts(*mList)
+	if err != nil {
+		fail(err)
+	}
+	fs, err := parseFloats(*fList)
+	if err != nil {
+		fail(err)
+	}
+
+	results, best, err := cssi.Tune(ds, cssi.TuneConfig{
+		MValues: ms, FValues: fs,
+		K: *k, Lambda: *lambda, Queries: *queries,
+		MaxError: *maxError, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-4s %-5s %-10s %-10s %-11s %-9s\n", "m", "f", "build", "CSSI µs/q", "CSSIA µs/q", "error")
+	for i, r := range results {
+		marker := " "
+		if i == best {
+			marker = "*"
+		}
+		fmt.Printf("%-4d %-5.1f %-10v %-10.0f %-11.0f %6.3f%% %s\n",
+			r.M, r.F, r.BuildTime.Round(1e6), r.ExactMicros, r.ApproxMicros, 100*r.Error, marker)
+	}
+	rec := results[best]
+	fmt.Printf("\nrecommended: m=%d f=%.1f (CSSIA %.0f µs/query at %.3f%% error)\n",
+		rec.M, rec.F, rec.ApproxMicros, 100*rec.Error)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cssitune: %v\n", err)
+	os.Exit(1)
+}

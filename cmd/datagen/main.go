@@ -1,0 +1,67 @@
+// Command datagen generates a synthetic spatio-textual dataset (the
+// stand-in for the paper's Twitter/Yelp corpora) and writes it to a file
+// for later use by cssiquery.
+//
+// Usage:
+//
+//	datagen -kind twitter -size 20000 -dim 100 -seed 1 -out twitter.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "twitter", "dataset kind: twitter or yelp")
+		size   = flag.Int("size", 20000, "number of objects")
+		dim    = flag.Int("dim", 100, "embedding dimensionality")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output file (required)")
+		format = flag.String("format", "gob", "output format: gob (binary, with vectors) or csv (id,x,y,text)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	var k dataset.Kind
+	switch *kind {
+	case "twitter":
+		k = dataset.TwitterLike
+	case "yelp":
+		k = dataset.YelpLike
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: k, Size: *size, Dim: *dim, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	switch *format {
+	case "gob":
+		err = ds.Save(f)
+	case "csv":
+		err = ds.SaveCSV(f)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: save: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d %s objects (n=%d) to %s (%s)\n", ds.Len(), *kind, *dim, *out, *format)
+}

@@ -1,0 +1,99 @@
+package cssi
+
+import "sync"
+
+// ConcurrentIndex wraps an Index so that searches and maintenance can be
+// mixed from many goroutines: searches take a shared (read) lock,
+// Insert/Delete/Update/Rebuild an exclusive one. A bare Index is already
+// safe for concurrent searches only; use this wrapper when writers run
+// alongside readers (the HTTP server in internal/server uses the same
+// discipline).
+type ConcurrentIndex struct {
+	mu  sync.RWMutex
+	idx *Index
+}
+
+// Concurrent wraps idx. The wrapped Index must not be used directly
+// afterwards while writers are active.
+func Concurrent(idx *Index) *ConcurrentIndex {
+	return &ConcurrentIndex{idx: idx}
+}
+
+// Search is Index.Search under a read lock.
+func (c *ConcurrentIndex) Search(q *Object, k int, lambda float64) []Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Search(q, k, lambda)
+}
+
+// SearchApprox is Index.SearchApprox under a read lock.
+func (c *ConcurrentIndex) SearchApprox(q *Object, k int, lambda float64) []Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.SearchApprox(q, k, lambda)
+}
+
+// RangeSearch is Index.RangeSearch under a read lock.
+func (c *ConcurrentIndex) RangeSearch(q *Object, r, lambda float64) []Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.RangeSearch(q, r, lambda)
+}
+
+// SearchInBox is Index.SearchInBox under a read lock.
+func (c *ConcurrentIndex) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k int) []Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.SearchInBox(q, loX, loY, hiX, hiY, k)
+}
+
+// Insert is Index.Insert under the write lock.
+func (c *ConcurrentIndex) Insert(o Object) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Insert(o)
+}
+
+// Delete is Index.Delete under the write lock.
+func (c *ConcurrentIndex) Delete(id uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Delete(id)
+}
+
+// Update is Index.Update under the write lock.
+func (c *ConcurrentIndex) Update(o Object) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Update(o)
+}
+
+// Rebuild is Index.Rebuild under the write lock.
+func (c *ConcurrentIndex) Rebuild() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Rebuild()
+}
+
+// Len returns the live object count under a read lock.
+func (c *ConcurrentIndex) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Len()
+}
+
+// Object looks up a live object under a read lock. The returned pointer
+// must not be retained across writer activity; copy it if needed.
+func (c *ConcurrentIndex) Object(id uint32) (Object, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	o, ok := c.idx.Object(id)
+	if !ok {
+		return Object{}, false
+	}
+	return *o, true
+}
+
+// Unwrap returns the underlying Index for read-only use after all
+// writers have stopped.
+func (c *ConcurrentIndex) Unwrap() *Index { return c.idx }

@@ -1,0 +1,140 @@
+package cssi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentIndexMixedWorkload(t *testing.T) {
+	ds := testDataset(t, 600)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 31}))
+	var wg sync.WaitGroup
+	// Readers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := ds.Objects[(g*41+i*7)%ds.Len()]
+				if got := c.Search(&q, 5, 0.5); len(got) != 5 {
+					t.Errorf("search returned %d", len(got))
+					return
+				}
+				c.SearchApprox(&q, 5, 0.5)
+				c.RangeSearch(&q, 0.05, 0.5)
+				c.SearchInBox(&q, 0, 0, 1, 1, 3)
+				c.Len()
+			}
+		}(g)
+	}
+	// Writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				o := ds.Objects[0]
+				o.ID = uint32(200000 + g*1000 + i)
+				if err := c.Insert(o); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					if err := c.Delete(o.ID); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Unwrap().Len() != c.Len() {
+		t.Fatal("Unwrap disagrees with wrapper")
+	}
+}
+
+func TestConcurrentObjectCopy(t *testing.T) {
+	ds := testDataset(t, 100)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 32}))
+	o, ok := c.Object(ds.Objects[3].ID)
+	if !ok || o.ID != ds.Objects[3].ID {
+		t.Fatal("Object lookup failed")
+	}
+	if _, ok := c.Object(987654); ok {
+		t.Fatal("unknown object resolved")
+	}
+	// Update through the wrapper and re-read.
+	o.X = 0.777
+	if err := c.Update(o); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Object(o.ID)
+	if got.X != 0.777 {
+		t.Fatal("update not visible")
+	}
+}
+
+func mustBuild(t *testing.T, ds *Dataset, opts Options) *Index {
+	t.Helper()
+	idx, err := Build(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestTune(t *testing.T) {
+	ds := testDataset(t, 1500)
+	results, best, err := Tune(ds, TuneConfig{
+		MValues: []int{1, 2},
+		FValues: []float64{0.3},
+		K:       10,
+		Queries: 10,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if best < 0 || best >= len(results) {
+		t.Fatalf("best index %d out of range", best)
+	}
+	for _, r := range results {
+		if r.BuildTime <= 0 || r.ExactMicros <= 0 {
+			t.Fatalf("missing measurements: %+v", r)
+		}
+		if r.Error < 0 || r.Error > 1 {
+			t.Fatalf("error out of range: %+v", r)
+		}
+	}
+	// m=2 should be within the default error budget on this data.
+	if results[best].Error > 0.05 {
+		t.Fatalf("recommended config has error %v", results[best].Error)
+	}
+}
+
+func TestTuneEmptyDataset(t *testing.T) {
+	if _, _, err := Tune(nil, TuneConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPickBestFallsBackToLowestError(t *testing.T) {
+	rs := []TuneResult{
+		{M: 1, Error: 0.4, ApproxMicros: 10},
+		{M: 2, Error: 0.2, ApproxMicros: 50},
+	}
+	if got := pickBest(rs, 0.01); got != 1 {
+		t.Fatalf("fallback picked %d", got)
+	}
+	rs[0].Error = 0.005
+	if got := pickBest(rs, 0.01); got != 0 {
+		t.Fatalf("budgeted pick %d", got)
+	}
+}

@@ -1,0 +1,253 @@
+// Package cssi is the public API of this repository: an implementation of
+// CSSI and CSSIA, the exact and approximate cluster-based indexes for
+// semantic similarity search over spatio-textual data from
+//
+//	Theodoropoulos, Nørvåg, Doulkeridis:
+//	"Efficient Semantic Similarity Search over Spatio-textual Data",
+//	EDBT 2024.
+//
+// An Index answers k-nearest-neighbor queries under the weighted distance
+// d(q,o) = λ·ds(q,o) + (1−λ)·dt(q,o), where ds is normalized Euclidean
+// distance between locations and dt is normalized Euclidean distance
+// between document embeddings. λ is chosen per query.
+//
+// Basic use:
+//
+//	ds, _ := cssi.GenerateDataset(cssi.DatasetConfig{Kind: cssi.TwitterLike, Size: 10000})
+//	idx, _ := cssi.Build(ds, cssi.Options{})
+//	q := ds.Objects[0]
+//	exact := idx.Search(&q, 10, 0.5)          // provably exact (CSSI)
+//	fast := idx.SearchApprox(&q, 10, 0.5)     // approximate (CSSIA)
+//
+// The internal packages additionally provide every baseline the paper
+// evaluates against (linear scan, spatial R-tree, S²R-tree, DESIRE,
+// RR*-tree) and a harness regenerating each table and figure; see
+// DESIGN.md and the cssibench command.
+package cssi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/keyword"
+	"repro/internal/knn"
+	"repro/internal/metric"
+	"repro/internal/pca"
+)
+
+// Object is a spatio-textual object: a location in [0,1]², the raw text,
+// and its dense semantic vector.
+type Object = dataset.Object
+
+// Dataset is a collection of objects plus the embedding model used to
+// encode query text.
+type Dataset = dataset.Dataset
+
+// Result is one k-NN answer: the object ID and its distance to the query.
+type Result = knn.Result
+
+// Stats reports the work done by one or more queries: visited objects,
+// objects skipped by inter-/intra-cluster pruning, and per-space distance
+// calculation counts.
+type Stats = metric.Stats
+
+// DatasetKind selects a synthetic generator family.
+type DatasetKind = dataset.Kind
+
+// Generator kinds. TwitterLike mimics geo-tagged tweets (broad spatial
+// spread, topics independent of location); YelpLike mimics business
+// reviews (11 tight metropolitan clusters, category-correlated text).
+const (
+	TwitterLike = dataset.TwitterLike
+	YelpLike    = dataset.YelpLike
+)
+
+// DatasetConfig configures GenerateDataset.
+type DatasetConfig = dataset.GenConfig
+
+// GenerateDataset produces a deterministic synthetic spatio-textual
+// dataset (the stand-in for the paper's Twitter/Yelp corpora; see
+// DESIGN.md §4).
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	return dataset.Generate(cfg)
+}
+
+// Options configures Build. The zero value reproduces the paper's default
+// setup: f = 0.3, m = 2, a 10% clustering sample, and cluster counts
+// derived from the dataset size.
+type Options struct {
+	// Ks and Kt fix the spatial/semantic cluster counts; zero derives
+	// them from the dataset size and F (§7.1).
+	Ks, Kt int
+	// F is the cluster-count multiplier f (default 0.3).
+	F float64
+	// M is the PCA projection dimensionality (default 2).
+	M int
+	// SampleFraction is the share of objects used to fit K-Means and
+	// PCA (default 0.1).
+	SampleFraction float64
+	// ExactPCA switches PCA from the randomized-SVD path (the paper's
+	// choice, default) to the exact covariance eigendecomposition.
+	ExactPCA bool
+	// AngularSemantic replaces the Euclidean semantic distance with the
+	// angular distance (the metric counterpart of cosine similarity).
+	// The paper's bounds hold for arbitrary metrics (§4.2), so CSSI
+	// stays exact; only the semantic notion of "close" changes.
+	AngularSemantic bool
+	// Seed makes index construction deterministic.
+	Seed uint64
+}
+
+// Index answers semantic spatio-textual k-NN queries. Obtain one from
+// Build. An Index is safe for concurrent Search/SearchApprox calls;
+// Insert/Delete/Update require external synchronization.
+type Index struct {
+	core  *core.Index
+	space *metric.Space
+	// kw is the optional inverted keyword index (EnableKeywordFilter).
+	kw *keyword.Filter
+}
+
+// Build constructs a CSSI/CSSIA index over the dataset (paper Alg. 1).
+func Build(ds *Dataset, opts Options) (*Index, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("cssi: empty dataset")
+	}
+	semKind := metric.EuclideanSemantic
+	if opts.AngularSemantic {
+		semKind = metric.AngularSemantic
+	}
+	space, err := metric.NewSpaceWithSemantic(ds, semKind)
+	if err != nil {
+		return nil, err
+	}
+	method := pca.Randomized
+	if opts.ExactPCA {
+		method = pca.Exact
+	}
+	c, err := core.Build(ds, space, core.Config{
+		Ks: opts.Ks, Kt: opts.Kt, F: opts.F, M: opts.M,
+		SampleFraction: opts.SampleFraction,
+		PCAMethod:      method,
+		Seed:           opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: c, space: space}, nil
+}
+
+// Search returns the exact k nearest neighbors of q under
+// d = λ·ds + (1−λ)·dt (the CSSI algorithm, provably correct per
+// Lemma 4.7). λ must lie in [0,1].
+func (x *Index) Search(q *Object, k int, lambda float64) []Result {
+	return x.SearchStats(q, k, lambda, nil)
+}
+
+// SearchStats is Search with work counters: if st is non-nil it
+// accumulates visited-object and pruning statistics.
+func (x *Index) SearchStats(q *Object, k int, lambda float64, st *Stats) []Result {
+	checkQuery(q, k, lambda)
+	return x.core.Search(q, k, lambda, st)
+}
+
+// SearchApprox returns approximate k nearest neighbors with the CSSIA
+// algorithm — typically 2-3× faster than Search with under 1% result
+// error (paper §5, §7).
+func (x *Index) SearchApprox(q *Object, k int, lambda float64) []Result {
+	return x.SearchApproxStats(q, k, lambda, nil)
+}
+
+// SearchApproxStats is SearchApprox with work counters.
+func (x *Index) SearchApproxStats(q *Object, k int, lambda float64, st *Stats) []Result {
+	checkQuery(q, k, lambda)
+	return x.core.SearchApprox(q, k, lambda, st)
+}
+
+func checkQuery(q *Object, k int, lambda float64) {
+	if q == nil {
+		panic("cssi: nil query")
+	}
+	if k < 1 {
+		panic("cssi: k must be >= 1")
+	}
+	if lambda < 0 || lambda > 1 {
+		panic(fmt.Sprintf("cssi: lambda %v out of [0,1]", lambda))
+	}
+}
+
+// Insert adds a new object incrementally (paper §6.2): it joins the
+// nearest spatial and semantic clusters, radii expand if needed, and only
+// the affected hybrid cluster's array is rebuilt.
+func (x *Index) Insert(o Object) error {
+	if err := x.core.Insert(o); err != nil {
+		return err
+	}
+	if x.kw != nil {
+		x.kw.Add(o.ID, o.Text)
+	}
+	return nil
+}
+
+// Delete removes the object with the given ID (paper §6.2).
+func (x *Index) Delete(id uint32) error {
+	var docText string
+	if x.kw != nil {
+		if o, ok := x.core.Object(id); ok {
+			docText = o.Text
+		}
+	}
+	if err := x.core.Delete(id); err != nil {
+		return err
+	}
+	if x.kw != nil {
+		x.kw.Remove(id, docText)
+	}
+	return nil
+}
+
+// Update replaces the stored object carrying o's ID — a deletion followed
+// by an insertion, as the paper defines updates.
+func (x *Index) Update(o Object) error {
+	if err := x.Delete(o.ID); err != nil {
+		return err
+	}
+	return x.Insert(o)
+}
+
+// Rebuild reconstructs the index from scratch over the live objects — the
+// remedy the paper prescribes after heavy distribution drift (§6.2).
+// An enabled keyword filter is rebuilt alongside.
+func (x *Index) Rebuild() error {
+	if err := x.core.Rebuild(); err != nil {
+		return err
+	}
+	if x.kw != nil {
+		x.EnableKeywordFilter()
+	}
+	return nil
+}
+
+// UpdatesSinceBuild reports how many Insert/Delete operations have been
+// applied since the last (re)build, as a rebuild heuristic for callers.
+func (x *Index) UpdatesSinceBuild() int { return x.core.UpdatesSinceBuild }
+
+// DriftRatio reports the fraction of post-build inserts that landed
+// outside the build-time cluster balls — near zero while the incoming
+// data follows the built distribution, rising when it drifts. Sustained
+// high values are the §6.2 signal to Rebuild.
+func (x *Index) DriftRatio() float64 { return x.core.DriftRatio() }
+
+// Len returns the number of live objects.
+func (x *Index) Len() int { return x.core.Len() }
+
+// NumClusters returns the number of non-empty hybrid clusters.
+func (x *Index) NumClusters() int { return x.core.NumClusters() }
+
+// Object returns the live object with the given ID.
+func (x *Index) Object(id uint32) (*Object, bool) { return x.core.Object(id) }
+
+// ErrorRate computes the paper's result-error metric for an approximate
+// result set against the exact one: |exact \ approx| / k (§7.1).
+func ErrorRate(exact, approx []Result) float64 { return knn.ErrorRate(exact, approx) }

@@ -1,0 +1,125 @@
+package cssi_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Building an index and running an exact query.
+func ExampleBuild() {
+	ds, err := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: 2000, Dim: 32, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx, err := cssi.Build(ds, cssi.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	q := ds.Objects[0]
+	results := idx.Search(&q, 3, 0.5)
+	fmt.Println("results:", len(results))
+	fmt.Println("nearest is the query itself:", results[0].ID == q.ID && results[0].Dist == 0)
+	// Output:
+	// results: 3
+	// nearest is the query itself: true
+}
+
+// The approximate algorithm answers from the same index; its error is
+// measured against the exact result.
+func ExampleIndex_SearchApprox() {
+	ds, _ := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.YelpLike, Size: 2000, Dim: 32, Seed: 2,
+	})
+	idx, _ := cssi.Build(ds, cssi.Options{Seed: 2})
+	q := ds.Objects[42]
+	exact := idx.Search(&q, 10, 0.5)
+	approx := idx.SearchApprox(&q, 10, 0.5)
+	fmt.Println("error below 20%:", cssi.ErrorRate(exact, approx) < 0.2)
+	// Output:
+	// error below 20%: true
+}
+
+// Range queries return everything within a combined distance.
+func ExampleIndex_RangeSearch() {
+	ds, _ := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: 1000, Dim: 32, Seed: 3,
+	})
+	idx, _ := cssi.Build(ds, cssi.Options{Seed: 3})
+	q := ds.Objects[5]
+	within := idx.RangeSearch(&q, 0.1, 0.5)
+	allInside := true
+	for _, r := range within {
+		if r.Dist > 0.1 {
+			allInside = false
+		}
+	}
+	fmt.Println("found some:", len(within) > 0)
+	fmt.Println("all within radius:", allInside)
+	// Output:
+	// found some: true
+	// all within radius: true
+}
+
+// Incremental maintenance keeps the index exact while data changes.
+func ExampleIndex_Insert() {
+	ds, _ := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: 500, Dim: 32, Seed: 4,
+	})
+	idx, _ := cssi.Build(ds, cssi.Options{Seed: 4})
+	o := ds.Objects[0]
+	o.ID = 900000
+	o.X, o.Y = 0.123, 0.456
+	if err := idx.Insert(o); err != nil {
+		panic(err)
+	}
+	fmt.Println("objects:", idx.Len())
+	got := idx.Search(&o, 1, 1.0) // pure spatial: the newcomer is its own NN
+	fmt.Println("self found:", got[0].ID == o.ID)
+	// Output:
+	// objects: 501
+	// self found: true
+}
+
+// Keyword-constrained semantic search: results must contain the keyword.
+func ExampleIndex_SearchWithKeywords() {
+	ds, _ := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.YelpLike, Size: 1500, Dim: 32, Seed: 5,
+	})
+	idx, _ := cssi.Build(ds, cssi.Options{Seed: 5})
+	idx.EnableKeywordFilter()
+
+	// The most frequent synthetic word; real applications pass user input.
+	keyword := ds.Model.Vocab.Words[0]
+	q := ds.Objects[3]
+	results, ok := idx.SearchWithKeywords(&q, 5, 0.5, keyword)
+	fmt.Println("usable keywords:", ok)
+	fmt.Println("got results:", len(results) > 0)
+	// Output:
+	// usable keywords: true
+	// got results: true
+}
+
+// Windowed semantic search: the nearest meanings inside a map viewport.
+func ExampleIndex_SearchInBox() {
+	ds, _ := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: 1500, Dim: 32, Seed: 6,
+	})
+	idx, _ := cssi.Build(ds, cssi.Options{Seed: 6})
+	q := ds.Objects[10]
+	results := idx.SearchInBox(&q, 0, 0, 1, 1, 3) // whole space
+	inWindow := true
+	for _, r := range results {
+		o, _ := idx.Object(r.ID)
+		if o.X < 0 || o.X > 1 || o.Y < 0 || o.Y > 1 {
+			inWindow = false
+		}
+	}
+	fmt.Println("results:", len(results))
+	fmt.Println("all in window:", inWindow)
+	// Output:
+	// results: 3
+	// all in window: true
+}

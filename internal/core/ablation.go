@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// SearchOptions are the ablation switches for SearchAblated: they disable
+// individual pruning mechanisms so their contribution can be measured
+// (the design-choice ablations called out in DESIGN.md). All pruning
+// enabled is exactly Search; with everything disabled the algorithm
+// degenerates to a cluster-ordered scan. Results are identical in all
+// configurations — pruning only ever skips objects that cannot be
+// results (Lemmas 4.4 and 4.5) — which the test suite verifies.
+type SearchOptions struct {
+	// DisableInterCluster turns off pruning property 1 (Lemma 4.4):
+	// every hybrid cluster is examined.
+	DisableInterCluster bool
+	// DisableIntraCluster turns off pruning property 2 (Lemma 4.5):
+	// every object of an examined cluster is evaluated.
+	DisableIntraCluster bool
+	// DisableClusterOrder skips sorting clusters by L(q,C); clusters are
+	// examined in arbitrary (storage) order, which weakens inter-cluster
+	// pruning to a filter instead of a cut-off.
+	DisableClusterOrder bool
+}
+
+// SearchAblated is Search with individual pruning mechanisms switched
+// off. It remains exact for every combination of switches.
+func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
+	dsq := make([]float64, len(x.sCentX))
+	for s := range dsq {
+		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
+	}
+	dtq := make([]float64, len(x.tCent))
+	for t := range dtq {
+		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	}
+	order := make([]orderedCluster, len(x.clusters))
+	for i, c := range x.clusters {
+		order[i] = orderedCluster{
+			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t]),
+			c:  c,
+		}
+	}
+	if !opts.DisableClusterOrder {
+		sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+	}
+
+	h := knn.NewHeap(k)
+	for ci, oc := range order {
+		if !opts.DisableInterCluster {
+			if u, full := h.Bound(); full && oc.lb >= u {
+				if opts.DisableClusterOrder {
+					// Without the sort the cut-off is unsound; fall back
+					// to a per-cluster filter.
+					if st != nil {
+						st.ClustersPruned++
+						st.InterPruned += int64(len(oc.c.elems))
+					}
+					continue
+				}
+				if st != nil {
+					for _, rest := range order[ci:] {
+						st.ClustersPruned++
+						st.InterPruned += int64(len(rest.c.elems))
+					}
+				}
+				break
+			}
+		}
+		x.scanClusterAblated(q, lambda, oc.c, dsq[oc.c.s], dtq[oc.c.t], h, st, opts.DisableIntraCluster)
+	}
+	return h.Sorted()
+}
+
+// scanClusterAblated is scanCluster with the intra-cluster pruning
+// optionally disabled.
+func (x *Index) scanClusterAblated(q *dataset.Object, lambda float64, c *hybrid, dsqC, dtqC float64, h *knn.Heap, st *metric.Stats, noIntra bool) {
+	if st != nil {
+		st.ClustersExamined++
+	}
+	enclosed := dsqC < x.sRad[c.s] && dtqC < x.tRad[c.t]
+	dqC := lambda*dsqC + (1-lambda)*dtqC
+	for ei := range c.elems {
+		e := &c.elems[ei]
+		if !noIntra && !enclosed {
+			if u, full := h.Bound(); full {
+				bound := lambda*e.ds + (1-lambda)*e.dt
+				if dqC-bound > u {
+					if st != nil {
+						st.IntraPruned += int64(len(c.elems) - ei)
+					}
+					return
+				}
+			}
+		}
+		o := &x.objects[e.idx]
+		d := x.space.Distance(st, lambda, q, o)
+		h.Push(knn.Result{ID: o.ID, Dist: d})
+	}
+}

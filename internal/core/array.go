@@ -1,0 +1,49 @@
+package core
+
+import "sort"
+
+// buildElems constructs the query-time array A of a hybrid cluster
+// (§4.1): the members are listed twice, once sorted by descending spatial
+// distance to the spatial centroid (L_s) and once by descending semantic
+// distance to the semantic centroid (L_t); the two lists are merged
+// Threshold-Algorithm style, one pair per round, appending each object at
+// its first occurrence tagged with the round's (ds, dt) threshold pair.
+//
+// The resulting array has one element per member and two invariants that
+// query processing relies on (Lemma 4.5 and §4.3):
+//
+//  1. conservativeness — for element e of object o,
+//     d(o,C) ≤ λ·e.ds + (1−λ)·e.dt for every λ ∈ [0,1], because o occurs
+//     at or after the round position in both descending lists;
+//  2. monotonicity — e.ds and e.dt are non-increasing along the array, so
+//     once d(q,C) − bound > U holds it holds for every later element.
+func buildElems(members []member) []element {
+	n := len(members)
+	if n == 0 {
+		return nil
+	}
+	ls := make([]int, n)
+	lt := make([]int, n)
+	for i := range ls {
+		ls[i], lt[i] = i, i
+	}
+	sort.Slice(ls, func(a, b int) bool { return members[ls[a]].ds > members[ls[b]].ds })
+	sort.Slice(lt, func(a, b int) bool { return members[lt[a]].dt > members[lt[b]].dt })
+
+	seen := make([]bool, n)
+	elems := make([]element, 0, n)
+	for pos := 0; pos < n; pos++ {
+		a, b := ls[pos], lt[pos]
+		thrDs := members[a].ds
+		thrDt := members[b].dt
+		if !seen[a] {
+			seen[a] = true
+			elems = append(elems, element{idx: members[a].idx, ds: thrDs, dt: thrDt})
+		}
+		if !seen[b] {
+			seen[b] = true
+			elems = append(elems, element{idx: members[b].idx, ds: thrDs, dt: thrDt})
+		}
+	}
+	return elems
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// orderedCluster pairs a hybrid cluster with its query-specific lower
+// bound for the sort in Alg. 2 line 4 / Alg. 3 line 5.
+type orderedCluster struct {
+	lb float64
+	c  *hybrid
+}
+
+// Search answers an exact k-NN query with the CSSI algorithm (Alg. 2).
+// Centroid-level distance computations are not charged to st — the
+// evaluation counts object-level work (visited objects, and §7.7 counts
+// CSSI distance calculations as visited×2), and the K(s)+K(t) centroid
+// distances per query are part of the index overhead reflected in wall
+// time instead.
+func (x *Index) Search(q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	// Per-side distances from q to every centroid (computed once; each
+	// hybrid cluster reuses its sides' values).
+	dsq := make([]float64, len(x.sCentX))
+	for s := range dsq {
+		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
+	}
+	dtq := make([]float64, len(x.tCent))
+	for t := range dtq {
+		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	}
+
+	// Sort hybrid clusters by L(q,C) ascending (Alg. 2 line 4).
+	order := make([]orderedCluster, len(x.clusters))
+	for i, c := range x.clusters {
+		order[i] = orderedCluster{
+			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t]),
+			c:  c,
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+
+	h := knn.NewHeap(k)
+	for ci, oc := range order {
+		if u, full := h.Bound(); full && oc.lb >= u {
+			// Pruning property 1 (Lemma 4.4): every remaining cluster
+			// has an even larger lower bound.
+			if st != nil {
+				for _, rest := range order[ci:] {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(rest.c.elems))
+				}
+			}
+			break
+		}
+		x.scanCluster(q, lambda, oc.c, dsq[oc.c.s], dtq[oc.c.t], h, st)
+	}
+	return h.Sorted()
+}
+
+// scanCluster examines the objects of one hybrid cluster (Alg. 2 lines
+// 8-18), applying intra-cluster pruning (Lemma 4.5) via the conservative
+// array thresholds.
+func (x *Index) scanCluster(q *dataset.Object, lambda float64, c *hybrid, dsqC, dtqC float64, h *knn.Heap, st *metric.Stats) {
+	if st != nil {
+		st.ClustersExamined++
+	}
+	// q is "enclosed" in C when it lies inside both balls (case 4 of
+	// Eq. 4); intra-cluster pruning is only attempted otherwise (Alg. 2
+	// line 9).
+	enclosed := dsqC < x.sRad[c.s] && dtqC < x.tRad[c.t]
+	dqC := lambda*dsqC + (1-lambda)*dtqC
+	for ei := range c.elems {
+		e := &c.elems[ei]
+		if !enclosed {
+			if u, full := h.Bound(); full {
+				bound := lambda*e.ds + (1-lambda)*e.dt // ≥ d(o,C)
+				if dqC-bound > u {
+					// Pruning property 2: every later element sits even
+					// closer to the centroid (thresholds non-increasing),
+					// so d(q,C) − d(o,C) only grows.
+					if st != nil {
+						st.IntraPruned += int64(len(c.elems) - ei)
+					}
+					return
+				}
+			}
+		}
+		o := &x.objects[e.idx]
+		d := x.space.Distance(st, lambda, q, o)
+		h.Push(knn.Result{ID: o.ID, Dist: d})
+	}
+}

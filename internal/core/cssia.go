@@ -1,0 +1,147 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// cand is a CSSIA candidate: its exact combined distance d and the
+// projected-space combined distance d' = λ·ds + (1−λ)·d't (§5.3).
+type cand struct {
+	id     uint32
+	d, dpr float64
+}
+
+// candHeap keeps the k candidates with the smallest exact distance as a
+// max-heap by d, mirroring the paper's priority queue R. Whenever the set
+// changes, CSSIA re-derives both U (max d) and U' (max d') — the paper's
+// complexity analysis (§6.1) accounts for exactly this per-update scan.
+type candHeap []cand
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// maxDPr returns max d' over the held candidates.
+func (h candHeap) maxDPr() float64 {
+	mx := math.Inf(-1)
+	for _, c := range h {
+		if c.dpr > mx {
+			mx = c.dpr
+		}
+	}
+	return mx
+}
+
+// SearchApprox answers a k-NN query with the CSSIA algorithm (Alg. 3).
+// Inter-cluster pruning runs in the projected space (revised pruning
+// property 1, §5.3) with the revised bound U'; intra-cluster pruning is
+// identical to CSSI (original space, bound U). Results are approximate:
+// the projection contracts distances, so a cluster holding a true
+// neighbor can be pruned when its projected bound looks too large.
+func (x *Index) SearchApprox(q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	qProj := x.pcaModel.Transform(q.Vec)
+
+	dsq := make([]float64, len(x.sCentX))
+	for s := range dsq {
+		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
+	}
+	// Semantic centroid distances in the projected space (m-dimensional,
+	// much cheaper than CSSI's n-dimensional sort — the m·K·logK term of
+	// Table 2).
+	dtqProj := make([]float64, len(x.tCentProj))
+	for t := range dtqProj {
+		dtqProj[t] = x.space.SemanticProjVec(qProj, x.tCentProj[t])
+	}
+
+	order := make([]orderedCluster, len(x.clusters))
+	for i, c := range x.clusters {
+		order[i] = orderedCluster{
+			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtqProj[c.t], x.tRadProj[c.t]),
+			c:  c,
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+
+	var cands candHeap
+	u := math.Inf(1)      // distance to current k-NN in the original space
+	uPrime := math.Inf(1) // distance to current k-NN in the projected space
+	// dtqOrig caches the original-space semantic centroid distances that
+	// intra-cluster pruning needs, computed lazily per examined cluster.
+	dtqOrig := make([]float64, len(x.tCent))
+	dtqKnown := make([]bool, len(x.tCent))
+
+	for ci, oc := range order {
+		if len(cands) >= k && oc.lb >= uPrime {
+			// Revised pruning property 1 (§5.3) in the projected space.
+			if st != nil {
+				for _, rest := range order[ci:] {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(rest.c.elems))
+				}
+			}
+			break
+		}
+		c := oc.c
+		if st != nil {
+			st.ClustersExamined++
+		}
+		if !dtqKnown[c.t] {
+			dtqOrig[c.t] = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			dtqKnown[c.t] = true
+		}
+		enclosed := dsq[c.s] < x.sRad[c.s] && dtqOrig[c.t] < x.tRad[c.t]
+		dqC := lambda*dsq[c.s] + (1-lambda)*dtqOrig[c.t]
+		for ei := range c.elems {
+			e := &c.elems[ei]
+			if !enclosed && len(cands) >= k {
+				bound := lambda*e.ds + (1-lambda)*e.dt
+				if dqC-bound > u {
+					// Pruning property 2 (identical to CSSI, original
+					// space).
+					if st != nil {
+						st.IntraPruned += int64(len(c.elems) - ei)
+					}
+					break
+				}
+			}
+			o := &x.objects[e.idx]
+			if st != nil {
+				st.VisitedObjects++
+			}
+			ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+			dt := x.space.Semantic(st, q.Vec, o.Vec)
+			d := metric.Combine(lambda, ds, dt)
+			if d < u || len(cands) < k {
+				dpr := metric.Combine(lambda, ds, x.space.SemanticProjVec(qProj, x.proj[e.idx]))
+				heap.Push(&cands, cand{id: o.ID, d: d, dpr: dpr})
+				if len(cands) > k {
+					heap.Pop(&cands)
+				}
+				if len(cands) == k {
+					u = cands[0].d
+					uPrime = cands.maxDPr()
+				}
+			}
+		}
+	}
+	out := make([]knn.Result, len(cands))
+	for i, c := range cands {
+		out[i] = knn.Result{ID: c.id, Dist: c.d}
+	}
+	knn.SortResults(out)
+	return out
+}

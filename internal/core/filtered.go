@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// SearchFiltered answers an exact k-NN query restricted to the objects
+// accepted by allow (e.g. a boolean keyword predicate). The pruning of
+// Alg. 2 stays sound under any filter: the bounds lower-bound distances
+// for all objects, hence for any subset, and the heap bound U is derived
+// only from accepted objects. Rejected objects never have their
+// distances computed.
+//
+// Work accounting: rejected objects are not charged to any counter, so
+// the visited+inter+intra identity of the unfiltered algorithms does not
+// apply here.
+func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow func(id uint32) bool, st *metric.Stats) []knn.Result {
+	dsq := make([]float64, len(x.sCentX))
+	for s := range dsq {
+		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
+	}
+	dtq := make([]float64, len(x.tCent))
+	for t := range dtq {
+		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	}
+	order := make([]orderedCluster, len(x.clusters))
+	for i, c := range x.clusters {
+		order[i] = orderedCluster{
+			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t]),
+			c:  c,
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+
+	h := knn.NewHeap(k)
+	for ci, oc := range order {
+		if u, full := h.Bound(); full && oc.lb >= u {
+			if st != nil {
+				st.ClustersPruned += int64(len(order) - ci)
+			}
+			break
+		}
+		c := oc.c
+		if st != nil {
+			st.ClustersExamined++
+		}
+		enclosed := dsq[c.s] < x.sRad[c.s] && dtq[c.t] < x.tRad[c.t]
+		dqC := lambda*dsq[c.s] + (1-lambda)*dtq[c.t]
+		for ei := range c.elems {
+			e := &c.elems[ei]
+			if !enclosed {
+				if u, full := h.Bound(); full {
+					bound := lambda*e.ds + (1-lambda)*e.dt
+					if dqC-bound > u {
+						break // Lemma 4.5, valid for the filtered subset too
+					}
+				}
+			}
+			o := &x.objects[e.idx]
+			if !allow(o.ID) {
+				continue
+			}
+			d := x.space.Distance(st, lambda, q, o)
+			h.Push(knn.Result{ID: o.ID, Dist: d})
+		}
+	}
+	return h.Sorted()
+}

@@ -1,0 +1,91 @@
+package core
+
+import "fmt"
+
+// CheckInvariants verifies the structural properties the correctness
+// proofs rest on. It is exercised by the test suite after builds and
+// after maintenance streams; production code never calls it.
+//
+// Checked invariants:
+//   - every live object belongs to exactly one hybrid cluster, and its
+//     stored member distances match recomputation;
+//   - every cluster radius covers all its members, in all three
+//     representations (spatial, semantic original, semantic projected);
+//   - every element array is conservative (bound dominates the member's
+//     true distances) and monotonically non-increasing in both threshold
+//     coordinates;
+//   - element arrays contain each member exactly once and no deleted
+//     objects.
+func (x *Index) CheckInvariants() error {
+	const eps = 1e-9
+	seen := make(map[uint32]int)
+	for ci, c := range x.clusters {
+		if len(c.members) == 0 {
+			return fmt.Errorf("cluster %d is empty but retained", ci)
+		}
+		if len(c.elems) != len(c.members) {
+			return fmt.Errorf("cluster %d: %d elems for %d members", ci, len(c.elems), len(c.members))
+		}
+		memberDs := make(map[uint32]member, len(c.members))
+		for _, m := range c.members {
+			if x.deleted[m.idx] {
+				return fmt.Errorf("cluster %d holds deleted object %d", ci, m.idx)
+			}
+			if _, dup := seen[m.idx]; dup {
+				return fmt.Errorf("object %d in more than one hybrid cluster", m.idx)
+			}
+			seen[m.idx] = ci
+			if ds := x.spatialToCent(m.idx, c.s); abs(ds-m.ds) > eps {
+				return fmt.Errorf("object %d stored ds %v, recomputed %v", m.idx, m.ds, ds)
+			}
+			if dt := x.semanticToCent(m.idx, c.t); abs(dt-m.dt) > eps {
+				return fmt.Errorf("object %d stored dt %v, recomputed %v", m.idx, m.dt, dt)
+			}
+			if m.ds > x.sRad[c.s]+eps {
+				return fmt.Errorf("object %d outside spatial radius: %v > %v", m.idx, m.ds, x.sRad[c.s])
+			}
+			if m.dt > x.tRad[c.t]+eps {
+				return fmt.Errorf("object %d outside semantic radius: %v > %v", m.idx, m.dt, x.tRad[c.t])
+			}
+			if dp := x.projToCent(m.idx, c.t); dp > x.tRadProj[c.t]+eps {
+				return fmt.Errorf("object %d outside projected radius: %v > %v", m.idx, dp, x.tRadProj[c.t])
+			}
+			memberDs[m.idx] = m
+		}
+		prevDs, prevDt := 2.0, 2.0 // normalized distances never exceed 1
+		inElems := make(map[uint32]bool, len(c.elems))
+		for ei, e := range c.elems {
+			if inElems[e.idx] {
+				return fmt.Errorf("cluster %d: object %d twice in elems", ci, e.idx)
+			}
+			inElems[e.idx] = true
+			m, ok := memberDs[e.idx]
+			if !ok {
+				return fmt.Errorf("cluster %d: elems hold non-member %d", ci, e.idx)
+			}
+			// Conservativeness: for every λ, λ·e.ds+(1−λ)·e.dt ≥
+			// λ·m.ds+(1−λ)·m.dt, which holds iff both coordinates
+			// dominate.
+			if e.ds < m.ds-eps || e.dt < m.dt-eps {
+				return fmt.Errorf("cluster %d elem %d: threshold (%v,%v) below true (%v,%v)",
+					ci, ei, e.ds, e.dt, m.ds, m.dt)
+			}
+			// Monotonicity along the array.
+			if e.ds > prevDs+eps || e.dt > prevDt+eps {
+				return fmt.Errorf("cluster %d elem %d: thresholds increased", ci, ei)
+			}
+			prevDs, prevDt = e.ds, e.dt
+		}
+	}
+	if len(seen) != x.live {
+		return fmt.Errorf("clusters hold %d objects, live count is %d", len(seen), x.live)
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// The invariant checker must actually detect corruption — each mutation
+// below violates one checked property.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(x *Index)
+	}{
+		{"shrunken spatial radius", func(x *Index) {
+			x.sRad[x.clusters[0].s] = 0
+		}},
+		{"shrunken semantic radius", func(x *Index) {
+			x.tRad[x.clusters[0].t] = 0
+		}},
+		{"shrunken projected radius", func(x *Index) {
+			x.tRadProj[x.clusters[0].t] = 0
+		}},
+		{"corrupted member distance", func(x *Index) {
+			x.clusters[0].members[0].ds += 0.5
+		}},
+		{"non-conservative threshold", func(x *Index) {
+			c := x.clusters[0]
+			c.elems[len(c.elems)-1].ds = 0
+			c.elems[len(c.elems)-1].dt = 0
+		}},
+		{"non-monotonic thresholds", func(x *Index) {
+			c := x.clusters[0]
+			if len(c.elems) < 2 {
+				t.Skip("cluster too small")
+			}
+			c.elems[len(c.elems)-1].ds = c.elems[0].ds + 0.5
+		}},
+		{"duplicated element", func(x *Index) {
+			c := x.clusters[0]
+			c.elems[len(c.elems)-1] = c.elems[0]
+		}},
+		{"phantom deleted member", func(x *Index) {
+			x.deleted[x.clusters[0].members[0].idx] = true
+		}},
+		{"wrong live count", func(x *Index) {
+			x.live--
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			f := build(t, dataset.TwitterLike, 300, Config{Seed: 78})
+			if err := f.idx.CheckInvariants(); err != nil {
+				t.Fatalf("pre-mutation index invalid: %v", err)
+			}
+			// Move a cluster with several members to the front so every
+			// mutation has something to corrupt.
+			for i, c := range f.idx.clusters {
+				if len(c.members) >= 3 {
+					f.idx.clusters[0], f.idx.clusters[i] = c, f.idx.clusters[0]
+					break
+				}
+			}
+			m.mutate(f.idx)
+			if err := f.idx.CheckInvariants(); err == nil {
+				t.Fatalf("%s not detected", m.name)
+			}
+		})
+	}
+}

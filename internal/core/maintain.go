@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Insert adds a new object to the index incrementally (§6.2): the object
+// joins the nearest spatial and nearest semantic cluster, radii expand if
+// needed, and only the affected hybrid cluster's array is rebuilt — the
+// clustering itself is untouched.
+func (x *Index) Insert(o dataset.Object) error {
+	if prev, ok := x.idToIdx[o.ID]; ok && !x.deleted[prev] {
+		return fmt.Errorf("core: object ID %d already present", o.ID)
+	}
+	if len(o.Vec) != x.pcaModel.N() {
+		return fmt.Errorf("core: vector dim %d, index expects %d", len(o.Vec), x.pcaModel.N())
+	}
+	idx := uint32(len(x.objects))
+	x.objects = append(x.objects, o)
+	x.deleted = append(x.deleted, false)
+	x.proj = append(x.proj, x.pcaModel.Transform(o.Vec))
+	x.idToIdx[o.ID] = idx
+
+	// Nearest spatial cluster by location.
+	s := 0
+	bestS := x.spatialToCent(idx, 0)
+	for c := 1; c < len(x.sCentX); c++ {
+		if d := x.spatialToCent(idx, c); d < bestS {
+			s, bestS = c, d
+		}
+	}
+	// Nearest semantic cluster in the projected space (the space the
+	// semantic clustering was fit in). Clusters that never received a
+	// member have meaningless centroids and are skipped.
+	t, bestT := -1, 0.0
+	for c := 0; c < len(x.tCentProj); c++ {
+		if len(x.tMembers[c]) == 0 {
+			continue
+		}
+		if d := x.projToCent(idx, c); t < 0 || d < bestT {
+			t, bestT = c, d
+		}
+	}
+	if t < 0 {
+		t = 0 // no populated semantic cluster: fall back to the first
+	}
+	x.sAssign = append(x.sAssign, s)
+	x.tAssign = append(x.tAssign, t)
+	x.sMembers[s] = append(x.sMembers[s], idx)
+	x.tMembers[t] = append(x.tMembers[t], idx)
+
+	// Expand radii where the newcomer falls outside (§6.2).
+	if bestS > x.sRad[s] {
+		x.sRad[s] = bestS
+	}
+	if d := x.semanticToCent(idx, t); d > x.tRad[t] {
+		x.tRad[t] = d
+	}
+	if bestT > x.tRadProj[t] {
+		x.tRadProj[t] = bestT
+	}
+	// Drift signal: compare against the build-time balls.
+	x.insertsSinceBuild++
+	if bestS > x.builtSRad[s] || bestT > x.builtTRadProj[t] {
+		x.radiusDrifts++
+	}
+
+	c := x.addToHybrid(idx)
+	c.elems = buildElems(c.members)
+	x.live++
+	x.UpdatesSinceBuild++
+	return nil
+}
+
+// DriftRatio reports the fraction of post-build inserts that landed
+// outside the build-time ball of their nearest clusters — a cheap signal
+// that the incoming data no longer follows the distribution the clusters
+// were fitted on. Values near zero mean the incremental path of §6.2 is
+// healthy; sustained high values suggest calling Rebuild. Returns 0
+// before any insert.
+func (x *Index) DriftRatio() float64 {
+	if x.insertsSinceBuild == 0 {
+		return 0
+	}
+	return float64(x.radiusDrifts) / float64(x.insertsSinceBuild)
+}
+
+// Delete removes the object with the given ID (§6.2). If the object
+// determined one of its clusters' radii, the radius is recomputed from
+// the remaining members.
+func (x *Index) Delete(id uint32) error {
+	idx, ok := x.idToIdx[id]
+	if !ok || x.deleted[idx] {
+		return fmt.Errorf("core: object ID %d not present", id)
+	}
+	x.deleted[idx] = true
+	delete(x.idToIdx, id)
+	x.live--
+	x.UpdatesSinceBuild++
+
+	s, t := x.sAssign[idx], x.tAssign[idx]
+	x.sMembers[s] = removeIdx(x.sMembers[s], idx)
+	x.tMembers[t] = removeIdx(x.tMembers[t], idx)
+
+	// Remove from the hybrid cluster and rebuild its array.
+	key := [2]int{s, t}
+	c := x.clusterIdx[key]
+	for i := range c.members {
+		if c.members[i].idx == idx {
+			c.members[i] = c.members[len(c.members)-1]
+			c.members = c.members[:len(c.members)-1]
+			break
+		}
+	}
+	if len(c.members) == 0 {
+		delete(x.clusterIdx, key)
+		for i, cc := range x.clusters {
+			if cc == c {
+				x.clusters[i] = x.clusters[len(x.clusters)-1]
+				x.clusters = x.clusters[:len(x.clusters)-1]
+				break
+			}
+		}
+	} else {
+		c.elems = buildElems(c.members)
+	}
+
+	// Shrink radii when the deleted object was the farthest member (the
+	// "infrequent case" of §6.2).
+	if x.spatialToCent(idx, s) >= x.sRad[s] {
+		x.sRad[s] = 0
+		for _, mi := range x.sMembers[s] {
+			if d := x.spatialToCent(mi, s); d > x.sRad[s] {
+				x.sRad[s] = d
+			}
+		}
+	}
+	if x.semanticToCent(idx, t) >= x.tRad[t] {
+		x.tRad[t] = 0
+		for _, mi := range x.tMembers[t] {
+			if d := x.semanticToCent(mi, t); d > x.tRad[t] {
+				x.tRad[t] = d
+			}
+		}
+	}
+	if x.projToCent(idx, t) >= x.tRadProj[t] {
+		x.tRadProj[t] = 0
+		for _, mi := range x.tMembers[t] {
+			if d := x.projToCent(mi, t); d > x.tRadProj[t] {
+				x.tRadProj[t] = d
+			}
+		}
+	}
+	return nil
+}
+
+// Update replaces the stored object with o's ID by o — a deletion
+// followed by an insertion, as the paper defines updates (§6.2).
+func (x *Index) Update(o dataset.Object) error {
+	if err := x.Delete(o.ID); err != nil {
+		return fmt.Errorf("core: update: %w", err)
+	}
+	if err := x.Insert(o); err != nil {
+		return fmt.Errorf("core: update: %w", err)
+	}
+	return nil
+}
+
+// Rebuild reconstructs the index from scratch over the live objects —
+// the remedy §6.2 prescribes after the data distribution has drifted.
+func (x *Index) Rebuild() error {
+	liveObjs := make([]dataset.Object, 0, x.live)
+	for i := range x.objects {
+		if !x.deleted[i] {
+			liveObjs = append(liveObjs, x.objects[i])
+		}
+	}
+	ds := &dataset.Dataset{Objects: liveObjs, Dim: x.pcaModel.N()}
+	fresh, err := Build(ds, x.space, x.cfg)
+	if err != nil {
+		return fmt.Errorf("core: rebuild: %w", err)
+	}
+	*x = *fresh
+	return nil
+}
+
+func removeIdx(list []uint32, idx uint32) []uint32 {
+	for i, v := range list {
+		if v == idx {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}

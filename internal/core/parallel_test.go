@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, workers := range []int{0, 1, 3, 8, 2000} {
+			var count int64
+			seen := make([]int32, n)
+			parallelFor(n, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+					atomic.AddInt64(&count, 1)
+				}
+			})
+			if count != int64(n) {
+				t.Fatalf("n=%d workers=%d: visited %d", n, workers, count)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPerPartition(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	parts := []int{0, 1, 0, 1, 2, 2, 0, 1}
+	for _, workers := range []int{1, 2, 5} {
+		got := maxPerPartition(len(vals), 3, workers,
+			func(i int) int { return parts[i] },
+			func(i int) float64 { return vals[i] })
+		want := []float64{4, 6, 9}
+		for p := range want {
+			if got[p] != want[p] {
+				t.Fatalf("workers=%d partition %d: %v want %v", workers, p, got[p], want[p])
+			}
+		}
+	}
+}
+
+func TestMaxPerPartitionEmpty(t *testing.T) {
+	got := maxPerPartition(0, 3, 4, func(int) int { return 0 }, func(int) float64 { return 1 })
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("empty fold produced %v", got)
+		}
+	}
+}
+
+// The Workers knob must not change the built index: single-threaded and
+// parallel builds answer identically.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	f1 := build(t, dataset.TwitterLike, 600, Config{Seed: 92, Workers: 1})
+	f8 := build(t, dataset.TwitterLike, 600, Config{Seed: 92, Workers: 8})
+	for qi := 0; qi < 5; qi++ {
+		q := f1.ds.Objects[(qi*113+7)%f1.ds.Len()]
+		a := f1.idx.Search(&q, 10, 0.5, nil)
+		b := f8.idx.Search(&q, 10, 0.5, nil)
+		sameResults(t, "workers", a, b)
+	}
+	if err := f8.idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/metric"
+	"repro/internal/pca"
+)
+
+// Index persistence: Save writes everything needed to answer queries —
+// the objects, the PCA model, both semantic cluster representations, the
+// assignments and the hybrid-cluster membership — so Load restores a
+// fully functional index without re-clustering. The per-cluster element
+// arrays are cheap to rebuild and are therefore not serialized.
+
+// gobMember mirrors member with exported fields.
+type gobMember struct {
+	Idx    uint32
+	Ds, Dt float64
+}
+
+// gobHybrid mirrors hybrid with exported fields.
+type gobHybrid struct {
+	S, T    int
+	Members []gobMember
+}
+
+// gobIndex is the serialized form of an Index.
+type gobIndex struct {
+	Version int
+	Cfg     Config
+
+	DsMax, DtMax, DtProjMax float64
+	SemanticKind            metric.SemanticMetric
+
+	Objects []dataset.Object
+	Deleted []bool
+	Live    int
+
+	PCAModel *pca.Model
+	Proj     [][]float32
+
+	SCentX, SCentY, SRad []float64
+	SMembers             [][]uint32
+
+	TCent              [][]float32
+	TRad               []float64
+	TCentProj          [][]float32
+	TRadProj           []float64
+	TMembers           [][]uint32
+	SAssign, TAssign   []int
+	Clusters           []gobHybrid
+	UpdatesSinceBuild_ int
+}
+
+const persistVersion = 1
+
+// Save writes the index (including its metric-space normalizers) to w.
+func (x *Index) Save(w io.Writer) error {
+	g := gobIndex{
+		Version:            persistVersion,
+		Cfg:                x.cfg,
+		DsMax:              x.space.DsMax,
+		DtMax:              x.space.DtMax,
+		DtProjMax:          x.space.DtProjMax,
+		SemanticKind:       x.space.SemanticKind,
+		Objects:            x.objects,
+		Deleted:            x.deleted,
+		Live:               x.live,
+		PCAModel:           x.pcaModel,
+		Proj:               x.proj,
+		SCentX:             x.sCentX,
+		SCentY:             x.sCentY,
+		SRad:               x.sRad,
+		SMembers:           x.sMembers,
+		TCent:              x.tCent,
+		TRad:               x.tRad,
+		TCentProj:          x.tCentProj,
+		TRadProj:           x.tRadProj,
+		TMembers:           x.tMembers,
+		SAssign:            x.sAssign,
+		TAssign:            x.tAssign,
+		UpdatesSinceBuild_: x.UpdatesSinceBuild,
+	}
+	g.Clusters = make([]gobHybrid, len(x.clusters))
+	for i, c := range x.clusters {
+		gc := gobHybrid{S: c.s, T: c.t, Members: make([]gobMember, len(c.members))}
+		for j, m := range c.members {
+			gc.Members[j] = gobMember{Idx: m.idx, Ds: m.ds, Dt: m.dt}
+		}
+		g.Clusters[i] = gc
+	}
+	if err := gob.NewEncoder(w).Encode(&g); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores an index previously written by Save, together with its
+// metric space.
+func Load(r io.Reader) (*Index, *metric.Space, error) {
+	var g gobIndex
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, nil, fmt.Errorf("core: load: %w", err)
+	}
+	if g.Version != persistVersion {
+		return nil, nil, fmt.Errorf("core: load: unsupported version %d", g.Version)
+	}
+	space := &metric.Space{DsMax: g.DsMax, DtMax: g.DtMax, DtProjMax: g.DtProjMax, SemanticKind: g.SemanticKind}
+	x := &Index{
+		cfg:               g.Cfg,
+		space:             space,
+		objects:           g.Objects,
+		deleted:           g.Deleted,
+		live:              g.Live,
+		idToIdx:           make(map[uint32]uint32, g.Live),
+		pcaModel:          g.PCAModel,
+		proj:              g.Proj,
+		sCentX:            g.SCentX,
+		sCentY:            g.SCentY,
+		sRad:              g.SRad,
+		sMembers:          g.SMembers,
+		tCent:             g.TCent,
+		tRad:              g.TRad,
+		tCentProj:         g.TCentProj,
+		tRadProj:          g.TRadProj,
+		tMembers:          g.TMembers,
+		sAssign:           g.SAssign,
+		tAssign:           g.TAssign,
+		clusterIdx:        make(map[[2]int]*hybrid, len(g.Clusters)),
+		UpdatesSinceBuild: g.UpdatesSinceBuild_,
+	}
+	for i := range x.objects {
+		if !x.deleted[i] {
+			x.idToIdx[x.objects[i].ID] = uint32(i)
+		}
+	}
+	// The drift baseline restarts from the loaded radii.
+	x.builtSRad = append([]float64(nil), x.sRad...)
+	x.builtTRadProj = append([]float64(nil), x.tRadProj...)
+	x.clusters = make([]*hybrid, len(g.Clusters))
+	for i, gc := range g.Clusters {
+		c := &hybrid{s: gc.S, t: gc.T, members: make([]member, len(gc.Members))}
+		for j, gm := range gc.Members {
+			c.members[j] = member{idx: gm.Idx, ds: gm.Ds, dt: gm.Dt}
+		}
+		c.elems = buildElems(c.members)
+		x.clusters[i] = c
+		x.clusterIdx[[2]int{gc.S, gc.T}] = c
+	}
+	return x, space, nil
+}

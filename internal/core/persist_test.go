@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 600, Config{Seed: 80})
+	var buf bytes.Buffer
+	if err := f.idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, space, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.DsMax != f.sp.DsMax || space.DtMax != f.sp.DtMax || space.DtProjMax != f.sp.DtProjMax {
+		t.Fatal("metric space not restored")
+	}
+	if loaded.Len() != f.idx.Len() || loaded.NumClusters() != f.idx.NumClusters() {
+		t.Fatalf("shape mismatch: len %d/%d clusters %d/%d",
+			loaded.Len(), f.idx.Len(), loaded.NumClusters(), f.idx.NumClusters())
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Loaded index answers identically for all algorithms.
+	for qi := 0; qi < 5; qi++ {
+		q := f.ds.Objects[(qi*83+3)%f.ds.Len()]
+		for _, lambda := range []float64{0.2, 0.5, 1} {
+			a := f.idx.Search(&q, 10, lambda, nil)
+			b := loaded.Search(&q, 10, lambda, nil)
+			sameResults(t, "loaded exact", a, b)
+			aa := f.idx.SearchApprox(&q, 10, lambda, nil)
+			bb := loaded.SearchApprox(&q, 10, lambda, nil)
+			sameResults(t, "loaded approx", aa, bb)
+		}
+	}
+}
+
+func TestLoadedIndexSupportsMaintenance(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 300, Config{Seed: 81})
+	var buf bytes.Buffer
+	if err := f.idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nova := f.ds.Objects[0]
+	nova.ID = 70000
+	nova.X = 0.9
+	if err := loaded.Insert(nova); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Delete(f.ds.Objects[5].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 300 {
+		t.Fatalf("len = %d", loaded.Len())
+	}
+}
+
+func TestSaveAfterMaintenanceRoundTrips(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 400, Config{Seed: 82})
+	for i := 0; i < 50; i++ {
+		if err := f.idx.Delete(f.ds.Objects[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 350 {
+		t.Fatalf("len = %d", loaded.Len())
+	}
+	if loaded.UpdatesSinceBuild != 50 {
+		t.Fatalf("UpdatesSinceBuild = %d", loaded.UpdatesSinceBuild)
+	}
+	// Deleted objects stay deleted.
+	if _, ok := loaded.Object(f.ds.Objects[3].ID); ok {
+		t.Fatal("deleted object resurrected by round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected error")
+	}
+}

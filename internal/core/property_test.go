@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/metric"
+	"repro/internal/scan"
+)
+
+// Property (Lemma 4.3): for every hybrid cluster and every query, the
+// lower bound L(q,C) never exceeds d(q,o) for any member o.
+func TestLowerBoundIsValid(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 600, Config{Seed: 40})
+	x := f.idx
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		lambda := rng.Float64()
+		q := &f.ds.Objects[rng.IntN(f.ds.Len())]
+		for _, c := range x.clusters {
+			dsq := x.space.SpatialXY(q.X, q.Y, x.sCentX[c.s], x.sCentY[c.s])
+			dtq := x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			lb := lowerBound(lambda, dsq, x.sRad[c.s], dtq, x.tRad[c.t])
+			for _, m := range c.members {
+				d := x.space.Distance(nil, lambda, q, &x.objects[m.idx])
+				if d < lb-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (§4.3): the array threshold is a conservative approximation of
+// d(o,C) for every λ, i.e. d(o,C) ≤ λ·e.ds + (1−λ)·e.dt.
+func TestArrayThresholdConservative(t *testing.T) {
+	f := build(t, dataset.YelpLike, 500, Config{Seed: 41})
+	x := f.idx
+	for _, c := range x.clusters {
+		byIdx := make(map[uint32]member, len(c.members))
+		for _, m := range c.members {
+			byIdx[m.idx] = m
+		}
+		for _, lambda := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			for _, e := range c.elems {
+				m := byIdx[e.idx]
+				dOC := lambda*m.ds + (1-lambda)*m.dt
+				bound := lambda*e.ds + (1-lambda)*e.dt
+				if dOC > bound+1e-9 {
+					t.Fatalf("threshold not conservative: d(o,C)=%v > bound=%v (λ=%v)", dOC, bound, lambda)
+				}
+			}
+		}
+	}
+}
+
+// Property: buildElems emits exactly one element per member with
+// monotonically non-increasing thresholds, for arbitrary member sets.
+func TestBuildElemsProperties(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + rng.IntN(60)
+		members := make([]member, n)
+		for i := range members {
+			members[i] = member{
+				idx: uint32(i),
+				ds:  rng.Float64(),
+				dt:  rng.Float64(),
+			}
+		}
+		elems := buildElems(members)
+		if len(elems) != n {
+			return false
+		}
+		seen := make(map[uint32]bool, n)
+		prevDs, prevDt := 2.0, 2.0
+		for _, e := range elems {
+			if seen[e.idx] {
+				return false
+			}
+			seen[e.idx] = true
+			if e.ds > prevDs+1e-12 || e.dt > prevDt+1e-12 {
+				return false
+			}
+			prevDs, prevDt = e.ds, e.dt
+			m := members[e.idx]
+			if e.ds < m.ds-1e-12 || e.dt < m.dt-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildElemsEmpty(t *testing.T) {
+	if got := buildElems(nil); got != nil {
+		t.Fatalf("buildElems(nil) = %v", got)
+	}
+}
+
+func TestBuildElemsDuplicateDistances(t *testing.T) {
+	// All-equal distances must still yield one element per member.
+	members := make([]member, 10)
+	for i := range members {
+		members[i] = member{idx: uint32(i), ds: 0.5, dt: 0.5}
+	}
+	elems := buildElems(members)
+	if len(elems) != 10 {
+		t.Fatalf("got %d elems", len(elems))
+	}
+}
+
+// Property: lowerBound is non-negative and zero when q is inside both
+// balls; it equals the Eq. 4 case expressions.
+func TestLowerBoundCases(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		lambda := rng.Float64()
+		dsq, rs := rng.Float64(), rng.Float64()
+		dtq, rt := rng.Float64(), rng.Float64()
+		lb := lowerBound(lambda, dsq, rs, dtq, rt)
+		if lb < 0 {
+			return false
+		}
+		if dsq < rs && dtq < rt && lb != 0 {
+			return false
+		}
+		if dsq >= rs && dtq >= rt {
+			want := lambda*(dsq-rs) + (1-lambda)*(dtq-rt)
+			if abs(lb-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-style differential test: on fully random (unclustered) data —
+// a worst case for any clustering index — CSSI remains exact.
+func TestCSSIExactOnRandomData(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 4))
+		n := 80 + rng.IntN(200)
+		objs := make([]dataset.Object, n)
+		for i := range objs {
+			v := make([]float32, 10)
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+			objs[i] = dataset.Object{ID: uint32(i), X: rng.Float64(), Y: rng.Float64(), Vec: v}
+		}
+		ds := &dataset.Dataset{Objects: objs, Dim: 10}
+		sp, err := metric.NewSpace(ds)
+		if err != nil {
+			return false
+		}
+		idx, err := Build(ds, sp, Config{Seed: seed, Ks: 3 + int(seed%5), Kt: 3 + int(seed%4)})
+		if err != nil {
+			return false
+		}
+		sc := scan.New(ds, sp)
+		lambda := rng.Float64()
+		k := 1 + rng.IntN(20)
+		q := objs[rng.IntN(n)]
+		want := sc.Search(&q, k, lambda, nil)
+		got := idx.Search(&q, k, lambda, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// This file implements the additional query types the paper's conclusion
+// (§8) names as future work — "other query types that combine spatial
+// with semantic retrieval and can exploit our indexing based on the
+// hybrid clusters". Both reuse the hybrid clusters and the bounds of §4:
+//
+//   - RangeSearch: all objects within combined distance r of the query;
+//   - SearchInBox: the k semantically nearest objects whose location
+//     falls inside a spatial window.
+
+// RangeSearch returns every object o with d(q,o) = λ·ds + (1−λ)·dt ≤ r,
+// ordered by ascending distance. Pruning mirrors the k-NN algorithm with
+// the fixed radius in place of the adaptive bound U: clusters with
+// L(q,C) > r cannot contain results (Lemma 4.3), and within a cluster the
+// scan stops once d(q,C) − bound > r (Lemma 4.5).
+func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Stats) []knn.Result {
+	dsq := make([]float64, len(x.sCentX))
+	for s := range dsq {
+		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
+	}
+	dtq := make([]float64, len(x.tCent))
+	for t := range dtq {
+		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	}
+	var out []knn.Result
+	for _, c := range x.clusters {
+		lb := lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t])
+		if lb > r {
+			if st != nil {
+				st.ClustersPruned++
+				st.InterPruned += int64(len(c.elems))
+			}
+			continue
+		}
+		if st != nil {
+			st.ClustersExamined++
+		}
+		enclosed := dsq[c.s] < x.sRad[c.s] && dtq[c.t] < x.tRad[c.t]
+		dqC := lambda*dsq[c.s] + (1-lambda)*dtq[c.t]
+		for ei := range c.elems {
+			e := &c.elems[ei]
+			if !enclosed {
+				bound := lambda*e.ds + (1-lambda)*e.dt
+				if dqC-bound > r {
+					if st != nil {
+						st.IntraPruned += int64(len(c.elems) - ei)
+					}
+					break
+				}
+			}
+			o := &x.objects[e.idx]
+			d := x.space.Distance(st, lambda, q, o)
+			if d <= r {
+				out = append(out, knn.Result{ID: o.ID, Dist: d})
+			}
+		}
+	}
+	knn.SortResults(out)
+	return out
+}
+
+// SearchInBox returns the k objects inside the spatial window [loX,hiX]×
+// [loY,hiY] that are semantically nearest to q (pure dt ranking). Hybrid
+// clusters whose spatial ball cannot intersect the window are pruned
+// wholesale; within a cluster the semantic side of Lemma 4.5 cuts the
+// scan once dt(q,Ct) − e.dt exceeds the current k-th semantic distance.
+func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int, st *metric.Stats) []knn.Result {
+	box := geo.Rect{Lo: []float64{loX, loY}, Hi: []float64{hiX, hiY}}
+	dtq := make([]float64, len(x.tCent))
+	for t := range dtq {
+		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	}
+	// Order clusters by their semantic lower bound so the cut-off of
+	// Lemma 4.4 (with the pure-semantic metric) applies.
+	type boxedCluster struct {
+		lb float64
+		c  *hybrid
+	}
+	var order []boxedCluster
+	for _, c := range x.clusters {
+		// Spatial filter: the cluster ball (center, radius in normalized
+		// units) must reach the window.
+		centerDist := box.MinDist([]float64{x.sCentX[c.s], x.sCentY[c.s]}) / x.space.DsMax
+		if centerDist > x.sRad[c.s] {
+			if st != nil {
+				st.ClustersPruned++
+				st.InterPruned += int64(len(c.elems))
+			}
+			continue
+		}
+		lb := dtq[c.t] - x.tRad[c.t]
+		if lb < 0 {
+			lb = 0
+		}
+		order = append(order, boxedCluster{lb: lb, c: c})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+
+	h := knn.NewHeap(k)
+	for ci, oc := range order {
+		if u, full := h.Bound(); full && oc.lb >= u {
+			if st != nil {
+				for _, rest := range order[ci:] {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(rest.c.elems))
+				}
+			}
+			break
+		}
+		if st != nil {
+			st.ClustersExamined++
+		}
+		c := oc.c
+		enclosedSem := dtq[c.t] < x.tRad[c.t]
+		for ei := range c.elems {
+			e := &c.elems[ei]
+			if !enclosedSem {
+				if u, full := h.Bound(); full && dtq[c.t]-e.dt > u {
+					if st != nil {
+						st.IntraPruned += int64(len(c.elems) - ei)
+					}
+					break
+				}
+			}
+			o := &x.objects[e.idx]
+			if o.X < loX || o.X > hiX || o.Y < loY || o.Y > hiY {
+				if st != nil {
+					st.IntraPruned++
+				}
+				continue
+			}
+			if st != nil {
+				st.VisitedObjects++
+			}
+			d := x.space.Semantic(st, q.Vec, o.Vec)
+			h.Push(knn.Result{ID: o.ID, Dist: d})
+		}
+	}
+	return h.Sorted()
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// Ablated searches must all return the exact result — pruning only
+// removes non-results.
+func TestAblationsAreExact(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 900, Config{Seed: 60})
+	combos := []SearchOptions{
+		{},
+		{DisableInterCluster: true},
+		{DisableIntraCluster: true},
+		{DisableClusterOrder: true},
+		{DisableInterCluster: true, DisableIntraCluster: true},
+		{DisableInterCluster: true, DisableIntraCluster: true, DisableClusterOrder: true},
+	}
+	for _, lambda := range []float64{0.2, 0.5, 0.9} {
+		q := f.ds.Objects[44]
+		want := f.sc.Search(&q, 10, lambda, nil)
+		for _, opts := range combos {
+			got := f.idx.SearchAblated(&q, 10, lambda, opts, nil)
+			sameResults(t, "ablated", want, got)
+		}
+	}
+}
+
+// Disabling pruning must strictly increase visited objects (on data where
+// the full algorithm prunes at all).
+func TestAblationVisitsMore(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 2000, Config{Seed: 61})
+	q := f.ds.Objects[17]
+	var full, noInter, noIntra, none metric.Stats
+	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{}, &full)
+	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{DisableInterCluster: true}, &noInter)
+	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{DisableIntraCluster: true}, &noIntra)
+	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}, &none)
+	if none.VisitedObjects != int64(f.ds.Len()) {
+		t.Fatalf("fully ablated search visited %d of %d", none.VisitedObjects, f.ds.Len())
+	}
+	if full.VisitedObjects > noInter.VisitedObjects || full.VisitedObjects > noIntra.VisitedObjects {
+		t.Fatalf("pruning did not reduce visits: full=%d noInter=%d noIntra=%d",
+			full.VisitedObjects, noInter.VisitedObjects, noIntra.VisitedObjects)
+	}
+}
+
+// SearchAblated with no switches must agree exactly with Search.
+func TestAblatedDefaultMatchesSearch(t *testing.T) {
+	f := build(t, dataset.YelpLike, 700, Config{Seed: 62})
+	for qi := 0; qi < 5; qi++ {
+		q := f.ds.Objects[(qi*111+5)%f.ds.Len()]
+		a := f.idx.Search(&q, 10, 0.5, nil)
+		b := f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{}, nil)
+		sameResults(t, "default ablation", a, b)
+	}
+}
+
+// rangeBrute is the reference range query.
+func rangeBrute(f *fixture, q *dataset.Object, r, lambda float64) []knn.Result {
+	var out []knn.Result
+	for i := range f.ds.Objects {
+		d := f.sp.Distance(nil, lambda, q, &f.ds.Objects[i])
+		if d <= r {
+			out = append(out, knn.Result{ID: f.ds.Objects[i].ID, Dist: d})
+		}
+	}
+	knn.SortResults(out)
+	return out
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 800, Config{Seed: 63})
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 15; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		lambda := rng.Float64()
+		r := 0.02 + rng.Float64()*0.1
+		want := rangeBrute(f, &q, r, lambda)
+		got := f.idx.RangeSearch(&q, r, lambda, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (r=%v λ=%v): got %d results, want %d", trial, r, lambda, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeSearchZeroRadius(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 300, Config{Seed: 64})
+	q := f.ds.Objects[9]
+	got := f.idx.RangeSearch(&q, 0, 0.5, nil)
+	if len(got) < 1 || got[0].ID != q.ID {
+		t.Fatalf("zero-radius range should return the query object itself, got %v", got)
+	}
+}
+
+func TestRangeSearchPrunes(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 3000, Config{Seed: 65})
+	q := f.ds.Objects[10]
+	var st metric.Stats
+	f.idx.RangeSearch(&q, 0.05, 0.5, &st)
+	if st.VisitedObjects >= int64(f.ds.Len()) {
+		t.Fatal("range search visited everything")
+	}
+	if st.VisitedObjects+st.InterPruned+st.IntraPruned != int64(f.ds.Len()) {
+		t.Fatalf("range accounting identity broken: %+v", st)
+	}
+}
+
+// boxBrute is the reference windowed semantic k-NN.
+func boxBrute(f *fixture, q *dataset.Object, loX, loY, hiX, hiY float64, k int) []knn.Result {
+	h := knn.NewHeap(k)
+	for i := range f.ds.Objects {
+		o := &f.ds.Objects[i]
+		if o.X < loX || o.X > hiX || o.Y < loY || o.Y > hiY {
+			continue
+		}
+		h.Push(knn.Result{ID: o.ID, Dist: f.sp.SemanticVec(q.Vec, o.Vec)})
+	}
+	return h.Sorted()
+}
+
+func TestSearchInBoxMatchesBruteForce(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 900, Config{Seed: 66})
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 15; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		cx, cy := rng.Float64(), rng.Float64()
+		w := 0.1 + rng.Float64()*0.4
+		loX, loY := cx-w/2, cy-w/2
+		hiX, hiY := cx+w/2, cy+w/2
+		want := boxBrute(f, &q, loX, loY, hiX, hiY, 5)
+		got := f.idx.SearchInBox(&q, loX, loY, hiX, hiY, 5, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("trial %d result %d: %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestSearchInBoxEmptyWindow(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 300, Config{Seed: 67})
+	q := f.ds.Objects[1]
+	got := f.idx.SearchInBox(&q, 2, 2, 3, 3, 5, nil) // window outside [0,1]²
+	if len(got) != 0 {
+		t.Fatalf("expected empty result, got %d", len(got))
+	}
+}
+
+func TestSearchInBoxWholeSpaceEqualsSemanticKNN(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 500, Config{Seed: 68})
+	q := f.ds.Objects[3]
+	boxed := f.idx.SearchInBox(&q, 0, 0, 1, 1, 10, nil)
+	pure := f.sc.Search(&q, 10, 0, nil) // λ=0 is pure semantic
+	for i := range pure {
+		if boxed[i].Dist != pure[i].Dist {
+			t.Fatalf("result %d: %v vs %v", i, boxed[i].Dist, pure[i].Dist)
+		}
+	}
+}
+
+func TestSearchInBoxAccounting(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 2000, Config{Seed: 69})
+	q := f.ds.Objects[8]
+	var st metric.Stats
+	f.idx.SearchInBox(&q, 0.4, 0.4, 0.6, 0.6, 10, &st)
+	if st.VisitedObjects+st.InterPruned+st.IntraPruned != int64(f.ds.Len()) {
+		t.Fatalf("box accounting identity broken: %+v (len=%d)", st, f.ds.Len())
+	}
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/embed"
+)
+
+// CSVOptions controls LoadCSV.
+type CSVOptions struct {
+	// HasHeader skips the first row.
+	HasHeader bool
+	// Normalize rescales coordinates into [0,1]×[0,1] after loading
+	// (the paper normalizes both corpora this way, §7.1).
+	Normalize bool
+}
+
+// LoadCSV ingests real spatio-textual records from CSV rows of the form
+//
+//	id,x,y,text
+//
+// encoding each text with the given embedding model (averaged word
+// vectors, stop-words dropped). Rows whose text has fewer than three
+// in-vocabulary words are skipped, mirroring the paper's preprocessing;
+// the number of skipped rows is returned. Combined with
+// embed.LoadGloVe this is the path for indexing real data with real
+// embeddings.
+func LoadCSV(r io.Reader, model *embed.Model, opts CSVOptions) (ds *Dataset, skipped int, err error) {
+	if model == nil {
+		return nil, 0, fmt.Errorf("dataset: LoadCSV requires an embedding model")
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+	ds = &Dataset{Dim: model.Dim, Model: model}
+	first := true
+	seen := make(map[uint32]struct{})
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: csv: %w", err)
+		}
+		if first && opts.HasHeader {
+			first = false
+			continue
+		}
+		first = false
+		id64, err := strconv.ParseUint(rec[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: csv id %q: %w", rec[0], err)
+		}
+		id := uint32(id64)
+		if _, dup := seen[id]; dup {
+			return nil, 0, fmt.Errorf("dataset: csv: duplicate id %d", id)
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: csv x %q: %w", rec[1], err)
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: csv y %q: %w", rec[2], err)
+		}
+		vec, ok := model.EncodeDocument(rec[3])
+		if !ok {
+			skipped++
+			continue
+		}
+		seen[id] = struct{}{}
+		ds.Objects = append(ds.Objects, Object{ID: id, X: x, Y: y, Text: rec[3], Vec: vec})
+	}
+	if opts.Normalize && len(ds.Objects) > 0 {
+		normalizeCoords(ds.Objects)
+	}
+	return ds, skipped, nil
+}
+
+// SaveCSV writes the dataset as `id,x,y,text` rows (the LoadCSV format),
+// with a header. Vectors are not persisted — they are derived data,
+// reproducible from the text via the embedding model.
+func (d *Dataset) SaveCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "x", "y", "text"}); err != nil {
+		return fmt.Errorf("dataset: csv write: %w", err)
+	}
+	rec := make([]string, 4)
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		rec[0] = strconv.FormatUint(uint64(o.ID), 10)
+		rec[1] = strconv.FormatFloat(o.X, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(o.Y, 'g', -1, 64)
+		rec[3] = o.Text
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: csv write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// normalizeCoords rescales all coordinates into [0,1]×[0,1]; degenerate
+// axes (all values equal) map to 0.5.
+func normalizeCoords(objs []Object) {
+	minX, maxX := objs[0].X, objs[0].X
+	minY, maxY := objs[0].Y, objs[0].Y
+	for i := range objs {
+		if objs[i].X < minX {
+			minX = objs[i].X
+		}
+		if objs[i].X > maxX {
+			maxX = objs[i].X
+		}
+		if objs[i].Y < minY {
+			minY = objs[i].Y
+		}
+		if objs[i].Y > maxY {
+			maxY = objs[i].Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	for i := range objs {
+		if spanX > 0 {
+			objs[i].X = (objs[i].X - minX) / spanX
+		} else {
+			objs[i].X = 0.5
+		}
+		if spanY > 0 {
+			objs[i].Y = (objs[i].Y - minY) / spanY
+		} else {
+			objs[i].Y = 0.5
+		}
+	}
+}

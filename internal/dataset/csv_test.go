@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+const gloveSample = `coffee 1.0 0.0
+shop 0.9 0.1
+best 0.5 0.5
+pizza 0.0 1.0
+place 0.2 0.8
+`
+
+func csvModel(t *testing.T) *embed.Model {
+	t.Helper()
+	m, err := embed.LoadGloVe(strings.NewReader(gloveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadCSV(t *testing.T) {
+	in := "id,x,y,text\n" +
+		"1,10.0,20.0,best coffee shop\n" +
+		"2,30.0,40.0,pizza place best\n" +
+		"3,50.0,60.0,too short\n" // only 0 in-vocabulary words
+	ds, skipped, err := LoadCSV(strings.NewReader(in), csvModel(t), CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || skipped != 1 {
+		t.Fatalf("len=%d skipped=%d", ds.Len(), skipped)
+	}
+	if ds.Objects[0].ID != 1 || ds.Objects[0].X != 10 {
+		t.Fatalf("first object wrong: %+v", ds.Objects[0])
+	}
+	if len(ds.Objects[0].Vec) != 2 {
+		t.Fatalf("vector dim %d", len(ds.Objects[0].Vec))
+	}
+}
+
+func TestLoadCSVNormalize(t *testing.T) {
+	in := "1,100,200,best coffee shop\n" +
+		"2,300,400,pizza place best\n"
+	ds, _, err := LoadCSV(strings.NewReader(in), csvModel(t), CSVOptions{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Objects[0].X != 0 || ds.Objects[0].Y != 0 {
+		t.Fatalf("min corner not at origin: %+v", ds.Objects[0])
+	}
+	if ds.Objects[1].X != 1 || ds.Objects[1].Y != 1 {
+		t.Fatalf("max corner not at (1,1): %+v", ds.Objects[1])
+	}
+}
+
+func TestLoadCSVDegenerateAxis(t *testing.T) {
+	in := "1,5,200,best coffee shop\n" +
+		"2,5,400,pizza place best\n"
+	ds, _, err := LoadCSV(strings.NewReader(in), csvModel(t), CSVOptions{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Objects[0].X != 0.5 || ds.Objects[1].X != 0.5 {
+		t.Fatal("degenerate axis should map to 0.5")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	m := csvModel(t)
+	cases := map[string]string{
+		"bad id":     "x,1,2,best coffee shop\n",
+		"bad x":      "1,?,2,best coffee shop\n",
+		"bad y":      "1,2,?,best coffee shop\n",
+		"wrong cols": "1,2,3\n",
+		"dup id":     "1,1,1,best coffee shop\n1,2,2,pizza place best\n",
+	}
+	for name, in := range cases {
+		if _, _, err := LoadCSV(strings.NewReader(in), m, CSVOptions{}); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, _, err := LoadCSV(strings.NewReader(""), nil, CSVOptions{}); err == nil {
+		t.Fatal("nil model: expected error")
+	}
+}
+
+func TestSaveCSVRoundTrip(t *testing.T) {
+	m := csvModel(t)
+	in := "1,0.25,0.75,best coffee shop\n2,0.5,0.5,\"pizza place, best\"\n"
+	ds, _, err := LoadCSV(strings.NewReader(in), m, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ds.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := LoadCSV(strings.NewReader(buf.String()), m, CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || back.Len() != ds.Len() {
+		t.Fatalf("round trip lost rows: len=%d skipped=%d", back.Len(), skipped)
+	}
+	for i := range ds.Objects {
+		a, b := ds.Objects[i], back.Objects[i]
+		if a.ID != b.ID || a.X != b.X || a.Y != b.Y || a.Text != b.Text {
+			t.Fatalf("object %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package dataset defines the spatio-textual object model and synthetic
+// generators standing in for the paper's Twitter and Yelp corpora (see
+// DESIGN.md §4 for the substitution rationale). Locations are normalized
+// into [0,1]×[0,1] as in the paper (§7.1), and each object carries the
+// n-dimensional document embedding produced by averaging word vectors.
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"repro/internal/embed"
+	"repro/internal/text"
+)
+
+// Object is a spatio-textual object: a location, the raw text, and its
+// semantic vector.
+type Object struct {
+	ID   uint32
+	X, Y float64
+	Text string
+	// Vec is the n-dimensional document embedding.
+	Vec []float32
+	// Topic is the latent topic the generator drew the document from.
+	// It is metadata for analysis/tests only; no algorithm reads it.
+	Topic int
+}
+
+// Dataset is a collection of spatio-textual objects plus the embedding
+// model that encodes query text.
+type Dataset struct {
+	Objects []Object
+	// Dim is the semantic dimensionality n.
+	Dim int
+	// Model encodes free text into the same embedding space. It may be
+	// nil for datasets loaded without their model.
+	Model *embed.Model `gob:"-"`
+}
+
+// Len returns the number of objects.
+func (d *Dataset) Len() int { return len(d.Objects) }
+
+// Kind selects a generator family.
+type Kind int
+
+const (
+	// TwitterLike mimics geo-tagged tweets: broad spatial spread with
+	// Gaussian population hot spots plus a uniform background, topics
+	// nearly independent of location, short documents.
+	TwitterLike Kind = iota
+	// YelpLike mimics Yelp reviews: 11 tight metropolitan clusters,
+	// topics (business categories) correlated with the venue, longer
+	// documents.
+	YelpLike
+)
+
+func (k Kind) String() string {
+	switch k {
+	case TwitterLike:
+		return "twitter"
+	case YelpLike:
+		return "yelp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// GenConfig controls Generate.
+type GenConfig struct {
+	Kind Kind
+	// Size is the number of objects to generate. Required.
+	Size int
+	// Dim is the embedding dimensionality n (default 100).
+	Dim int
+	// VocabSize and NumTopics control the synthetic vocabulary
+	// (defaults 5000 and 50).
+	VocabSize, NumTopics int
+	// Seed drives all randomness deterministically.
+	Seed uint64
+}
+
+func (c *GenConfig) applyDefaults() {
+	if c.Dim <= 0 {
+		c.Dim = 100
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 5000
+	}
+	if c.NumTopics <= 0 {
+		c.NumTopics = 50
+	}
+}
+
+// Generate produces a deterministic synthetic dataset of the given kind.
+func Generate(cfg GenConfig) (*Dataset, error) {
+	cfg.applyDefaults()
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("dataset: Size = %d, want >= 1", cfg.Size)
+	}
+	vocab := text.NewVocabulary(cfg.VocabSize, cfg.NumTopics, 1.0)
+	model := embed.NewSynthetic(vocab, embed.Config{Dim: cfg.Dim, Seed: cfg.Seed ^ 0xabcdef})
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5ca1ab1e))
+
+	ds := &Dataset{Dim: cfg.Dim, Model: model, Objects: make([]Object, 0, cfg.Size)}
+	switch cfg.Kind {
+	case TwitterLike:
+		generateTwitter(ds, rng, cfg, model)
+	case YelpLike:
+		generateYelp(ds, rng, cfg, model)
+	default:
+		return nil, fmt.Errorf("dataset: unknown kind %v", cfg.Kind)
+	}
+	return ds, nil
+}
+
+// spatialCenter is a Gaussian population hot spot.
+type spatialCenter struct {
+	x, y, sigma, weight float64
+}
+
+func drawCenters(rng *rand.Rand, count int, sigmaLo, sigmaHi float64) []spatialCenter {
+	cs := make([]spatialCenter, count)
+	var total float64
+	for i := range cs {
+		cs[i] = spatialCenter{
+			x:      0.05 + 0.9*rng.Float64(),
+			y:      0.05 + 0.9*rng.Float64(),
+			sigma:  sigmaLo + (sigmaHi-sigmaLo)*rng.Float64(),
+			weight: 0.2 + rng.Float64(),
+		}
+		total += cs[i].weight
+	}
+	for i := range cs {
+		cs[i].weight /= total
+	}
+	return cs
+}
+
+func sampleCenter(rng *rand.Rand, cs []spatialCenter) *spatialCenter {
+	u := rng.Float64()
+	for i := range cs {
+		u -= cs[i].weight
+		if u <= 0 {
+			return &cs[i]
+		}
+	}
+	return &cs[len(cs)-1]
+}
+
+// clamp01 clips v into [0,1] so all coordinates stay normalized.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func generateTwitter(ds *Dataset, rng *rand.Rand, cfg GenConfig, model *embed.Model) {
+	centers := drawCenters(rng, 25, 0.01, 0.06)
+	numTopics := model.Vocab.NumTopics()
+	for id := 0; len(ds.Objects) < cfg.Size; id++ {
+		var x, y float64
+		if rng.Float64() < 0.85 {
+			c := sampleCenter(rng, centers)
+			x = clamp01(c.x + rng.NormFloat64()*c.sigma)
+			y = clamp01(c.y + rng.NormFloat64()*c.sigma)
+		} else {
+			x, y = rng.Float64(), rng.Float64()
+		}
+		// Topic independent of location: spatial-first indexes learn
+		// nothing about semantics (paper §7.2).
+		topic := rng.IntN(numTopics)
+		length := 3 + rng.IntN(10) // short, tweet-like
+		obj, ok := makeObject(rng, model, uint32(len(ds.Objects)), x, y, topic, length, 0.25)
+		if !ok {
+			continue
+		}
+		ds.Objects = append(ds.Objects, obj)
+	}
+}
+
+func generateYelp(ds *Dataset, rng *rand.Rand, cfg GenConfig, model *embed.Model) {
+	// 11 metropolitan areas, tight sigmas: strong spatial clustering
+	// (paper §7.4).
+	metros := drawCenters(rng, 11, 0.004, 0.015)
+	numTopics := model.Vocab.NumTopics()
+	// Each metro skews toward a subset of categories, giving a mild
+	// space/semantics correlation.
+	metroTopic := make([]int, len(metros))
+	for i := range metroTopic {
+		metroTopic[i] = rng.IntN(numTopics)
+	}
+	for len(ds.Objects) < cfg.Size {
+		mi := rng.IntN(len(metros))
+		c := metros[mi]
+		x := clamp01(c.x + rng.NormFloat64()*c.sigma)
+		y := clamp01(c.y + rng.NormFloat64()*c.sigma)
+		topic := rng.IntN(numTopics)
+		if rng.Float64() < 0.4 {
+			topic = (metroTopic[mi] + rng.IntN(5)) % numTopics
+		}
+		length := 8 + rng.IntN(25) // review-length documents
+		obj, ok := makeObject(rng, model, uint32(len(ds.Objects)), x, y, topic, length, 0.2)
+		if !ok {
+			continue
+		}
+		ds.Objects = append(ds.Objects, obj)
+	}
+}
+
+// makeObject samples `length` words mostly from the given topic (with
+// probability offTopic a word is drawn globally), builds the raw text and
+// its embedding.
+func makeObject(rng *rand.Rand, model *embed.Model, id uint32, x, y float64, topic, length int, offTopic float64) (Object, bool) {
+	ranks := make([]int, 0, length)
+	for i := 0; i < length; i++ {
+		if rng.Float64() < offTopic {
+			ranks = append(ranks, model.Vocab.SampleWord(rng))
+		} else {
+			ranks = append(ranks, model.Vocab.SampleTopicWord(rng, topic))
+		}
+	}
+	v, ok := model.EncodeRanks(ranks)
+	if !ok {
+		return Object{}, false
+	}
+	words := make([]byte, 0, length*5)
+	for i, r := range ranks {
+		if i > 0 {
+			words = append(words, ' ')
+		}
+		words = append(words, model.Vocab.Words[r]...)
+	}
+	return Object{ID: id, X: x, Y: y, Text: string(words), Vec: v, Topic: topic}, true
+}
+
+// SampleQueries picks count distinct objects uniformly at random to serve
+// as query objects (paper §7.1). The returned objects are copies.
+func (d *Dataset) SampleQueries(count int, seed uint64) []Object {
+	if count > len(d.Objects) {
+		count = len(d.Objects)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xdecade))
+	perm := rng.Perm(len(d.Objects))
+	out := make([]Object, count)
+	for i := 0; i < count; i++ {
+		out[i] = d.Objects[perm[i]]
+	}
+	return out
+}
+
+// Prefix returns a shallow dataset view over the first n objects; it
+// shares object storage with d. It panics if n exceeds the dataset size.
+func (d *Dataset) Prefix(n int) *Dataset {
+	if n > len(d.Objects) {
+		panic(fmt.Sprintf("dataset: Prefix(%d) exceeds size %d", n, len(d.Objects)))
+	}
+	return &Dataset{Objects: d.Objects[:n], Dim: d.Dim, Model: d.Model}
+}
+
+// gobDataset mirrors Dataset for encoding (the embedding model is
+// intentionally not persisted; re-generate it from the seed instead).
+type gobDataset struct {
+	Objects []Object
+	Dim     int
+}
+
+// Save writes the dataset (without its embedding model) to w using gob.
+func (d *Dataset) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gobDataset{Objects: d.Objects, Dim: d.Dim})
+}
+
+// Load reads a dataset previously written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var g gobDataset
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	return &Dataset{Objects: g.Objects, Dim: g.Dim}, nil
+}

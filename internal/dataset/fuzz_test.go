@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+// FuzzLoadCSV checks the CSV ingestion path never panics and that
+// accepted datasets are well formed.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("1,0.5,0.5,best coffee shop\n")
+	f.Add("")
+	f.Add("id,x,y,text\n1,2,3,4\n")
+	f.Add("1,nan,inf,pizza place best\n")
+	f.Add("not,a,valid\nrow")
+	f.Add("1,1,1,\"quoted, text best coffee shop\"\n")
+	model, err := embed.LoadGloVe(strings.NewReader(gloveSample))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ds, skipped, err := LoadCSV(strings.NewReader(s), model, CSVOptions{})
+		if err != nil {
+			return
+		}
+		if skipped < 0 {
+			t.Fatal("negative skip count")
+		}
+		seen := map[uint32]struct{}{}
+		for _, o := range ds.Objects {
+			if len(o.Vec) != model.Dim {
+				t.Fatalf("object %d has dim %d", o.ID, len(o.Vec))
+			}
+			if _, dup := seen[o.ID]; dup {
+				t.Fatalf("duplicate id %d accepted", o.ID)
+			}
+			seen[o.ID] = struct{}{}
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package desire
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metric"
+	"repro/internal/scan"
+)
+
+func setup(t *testing.T, size int) (*dataset.Dataset, *Index, *scan.Scanner) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: size, Dim: 16, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metric.NewSpace(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds, sp, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, idx, scan.New(ds, sp)
+}
+
+func TestSearchMatchesScan(t *testing.T) {
+	ds, idx, sc := setup(t, 600)
+	for _, lambda := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		for qi := 0; qi < 8; qi++ {
+			q := ds.Objects[(qi*59+3)%ds.Len()]
+			want := sc.Search(&q, 10, lambda, nil)
+			got := idx.Search(&q, 10, lambda, nil)
+			if len(got) != len(want) {
+				t.Fatalf("λ=%v: got %d results, want %d", lambda, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("λ=%v q=%d result %d: %v vs %v", lambda, q.ID, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestNoDuplicateResults(t *testing.T) {
+	ds, idx, _ := setup(t, 400)
+	got := idx.Search(&ds.Objects[10], 20, 0.5, nil)
+	seen := make(map[uint32]struct{})
+	for _, r := range got {
+		if _, dup := seen[r.ID]; dup {
+			t.Fatalf("duplicate result %d", r.ID)
+		}
+		seen[r.ID] = struct{}{}
+	}
+}
+
+func TestKExceedsDataset(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 6, Dim: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := metric.NewSpace(ds)
+	idx, err := Build(ds, sp, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Search(&ds.Objects[0], 15, 0.5, nil)
+	if len(got) != 6 {
+		t.Fatalf("got %d results, want 6", len(got))
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	sp := &metric.Space{DsMax: 1, DtMax: 1}
+	idx, err := Build(&dataset.Dataset{Dim: 4}, sp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Object{Vec: make([]float32, 4)}
+	if got := idx.Search(&q, 3, 0.5, nil); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}
+
+// DESIRE's strategy needs many more distance calculations than a scan
+// would in the balanced case when the two spaces are uncorrelated: the
+// range query in the primary space is loose. We only assert that stats
+// are counted and that the primary-space choice follows the weight.
+func TestStatsAndPrimarySpaceChoice(t *testing.T) {
+	ds, idx, _ := setup(t, 800)
+	q := ds.Objects[77]
+	var stSpatial, stSemantic metric.Stats
+	idx.Search(&q, 10, 0.9, &stSpatial)  // primary = spatial
+	idx.Search(&q, 10, 0.1, &stSemantic) // primary = semantic
+	if stSpatial.DistCalcs() == 0 || stSemantic.DistCalcs() == 0 {
+		t.Fatal("distance calculations not counted")
+	}
+	// With the spatial space primary, the k-NN phase runs on spatial
+	// distances, so spatial calcs should dominate semantic ones less
+	// than in the reverse configuration.
+	ratioSpatialPrimary := float64(stSpatial.SpatialDistCalcs) / float64(1+stSpatial.SemanticDistCalcs)
+	ratioSemanticPrimary := float64(stSemantic.SpatialDistCalcs) / float64(1+stSemantic.SemanticDistCalcs)
+	if ratioSpatialPrimary <= ratioSemanticPrimary {
+		t.Fatalf("primary-space choice not reflected in counters: %v vs %v",
+			ratioSpatialPrimary, ratioSemanticPrimary)
+	}
+}

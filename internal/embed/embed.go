@@ -1,0 +1,159 @@
+// Package embed is the word-embedding substrate. The paper uses
+// pre-trained 100-dimensional GloVe vectors; those are a data asset we do
+// not have, so this package provides a deterministic synthetic model with
+// the same structure the algorithms rely on (see DESIGN.md §4):
+//
+//   - each word is a dense n-dimensional vector;
+//   - words cluster by latent topic (topic centroid + per-word noise),
+//     so semantically related words are close;
+//   - document vectors are the average of their word vectors, exactly as
+//     the paper computes them (§7.1), which concentrates distances and
+//     reproduces the narrow n-dimensional distance distribution of Fig. 3.
+//
+// The model exposes the same lookup-table interface a real embedding file
+// would: word -> vector, plus a document encoder.
+package embed
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/text"
+	"repro/internal/vec"
+)
+
+// Model is a word-embedding lookup table over a vocabulary.
+type Model struct {
+	Vocab *text.Vocabulary
+	// Dim is the embedding dimensionality n (the paper uses 100).
+	Dim int
+	// Vectors[i] is the embedding of word rank i.
+	Vectors [][]float32
+	// TopicCentroids[t] is the centroid vector of topic t (used by the
+	// generators to correlate documents with topics; not part of a real
+	// embedding file but handy for synthesis and tests).
+	TopicCentroids [][]float32
+}
+
+// Config controls NewSynthetic.
+type Config struct {
+	// Dim is the embedding dimensionality (default 100).
+	Dim int
+	// TopicSpread scales the distance between topic centroids
+	// (default 1.0).
+	TopicSpread float64
+	// WordNoise scales per-word deviation from the topic centroid
+	// (default 0.35). Smaller values give tighter topics.
+	WordNoise float64
+	// Seed makes the model deterministic.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Dim <= 0 {
+		c.Dim = 100
+	}
+	if c.TopicSpread == 0 {
+		c.TopicSpread = 1.0
+	}
+	if c.WordNoise == 0 {
+		c.WordNoise = 0.35
+	}
+}
+
+// NewSynthetic builds a deterministic topic-structured embedding model
+// over the given vocabulary.
+func NewSynthetic(vocab *text.Vocabulary, cfg Config) *Model {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xe7f3a1))
+	numTopics := vocab.NumTopics()
+	m := &Model{
+		Vocab:          vocab,
+		Dim:            cfg.Dim,
+		Vectors:        make([][]float32, vocab.Size()),
+		TopicCentroids: make([][]float32, numTopics),
+	}
+	for t := 0; t < numTopics; t++ {
+		c := make([]float32, cfg.Dim)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * cfg.TopicSpread)
+		}
+		m.TopicCentroids[t] = c
+	}
+	for i := 0; i < vocab.Size(); i++ {
+		topic := vocab.Topics[i]
+		v := vec.Clone(m.TopicCentroids[topic])
+		for j := range v {
+			v[j] += float32(rng.NormFloat64() * cfg.WordNoise)
+		}
+		m.Vectors[i] = v
+	}
+	return m
+}
+
+// Lookup returns the embedding of word w, or ok=false when w is out of
+// vocabulary (the paper drops such terms).
+func (m *Model) Lookup(w string) (v []float32, ok bool) {
+	i, ok := m.Vocab.Index(w)
+	if !ok {
+		return nil, false
+	}
+	return m.Vectors[i], true
+}
+
+// EncodeTokens averages the embeddings of the in-vocabulary tokens.
+// It returns ok=false when fewer than text.MinContentWords tokens are in
+// vocabulary, mirroring the paper's "< 3 words are dropped" rule.
+func (m *Model) EncodeTokens(tokens []string) (v []float32, ok bool) {
+	acc := make([]float64, m.Dim)
+	count := 0
+	for _, tok := range tokens {
+		w, found := m.Lookup(tok)
+		if !found {
+			continue
+		}
+		for j, x := range w {
+			acc[j] += float64(x)
+		}
+		count++
+	}
+	if count < text.MinContentWords {
+		return nil, false
+	}
+	out := make([]float32, m.Dim)
+	inv := 1 / float64(count)
+	for j := range out {
+		out[j] = float32(acc[j] * inv)
+	}
+	return out, true
+}
+
+// EncodeDocument tokenizes s (dropping stop-words) and averages the word
+// vectors; ok=false when the document has fewer than three content words.
+func (m *Model) EncodeDocument(s string) (v []float32, ok bool) {
+	return m.EncodeTokens(text.Tokenize(s))
+}
+
+// EncodeRanks averages the embeddings of the given word ranks. It panics
+// on an out-of-range rank and returns ok=false for fewer than
+// text.MinContentWords ranks.
+func (m *Model) EncodeRanks(ranks []int) (v []float32, ok bool) {
+	if len(ranks) < text.MinContentWords {
+		return nil, false
+	}
+	acc := make([]float64, m.Dim)
+	for _, r := range ranks {
+		if r < 0 || r >= len(m.Vectors) {
+			panic(fmt.Sprintf("embed: word rank %d out of range", r))
+		}
+		for j, x := range m.Vectors[r] {
+			acc[j] += float64(x)
+		}
+	}
+	out := make([]float32, m.Dim)
+	inv := 1 / float64(len(ranks))
+	for j := range out {
+		out[j] = float32(acc[j] * inv)
+	}
+	return out, true
+}

@@ -1,0 +1,136 @@
+package embed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/text"
+	"repro/internal/vec"
+)
+
+func newTestModel() *Model {
+	vocab := text.NewVocabulary(1000, 10, 1.0)
+	return NewSynthetic(vocab, Config{Dim: 50, Seed: 7})
+}
+
+func TestDeterminism(t *testing.T) {
+	vocab := text.NewVocabulary(200, 5, 1.0)
+	a := NewSynthetic(vocab, Config{Dim: 32, Seed: 11})
+	b := NewSynthetic(vocab, Config{Dim: 32, Seed: 11})
+	for i := range a.Vectors {
+		if vec.Dist(a.Vectors[i], b.Vectors[i]) != 0 {
+			t.Fatalf("word %d differs between identically-seeded models", i)
+		}
+	}
+	c := NewSynthetic(vocab, Config{Dim: 32, Seed: 12})
+	if vec.Dist(a.Vectors[0], c.Vectors[0]) == 0 {
+		t.Fatal("different seeds produced identical vectors")
+	}
+}
+
+func TestTopicStructure(t *testing.T) {
+	m := newTestModel()
+	// Words of the same topic should on average be closer than words of
+	// different topics.
+	var sameSum, diffSum float64
+	var sameN, diffN int
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			d := vec.Dist(m.Vectors[i], m.Vectors[j])
+			if m.Vocab.Topics[i] == m.Vocab.Topics[j] {
+				sameSum += d
+				sameN++
+			} else {
+				diffSum += d
+				diffN++
+			}
+		}
+	}
+	same := sameSum / float64(sameN)
+	diff := diffSum / float64(diffN)
+	if same >= diff {
+		t.Fatalf("same-topic distance %v >= cross-topic %v", same, diff)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	m := newTestModel()
+	v, ok := m.Lookup(m.Vocab.Words[3])
+	if !ok || len(v) != 50 {
+		t.Fatalf("Lookup failed: ok=%v len=%d", ok, len(v))
+	}
+	if _, ok := m.Lookup("zzz-not-a-word"); ok {
+		t.Fatal("unknown word should not resolve")
+	}
+}
+
+func TestEncodeTokensAveraging(t *testing.T) {
+	m := newTestModel()
+	w0, w1, w2 := m.Vocab.Words[0], m.Vocab.Words[1], m.Vocab.Words[2]
+	v, ok := m.EncodeTokens([]string{w0, w1, w2})
+	if !ok {
+		t.Fatal("EncodeTokens rejected 3 valid words")
+	}
+	for j := 0; j < m.Dim; j++ {
+		want := (m.Vectors[0][j] + m.Vectors[1][j] + m.Vectors[2][j]) / 3
+		got := v[j]
+		if d := float64(want - got); d > 1e-5 || d < -1e-5 {
+			t.Fatalf("dim %d: got %v want %v", j, got, want)
+		}
+	}
+}
+
+func TestEncodeTokensMinWordsFilter(t *testing.T) {
+	m := newTestModel()
+	if _, ok := m.EncodeTokens([]string{m.Vocab.Words[0], m.Vocab.Words[1]}); ok {
+		t.Fatal("2 words should be rejected")
+	}
+	// Unknown words do not count toward the minimum.
+	if _, ok := m.EncodeTokens([]string{m.Vocab.Words[0], "nope", "nah", "never"}); ok {
+		t.Fatal("1 known + 3 unknown should be rejected")
+	}
+}
+
+func TestEncodeDocument(t *testing.T) {
+	m := newTestModel()
+	doc := strings.Join([]string{m.Vocab.Words[5], "the", m.Vocab.Words[6], m.Vocab.Words[7]}, " ")
+	v, ok := m.EncodeDocument(doc)
+	if !ok {
+		t.Fatal("EncodeDocument rejected a valid document")
+	}
+	// Stop word "the" must not shift the average: compare against
+	// explicit ranks.
+	want, _ := m.EncodeRanks([]int{5, 6, 7})
+	if vec.Dist(v, want) > 1e-6 {
+		t.Fatal("stop word affected the document vector")
+	}
+}
+
+func TestEncodeRanks(t *testing.T) {
+	m := newTestModel()
+	if _, ok := m.EncodeRanks([]int{1, 2}); ok {
+		t.Fatal("EncodeRanks should reject < 3 ranks")
+	}
+	v, ok := m.EncodeRanks([]int{1, 2, 3, 4})
+	if !ok || len(v) != m.Dim {
+		t.Fatalf("EncodeRanks failed: ok=%v", ok)
+	}
+}
+
+func TestEncodeRanksPanicsOutOfRange(t *testing.T) {
+	m := newTestModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range rank")
+		}
+	}()
+	m.EncodeRanks([]int{0, 1, 999999})
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	vocab := text.NewVocabulary(50, 2, 1.0)
+	m := NewSynthetic(vocab, Config{Seed: 1})
+	if m.Dim != 100 {
+		t.Fatalf("default Dim = %d, want 100", m.Dim)
+	}
+}

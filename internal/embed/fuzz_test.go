@@ -1,0 +1,40 @@
+package embed
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadGloVe checks the parser never panics and that any model it
+// accepts is internally consistent.
+func FuzzLoadGloVe(f *testing.F) {
+	f.Add("hello 0.1 0.2\nworld 0.3 0.4\n")
+	f.Add("")
+	f.Add("a 1\nb 2\n\n c 3")
+	f.Add("word")
+	f.Add("x nan inf -inf\n")
+	f.Add("dup 1 2\ndup 3 4\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := LoadGloVe(strings.NewReader(s))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if m.Dim < 1 {
+			t.Fatalf("accepted model with Dim %d", m.Dim)
+		}
+		if len(m.Vectors) != m.Vocab.Size() {
+			t.Fatalf("vectors %d != vocab %d", len(m.Vectors), m.Vocab.Size())
+		}
+		for i, v := range m.Vectors {
+			if len(v) != m.Dim {
+				t.Fatalf("vector %d has dim %d, want %d", i, len(v), m.Dim)
+			}
+		}
+		// Every word resolves to a vector of the right shape.
+		for _, w := range m.Vocab.Words {
+			if v, ok := m.Lookup(w); !ok || len(v) != m.Dim {
+				t.Fatalf("lookup(%q) inconsistent", w)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// LoadGloVe parses a word-embedding file in the GloVe text format — one
+// word per line followed by its vector components, space-separated:
+//
+//	the 0.418 0.24968 -0.41242 ...
+//
+// This is the format of the pre-trained files the paper uses
+// (glove.twitter.27B.100d.txt etc.). All vectors must share one
+// dimensionality; the first line fixes it. Duplicate words keep the first
+// occurrence. Word topics are unknown for real embeddings, so the
+// resulting model has Topics all zero and no TopicCentroids; lookups and
+// document encoding work exactly as with the synthetic model.
+func LoadGloVe(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		words   []string
+		vectors [][]float32
+		byWord  = map[string]int{}
+		dim     = -1
+		lineNo  = 0
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if dim == -1 {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("embed: glove line %d: need a word and at least one component", lineNo)
+			}
+			dim = len(fields) - 1
+		}
+		if len(fields) != dim+1 {
+			return nil, fmt.Errorf("embed: glove line %d: %d components, expected %d", lineNo, len(fields)-1, dim)
+		}
+		word := fields[0]
+		if _, dup := byWord[word]; dup {
+			continue
+		}
+		vec := make([]float32, dim)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, fmt.Errorf("embed: glove line %d: component %d: %w", lineNo, i, err)
+			}
+			vec[i] = float32(v)
+		}
+		byWord[word] = len(words)
+		words = append(words, word)
+		vectors = append(vectors, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("embed: glove: %w", err)
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("embed: glove: no vectors found")
+	}
+	return &Model{Vocab: text.NewVocabularyFromWords(words), Dim: dim, Vectors: vectors}, nil
+}

@@ -1,0 +1,80 @@
+package embed
+
+import (
+	"strings"
+	"testing"
+)
+
+const gloveSample = `hello 0.1 0.2 0.3
+world -0.5 0.25 1.0
+coffee 1.0 0.0 0.0
+shop 0.9 0.1 0.0
+`
+
+func TestLoadGloVe(t *testing.T) {
+	m, err := LoadGloVe(strings.NewReader(gloveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim != 3 {
+		t.Fatalf("Dim = %d", m.Dim)
+	}
+	v, ok := m.Lookup("world")
+	if !ok {
+		t.Fatal("'world' not found")
+	}
+	if v[0] != -0.5 || v[2] != 1.0 {
+		t.Fatalf("world vector = %v", v)
+	}
+	if _, ok := m.Lookup("absent"); ok {
+		t.Fatal("unknown word resolved")
+	}
+}
+
+func TestLoadGloVeEncodesDocuments(t *testing.T) {
+	m, err := LoadGloVe(strings.NewReader(gloveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.EncodeDocument("the coffee shop hello")
+	if !ok {
+		t.Fatal("document rejected")
+	}
+	// Mean of coffee, shop, hello ("the" is a stop word).
+	want0 := float32((1.0 + 0.9 + 0.1) / 3)
+	if diff := v[0] - want0; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("v[0] = %v, want %v", v[0], want0)
+	}
+	if _, ok := m.EncodeDocument("hello world"); ok {
+		t.Fatal("two-word document should be rejected")
+	}
+}
+
+func TestLoadGloVeSkipsDuplicatesAndBlankLines(t *testing.T) {
+	in := "a 1 2\n\na 9 9\nb 3 4\n"
+	m, err := LoadGloVe(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vocab.Size() != 2 {
+		t.Fatalf("vocab size = %d", m.Vocab.Size())
+	}
+	v, _ := m.Lookup("a")
+	if v[0] != 1 {
+		t.Fatal("duplicate did not keep the first occurrence")
+	}
+}
+
+func TestLoadGloVeErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"short line":    "word\n",
+		"ragged":        "a 1 2\nb 3\n",
+		"bad component": "a 1 x\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadGloVe(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metric"
+)
+
+func init() {
+	register("ablation", Ablation)
+}
+
+// Ablation quantifies the contribution of each design choice of CSSI
+// (beyond the paper's figures; DESIGN.md calls these out): inter-cluster
+// pruning (Lemma 4.4), intra-cluster pruning via the TA-merged array
+// (Lemma 4.5), and the ascending lower-bound cluster order (Alg. 2
+// line 4). Every configuration returns the exact result — the switches
+// only change how much work is needed.
+func Ablation(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: s.twitterDefault()})
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name string
+		opts core.SearchOptions
+	}{
+		{"full CSSI", core.SearchOptions{}},
+		{"no inter-cluster pruning", core.SearchOptions{DisableInterCluster: true}},
+		{"no intra-cluster pruning", core.SearchOptions{DisableIntraCluster: true}},
+		{"no cluster ordering", core.SearchOptions{DisableClusterOrder: true}},
+		{"no pruning at all", core.SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}},
+	}
+	t := Table{
+		ID:     "ablation",
+		Title:  "CSSI design-choice ablation — Twitter, defaults",
+		Note:   "all rows return identical (exact) results; switches only change the work",
+		Header: []string{"configuration", "µs/query", "visited", "inter-pruned", "intra-pruned"},
+	}
+	for _, cfg := range configs {
+		var total metric.Stats
+		start := time.Now()
+		for qi := range e.queries {
+			e.idx.SearchAblated(&e.queries[qi], s.K, s.Lambda, cfg.opts, &total)
+		}
+		elapsed := time.Since(start)
+		n := float64(len(e.queries))
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			f1(float64(elapsed.Microseconds()) / n),
+			f1(float64(total.VisitedObjects) / n),
+			f1(float64(total.InterPruned) / n),
+			f1(float64(total.IntraPruned) / n),
+		})
+	}
+	return []Table{t}, nil
+}

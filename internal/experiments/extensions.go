@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+func init() {
+	register("parallel", Parallel)
+	register("skew", Skew)
+}
+
+// Parallel measures the batch-query speedup from fanning queries over
+// worker goroutines — the "parallel processing algorithms" direction of
+// the paper's conclusion (§8). The index is read-only during querying,
+// so the speedup should track the worker count until memory bandwidth
+// saturates.
+func Parallel(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: s.twitterDefault()})
+	if err != nil {
+		return nil, err
+	}
+	// A bigger batch than the default workload so the fan-out has work.
+	queries := e.ds.SampleQueries(8*s.Queries, s.Seed+23)
+	t := Table{
+		ID:     "parallel",
+		Title:  "Batch k-NN throughput vs worker count (paper §8 future work)",
+		Note:   "read-only index: speedup should track workers until the memory bus saturates",
+		Header: []string{"workers", "total ms", "speedup", "queries/s"},
+	}
+	var base float64
+	maxWorkers := runtime.GOMAXPROCS(0)
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		elapsed := runBatch(e, queries, s.K, s.Lambda, workers)
+		ms := float64(elapsed.Microseconds()) / 1000
+		if workers == 1 {
+			base = ms
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(workers), f1(ms), f2(base / ms),
+			f1(float64(len(queries)) / (ms / 1000)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// runBatch executes queries over a worker pool and returns the wall
+// time.
+func runBatch(e *env, queries []dataset.Object, k int, lambda float64, workers int) time.Duration {
+	start := time.Now()
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				e.idx.Search(&queries[qi], k, lambda, nil)
+			}
+		}()
+	}
+	for qi := range queries {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// Skew probes robustness to query distribution (beyond the paper, which
+// samples queries uniformly from the dataset): uniform in-distribution
+// queries, queries concentrated in the densest spatial hot spot, and
+// out-of-distribution corner queries.
+func Skew(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: s.twitterDefault()})
+	if err != nil {
+		return nil, err
+	}
+	uniform := e.ds.SampleQueries(s.Queries, s.Seed+29)
+
+	// Hot-spot queries: the densest 0.1×0.1 cell's objects.
+	const cells = 10
+	var grid [cells][cells]int
+	for i := range e.ds.Objects {
+		o := &e.ds.Objects[i]
+		cx, cy := cellOf(o.X), cellOf(o.Y)
+		grid[cx][cy]++
+	}
+	bestX, bestY, bestN := 0, 0, -1
+	for x := 0; x < cells; x++ {
+		for y := 0; y < cells; y++ {
+			if grid[x][y] > bestN {
+				bestX, bestY, bestN = x, y, grid[x][y]
+			}
+		}
+	}
+	var hot []dataset.Object
+	for i := range e.ds.Objects {
+		o := &e.ds.Objects[i]
+		if cellOf(o.X) == bestX && cellOf(o.Y) == bestY {
+			hot = append(hot, *o)
+			if len(hot) == s.Queries {
+				break
+			}
+		}
+	}
+
+	// Out-of-distribution: dataset text vectors placed at the corners.
+	var ood []dataset.Object
+	corners := [][2]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i := 0; i < s.Queries; i++ {
+		q := e.ds.Objects[(i*97+13)%e.ds.Len()]
+		c := corners[i%len(corners)]
+		q.X, q.Y = c[0], c[1]
+		ood = append(ood, q)
+	}
+
+	t := Table{
+		ID:     "skew",
+		Title:  "Query-distribution robustness (beyond the paper)",
+		Note:   "visited objects and CSSIA error under uniform, hot-spot, and out-of-distribution queries",
+		Header: []string{"workload", "CSSI visited", "CSSIA visited", "CSSIA error"},
+	}
+	for _, wl := range []struct {
+		name    string
+		queries []dataset.Object
+	}{{"uniform", uniform}, {"hot spot", hot}, {"corners (OOD)", ood}} {
+		if len(wl.queries) == 0 {
+			continue
+		}
+		var stC, stA metric.Stats
+		var errSum float64
+		for qi := range wl.queries {
+			exact := e.idx.Search(&wl.queries[qi], s.K, s.Lambda, &stC)
+			approx := e.idx.SearchApprox(&wl.queries[qi], s.K, s.Lambda, &stA)
+			errSum += knn.ErrorRate(exact, approx)
+		}
+		n := float64(len(wl.queries))
+		t.Rows = append(t.Rows, []string{
+			wl.name,
+			f1(float64(stC.VisitedObjects) / n),
+			f1(float64(stA.VisitedObjects) / n),
+			pct(errSum / n),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func cellOf(v float64) int {
+	c := int(v * 10)
+	if c > 9 {
+		c = 9
+	}
+	return c
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "repro/internal/dataset"
+
+func init() {
+	register("fig7", Fig7)
+}
+
+// Fig7 reproduces the CSSIA error study (Fig. 7): mean result error as
+// the dataset grows (paper: always under 1%) and as k varies (paper: at
+// most 4%, worst for the smallest k where a single miss costs 1/k).
+func Fig7(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	sizeT := Table{
+		ID:     "fig7",
+		Title:  "CSSIA error vs |O| — Twitter",
+		Note:   "paper Fig. 7a: < 1% for all sizes",
+		Header: []string{"|O|", "error"},
+	}
+	for _, size := range s.twitterSizes() {
+		e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: size})
+		if err != nil {
+			return nil, err
+		}
+		queries := e.ds.SampleQueries(s.ErrorQueries, s.Seed+17)
+		sizeT.Rows = append(sizeT.Rows, []string{itoa(size), pct(errorRate(e, s.K, s.Lambda, queries))})
+	}
+
+	kT := Table{
+		ID:     "fig7",
+		Title:  "CSSIA error vs k — Twitter",
+		Note:   "paper Fig. 7b: ≤ 4% even for small k",
+		Header: []string{"k", "error"},
+	}
+	e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: s.twitterDefault()})
+	if err != nil {
+		return nil, err
+	}
+	queries := e.ds.SampleQueries(s.ErrorQueries, s.Seed+17)
+	for _, k := range []int{5, 10, 25, 50, 100} {
+		kT.Rows = append(kT.Rows, []string{itoa(k), pct(errorRate(e, k, s.Lambda, queries))})
+	}
+	return []Table{sizeT, kT}, nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func init() {
+	register("fig5", Fig5)
+	register("fig6", Fig6)
+	register("fig8", Fig8)
+	register("fig13", Fig13)
+	register("fig14", Fig14)
+}
+
+// comparativeBySize runs all five algorithms over a size sweep and
+// reports query time and visited objects (the layout of Figs. 5 and 13).
+func comparativeBySize(s Setup, kind dataset.Kind, sizes []int, id, flavor, note string) ([]Table, error) {
+	timeT := Table{
+		ID:     id,
+		Title:  "Query time (µs/query) vs |O| — " + flavor,
+		Note:   note,
+		Header: []string{"|O|", "Scan", "R-tree", "S2R", "CSSI", "CSSIA"},
+	}
+	visT := Table{
+		ID:     id,
+		Title:  "Visited objects vs |O| — " + flavor,
+		Note:   "visited objects measure pruning; Scan always visits |O|",
+		Header: timeT.Header,
+	}
+	for _, size := range sizes {
+		e, err := buildEnv(s, envConfig{kind: kind, size: size, withBaseline: true})
+		if err != nil {
+			return nil, err
+		}
+		tRow := []string{itoa(size)}
+		vRow := []string{itoa(size)}
+		for _, a := range e.algos {
+			m := run(e, a.s, s.K, s.Lambda)
+			tRow = append(tRow, f1(m.MicrosPerQuery))
+			vRow = append(vRow, f1(m.Visited))
+		}
+		timeT.Rows = append(timeT.Rows, tRow)
+		visT.Rows = append(visT.Rows, vRow)
+	}
+	return []Table{timeT, visT}, nil
+}
+
+// Fig5 reproduces the Twitter scalability comparison (Fig. 5): query time
+// and visited objects for Scan, R-tree, S2R, CSSI and CSSIA as the data
+// grows. Expected shape: CSSIA fastest (2-3× over CSSI), CSSI beats all
+// competitors, and on Twitter-like data the index-based baselines do not
+// beat Scan (R-tree even loses to it from traversal overhead).
+func Fig5(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	return comparativeBySize(s, dataset.TwitterLike, s.twitterSizes(), "fig5", "Twitter",
+		"paper Fig. 5: CSSIA < CSSI << Scan ≈ S2R ≈ R-tree; gains grow with |O|")
+}
+
+// Fig13 reproduces the Yelp scalability comparison (Fig. 13). Expected
+// shape difference from Fig. 5: the strong spatial clustering of Yelp
+// lets the spatial-first baselines (R-tree, S2R) beat Scan, but CSSI and
+// CSSIA still win.
+func Fig13(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	return comparativeBySize(s, dataset.YelpLike, s.yelpSizes(), "fig13", "Yelp",
+		"paper Fig. 13: index baselines beat Scan here (dense metros), ours beat everything")
+}
+
+// Fig6 reproduces the k sweep on Twitter (Fig. 6): beyond k≈50 the curves
+// flatten; for small k CSSIA's advantage is largest.
+func Fig6(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: s.twitterDefault(), withBaseline: true})
+	if err != nil {
+		return nil, err
+	}
+	timeT := Table{
+		ID:     "fig6",
+		Title:  "Query time (µs/query) vs k — Twitter",
+		Note:   "paper Fig. 6: curves flatten for k > 50; CSSIA gains most at small k",
+		Header: []string{"k", "Scan", "R-tree", "S2R", "CSSI", "CSSIA"},
+	}
+	visT := Table{
+		ID:     "fig6",
+		Title:  "Visited objects vs k — Twitter",
+		Header: timeT.Header,
+	}
+	for _, k := range []int{5, 10, 25, 50, 100} {
+		tRow := []string{itoa(k)}
+		vRow := []string{itoa(k)}
+		for _, a := range e.algos {
+			m := run(e, a.s, k, s.Lambda)
+			tRow = append(tRow, f1(m.MicrosPerQuery))
+			vRow = append(vRow, f1(m.Visited))
+		}
+		timeT.Rows = append(timeT.Rows, tRow)
+		visT.Rows = append(visT.Rows, vRow)
+	}
+	return []Table{timeT, visT}, nil
+}
+
+// lambdaSweep is the shared shape of Figs. 8 and 14: all five algorithms
+// across λ ∈ {0, 0.1, …, 1}, plus CSSIA's error per λ.
+func lambdaSweep(s Setup, kind dataset.Kind, size int, id, flavor, note string) ([]Table, error) {
+	e, err := buildEnv(s, envConfig{kind: kind, size: size, withBaseline: true})
+	if err != nil {
+		return nil, err
+	}
+	timeT := Table{
+		ID:     id,
+		Title:  "Query time (µs/query) vs λ — " + flavor,
+		Note:   note,
+		Header: []string{"lambda", "Scan", "R-tree", "S2R", "CSSI", "CSSIA"},
+	}
+	visT := Table{
+		ID:     id,
+		Title:  "Visited objects vs λ — " + flavor,
+		Header: timeT.Header,
+	}
+	errT := Table{
+		ID:     id,
+		Title:  "CSSIA error vs λ — " + flavor,
+		Note:   "paper: error < 0.3% everywhere and exactly 0 at λ=1 (pure spatial)",
+		Header: []string{"lambda", "error"},
+	}
+	errQueries := e.ds.SampleQueries(s.ErrorQueries, s.Seed+17)
+	for li := 0; li <= 10; li++ {
+		lambda := float64(li) / 10
+		tRow := []string{f1(lambda)}
+		vRow := []string{f1(lambda)}
+		for _, a := range e.algos {
+			m := run(e, a.s, s.K, lambda)
+			tRow = append(tRow, f1(m.MicrosPerQuery))
+			vRow = append(vRow, f1(m.Visited))
+		}
+		timeT.Rows = append(timeT.Rows, tRow)
+		visT.Rows = append(visT.Rows, vRow)
+		errT.Rows = append(errT.Rows, []string{f1(lambda), pct(errorRate(e, s.K, lambda, errQueries))})
+	}
+	return []Table{timeT, visT, errT}, nil
+}
+
+// Fig8 reproduces the λ sweep on Twitter (Fig. 8): for small λ our
+// algorithms dominate while the spatial-first indexes fall behind Scan;
+// only for λ > 0.7 do the index baselines beat Scan.
+func Fig8(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	return lambdaSweep(s, dataset.TwitterLike, s.twitterDefault(), "fig8", "Twitter",
+		"paper Fig. 8: index baselines beat Scan only for λ > 0.7; ours win for all λ < 1")
+}
+
+// Fig14 reproduces the λ sweep on Yelp (Fig. 14): with Yelp's dense
+// metros the index baselines win at λ=1, but ours win for the interior
+// of the λ range.
+func Fig14(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	return lambdaSweep(s, dataset.YelpLike, s.yelpDefault(), "fig14", "Yelp",
+		"paper Fig. 14: spatial-first baselines win only at λ=1; error ≤ 0.2%")
+}
+
+// coreOnlyEnv builds an environment with just CSSI/CSSIA (no baselines),
+// used by the sensitivity experiments.
+func coreOnlyEnv(s Setup, kind dataset.Kind, size int, cfg core.Config) (*env, error) {
+	return buildEnv(s, envConfig{kind: kind, size: size, coreCfg: cfg})
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func init() {
+	register("fig9", Fig9)
+	register("fig10", Fig10)
+	register("fig11", Fig11)
+	register("fig12", Fig12)
+}
+
+// paperMValues is the projection-dimensionality sweep of Table 3.
+var paperMValues = []int{1, 2, 3, 5, 7, 9, 11, 13, 20, 30}
+
+// Fig9 reproduces the m sweep (Fig. 9): CSSI improves with m up to ~10,
+// CSSIA is fastest at small m, and the two converge around m≈5 as the
+// projected space inherits the high-dimensional distance concentration.
+func Fig9(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	timeT := Table{
+		ID:     "fig9",
+		Title:  "Query time (µs/query) vs m — Twitter",
+		Note:   "paper Fig. 9: CSSIA fastest for m < 5; curves converge for m ≥ 5; CSSI stabilizes by m ≈ 10",
+		Header: []string{"m", "CSSI", "CSSIA"},
+	}
+	visT := Table{
+		ID:     "fig9",
+		Title:  "Visited objects vs m — Twitter",
+		Header: timeT.Header,
+	}
+	for _, m := range paperMValues {
+		e, err := coreOnlyEnv(s, dataset.TwitterLike, s.twitterDefault(), core.Config{M: m})
+		if err != nil {
+			return nil, err
+		}
+		mi := run(e, e.idx, s.K, s.Lambda)
+		ma := run(e, approxSearcher{e.idx}, s.K, s.Lambda)
+		timeT.Rows = append(timeT.Rows, []string{itoa(m), f1(mi.MicrosPerQuery), f1(ma.MicrosPerQuery)})
+		visT.Rows = append(visT.Rows, []string{itoa(m), f1(mi.Visited), f1(ma.Visited)})
+	}
+	return []Table{timeT, visT}, nil
+}
+
+// paperFValues is the cluster-multiplier sweep of Table 3.
+var paperFValues = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+// Fig10 reproduces the f sweep (Fig. 10): more clusters improve pruning
+// up to a point; CSSI stops improving (sorting overhead outweighs the
+// gain) while CSSIA keeps improving because its inter-cluster pruning
+// benefits from finer granularity.
+func Fig10(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	timeT := Table{
+		ID:     "fig10",
+		Title:  "Query time (µs/query) vs f — Twitter",
+		Note:   "paper Fig. 10: CSSI flattens then degrades with large f; CSSIA keeps improving",
+		Header: []string{"f", "clusters", "CSSI", "CSSIA"},
+	}
+	visT := Table{
+		ID:     "fig10",
+		Title:  "Visited objects vs f — Twitter",
+		Header: timeT.Header,
+	}
+	for _, f := range paperFValues {
+		e, err := coreOnlyEnv(s, dataset.TwitterLike, s.twitterDefault(), core.Config{F: f})
+		if err != nil {
+			return nil, err
+		}
+		mi := run(e, e.idx, s.K, s.Lambda)
+		ma := run(e, approxSearcher{e.idx}, s.K, s.Lambda)
+		nc := itoa(e.idx.NumClusters())
+		timeT.Rows = append(timeT.Rows, []string{f1(f), nc, f1(mi.MicrosPerQuery), f1(ma.MicrosPerQuery)})
+		visT.Rows = append(visT.Rows, []string{f1(f), nc, f1(mi.Visited), f1(ma.Visited)})
+	}
+	return []Table{timeT, visT}, nil
+}
+
+// Fig11 reproduces the CSSIA error sensitivity (Fig. 11): m=1 is the
+// pathological case (paper: ≈40% error); m ≥ 2 keeps the error under 1%.
+// Across f the error stays under 0.8%, growing slightly with more
+// clusters.
+func Fig11(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	mT := Table{
+		ID:     "fig11",
+		Title:  "CSSIA error vs m — Twitter",
+		Note:   "paper Fig. 11a: ≈40% at m=1, <1% for m ≥ 2",
+		Header: []string{"m", "error"},
+	}
+	for _, m := range []int{1, 2, 3, 5, 7, 9} {
+		e, err := coreOnlyEnv(s, dataset.TwitterLike, s.twitterDefault(), core.Config{M: m})
+		if err != nil {
+			return nil, err
+		}
+		queries := e.ds.SampleQueries(s.ErrorQueries, s.Seed+17)
+		mT.Rows = append(mT.Rows, []string{itoa(m), pct(errorRate(e, s.K, s.Lambda, queries))})
+	}
+	fT := Table{
+		ID:     "fig11",
+		Title:  "CSSIA error vs f — Twitter",
+		Note:   "paper Fig. 11b: < 0.8% for all f, slightly growing with cluster count",
+		Header: []string{"f", "error"},
+	}
+	for _, f := range paperFValues {
+		e, err := coreOnlyEnv(s, dataset.TwitterLike, s.twitterDefault(), core.Config{F: f})
+		if err != nil {
+			return nil, err
+		}
+		queries := e.ds.SampleQueries(s.ErrorQueries, s.Seed+17)
+		fT.Rows = append(fT.Rows, []string{f1(f), pct(errorRate(e, s.K, s.Lambda, queries))})
+	}
+	return []Table{mT, fT}, nil
+}
+
+// Fig12 reproduces the pruning breakdown (Fig. 12): per algorithm, the
+// objects skipped by inter-cluster pruning (whole clusters) vs
+// intra-cluster pruning vs visited, summing to |O|. The paper observes
+// CSSIA leans far more on inter-cluster pruning than CSSI, whose two
+// mechanisms contribute about equally.
+func Fig12(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	e, err := buildEnv(s, envConfig{kind: dataset.TwitterLike, size: s.twitterDefault()})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig12",
+		Title:  "Pruning breakdown (avg objects per query) — Twitter",
+		Note:   "paper Fig. 12: CSSIA prunes mostly whole clusters; CSSI splits evenly; rows sum to |O|",
+		Header: []string{"algorithm", "inter-pruned", "intra-pruned", "visited", "sum", "|O|"},
+	}
+	for _, a := range []algo{{"CSSI", e.idx}, {"CSSIA", approxSearcher{e.idx}}} {
+		m := run(e, a.s, s.K, s.Lambda)
+		t.Rows = append(t.Rows, []string{
+			a.name, f1(m.Inter), f1(m.Intra), f1(m.Visited),
+			f1(m.Inter + m.Intra + m.Visited), itoa(e.ds.Len()),
+		})
+	}
+	return []Table{t}, nil
+}

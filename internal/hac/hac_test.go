@@ -1,0 +1,164 @@
+package hac
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func blobs(rng *rand.Rand, k, count, dim int, sep, noise float64) (pts [][]float32, truth []int) {
+	centers := make([][]float32, k)
+	for i := range centers {
+		c := make([]float32, dim)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * sep)
+		}
+		centers[i] = c
+	}
+	pts = make([][]float32, count)
+	truth = make([]int, count)
+	for i := range pts {
+		t := rng.IntN(k)
+		p := vec.Clone(centers[t])
+		for j := range p {
+			p[j] += float32(rng.NormFloat64() * noise)
+		}
+		pts[i] = p
+		truth[i] = t
+	}
+	return pts, truth
+}
+
+func TestClusterRejectsBadInput(t *testing.T) {
+	if _, err := Cluster(nil, 2, Ward); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := Cluster([][]float32{{1}}, 0, Ward); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := Cluster([][]float32{{1}}, 1, Linkage(9)); err == nil {
+		t.Fatal("expected error for unknown linkage")
+	}
+}
+
+func purity(assign, truth []int) float64 {
+	counts := make(map[[2]int]int)
+	for i, c := range assign {
+		counts[[2]int{c, truth[i]}]++
+	}
+	clusterTotal := make(map[int]int)
+	clusterBest := make(map[int]int)
+	for key, n := range counts {
+		clusterTotal[key[0]] += n
+		if n > clusterBest[key[0]] {
+			clusterBest[key[0]] = n
+		}
+	}
+	var pure, total int
+	for c, tot := range clusterTotal {
+		pure += clusterBest[c]
+		total += tot
+	}
+	return float64(pure) / float64(total)
+}
+
+func TestWardRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts, truth := blobs(rng, 4, 200, 3, 10, 0.4)
+	res, err := Cluster(pts, 4, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 4 {
+		t.Fatalf("got %d clusters", len(res.Centroids))
+	}
+	if p := purity(res.Assign, truth); p < 0.95 {
+		t.Fatalf("ward purity %v", p)
+	}
+}
+
+func TestCompleteRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 2)) // seed chosen so the blobs are well separated
+	pts, truth := blobs(rng, 3, 150, 3, 12, 0.4)
+	res, err := Cluster(pts, 3, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(res.Assign, truth); p < 0.95 {
+		t.Fatalf("complete purity %v", p)
+	}
+}
+
+func TestKClampsToN(t *testing.T) {
+	pts := [][]float32{{0}, {1}}
+	res, err := Cluster(pts, 5, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(res.Centroids))
+	}
+}
+
+func TestSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	pts, _ := blobs(rng, 2, 50, 2, 5, 0.5)
+	res, err := Cluster(pts, 1, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatalf("assignment %d in single-cluster cut", a)
+		}
+	}
+	// Centroid must equal the global mean.
+	mean := make([]float32, 2)
+	vec.Mean(mean, pts)
+	if vec.Dist(mean, res.Centroids[0]) > 1e-5 {
+		t.Fatal("single-cluster centroid is not the global mean")
+	}
+}
+
+func TestAssignLabelsAreDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	pts, _ := blobs(rng, 5, 120, 3, 8, 0.5)
+	res, err := Cluster(pts, 5, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, a := range res.Assign {
+		if a < 0 || a >= 5 {
+			t.Fatalf("label %d out of range", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d distinct labels", len(seen))
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := make([][]float32, 10)
+	for i := range pts {
+		pts[i] = []float32{3, 3}
+	}
+	res, err := Cluster(pts, 3, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 10 {
+		t.Fatal("missing assignments")
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Ward.String() != "ward" || Complete.String() != "complete" {
+		t.Fatal("Linkage.String broken")
+	}
+	if Linkage(7).String() == "" {
+		t.Fatal("unknown linkage should format")
+	}
+}

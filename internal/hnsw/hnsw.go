@@ -1,0 +1,317 @@
+// Package hnsw implements Hierarchical Navigable Small World graphs
+// (Malkov & Yashunin, TPAMI 2020), the state-of-the-art approximate
+// nearest-neighbor index the paper's related work discusses (§2). It is
+// included to reproduce the paper's argument for why such single-metric
+// indexes are "not applicable in the context of multi-aspect distance
+// functions": an HNSW graph embeds one fixed metric, so the λ-weighted
+// spatio-semantic distance would need one graph per λ — and even then
+// only an L2 approximation of the weighted-sum metric. The hnsw
+// experiment in internal/experiments demonstrates the resulting recall
+// loss; see DESIGN.md.
+//
+// The implementation is the standard one: exponentially distributed
+// node levels, greedy descent through the upper layers, and beam (ef)
+// search with bidirectional M-bounded linking at each layer.
+package hnsw
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/knn"
+	"repro/internal/vec"
+)
+
+// Config controls graph construction.
+type Config struct {
+	// M is the maximum number of links per node per layer (layer 0
+	// allows 2M). Default 16.
+	M int
+	// EfConstruction is the beam width during insertion. Default 200.
+	EfConstruction int
+	// Seed drives level assignment.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+}
+
+// Graph is an HNSW index over float32 vectors under Euclidean distance.
+type Graph struct {
+	cfg      Config
+	dim      int
+	ml       float64
+	rng      *rand.Rand
+	points   [][]float32
+	levels   []int
+	links    [][][]uint32 // links[node][layer] = neighbor ids
+	entry    int
+	maxLevel int
+}
+
+// New returns an empty graph for vectors of the given dimensionality.
+func New(dim int, cfg Config) *Graph {
+	if dim < 1 {
+		panic("hnsw: dim must be >= 1")
+	}
+	cfg.applyDefaults()
+	return &Graph{
+		cfg:      cfg,
+		dim:      dim,
+		ml:       1 / math.Log(float64(cfg.M)),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x686e7377)),
+		entry:    -1,
+		maxLevel: -1,
+	}
+}
+
+// Len returns the number of indexed vectors.
+func (g *Graph) Len() int { return len(g.points) }
+
+// Dim returns the vector dimensionality.
+func (g *Graph) Dim() int { return g.dim }
+
+// Add inserts a vector and returns its id (insertion order).
+func (g *Graph) Add(v []float32) uint32 {
+	if len(v) != g.dim {
+		panic(fmt.Sprintf("hnsw: vector dim %d, graph expects %d", len(v), g.dim))
+	}
+	id := uint32(len(g.points))
+	level := g.randomLevel()
+	g.points = append(g.points, vec.Clone(v))
+	g.levels = append(g.levels, level)
+	layers := make([][]uint32, level+1)
+	g.links = append(g.links, layers)
+
+	if g.entry < 0 {
+		g.entry = int(id)
+		g.maxLevel = level
+		return id
+	}
+
+	// Greedy descent from the top to level+1.
+	cur := uint32(g.entry)
+	curDist := vec.SqDist(v, g.points[cur])
+	for l := g.maxLevel; l > level; l-- {
+		cur, curDist = g.greedyStep(v, cur, curDist, l)
+	}
+
+	// Beam search + linking on each layer from min(level, maxLevel)
+	// down to 0.
+	ef := g.cfg.EfConstruction
+	entryPoints := []candidate{{id: cur, dist: curDist}}
+	for l := min(level, g.maxLevel); l >= 0; l-- {
+		found := g.searchLayer(v, entryPoints, ef, l)
+		maxLinks := g.cfg.M
+		if l == 0 {
+			maxLinks = 2 * g.cfg.M
+		}
+		neighbors := selectClosest(found, g.cfg.M)
+		for _, n := range neighbors {
+			g.connect(id, n.id, l, maxLinks)
+			g.connect(n.id, id, l, maxLinks)
+		}
+		entryPoints = found
+	}
+	if level > g.maxLevel {
+		g.maxLevel = level
+		g.entry = int(id)
+	}
+	return id
+}
+
+func (g *Graph) randomLevel() int {
+	return int(-math.Log(1-g.rng.Float64()) * g.ml)
+}
+
+// greedyStep walks to the neighbor closest to v on layer l until no
+// improvement is possible.
+func (g *Graph) greedyStep(v []float32, cur uint32, curDist float64, l int) (uint32, float64) {
+	for {
+		improved := false
+		for _, n := range g.linkList(cur, l) {
+			if d := vec.SqDist(v, g.points[n]); d < curDist {
+				cur, curDist = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curDist
+		}
+	}
+}
+
+func (g *Graph) linkList(id uint32, l int) []uint32 {
+	if l >= len(g.links[id]) {
+		return nil
+	}
+	return g.links[id][l]
+}
+
+// connect adds dst to src's layer-l links, trimming to the closest
+// maxLinks when the list overflows.
+func (g *Graph) connect(src, dst uint32, l, maxLinks int) {
+	if src == dst {
+		return
+	}
+	list := g.links[src][l]
+	for _, n := range list {
+		if n == dst {
+			return
+		}
+	}
+	list = append(list, dst)
+	if len(list) > maxLinks {
+		// Keep the maxLinks closest neighbors.
+		base := g.points[src]
+		cands := make([]candidate, len(list))
+		for i, n := range list {
+			cands[i] = candidate{id: n, dist: vec.SqDist(base, g.points[n])}
+		}
+		kept := selectClosest(cands, maxLinks)
+		list = list[:0]
+		for _, c := range kept {
+			list = append(list, c.id)
+		}
+	}
+	g.links[src][l] = list
+}
+
+// candidate is a (node, squared distance) pair.
+type candidate struct {
+	id   uint32
+	dist float64
+}
+
+// minQueue pops the closest candidate first.
+type minQueue []candidate
+
+func (q minQueue) Len() int            { return len(q) }
+func (q minQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q minQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *minQueue) Push(x interface{}) { *q = append(*q, x.(candidate)) }
+func (q *minQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// maxQueue pops the farthest candidate first (the beam's working set).
+type maxQueue []candidate
+
+func (q maxQueue) Len() int            { return len(q) }
+func (q maxQueue) Less(i, j int) bool  { return q[i].dist > q[j].dist }
+func (q maxQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *maxQueue) Push(x interface{}) { *q = append(*q, x.(candidate)) }
+func (q *maxQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// searchLayer is the ef-bounded best-first search on one layer.
+func (g *Graph) searchLayer(v []float32, entry []candidate, ef, l int) []candidate {
+	visited := map[uint32]struct{}{}
+	var cands minQueue
+	var result maxQueue
+	for _, e := range entry {
+		if _, dup := visited[e.id]; dup {
+			continue
+		}
+		visited[e.id] = struct{}{}
+		heap.Push(&cands, e)
+		heap.Push(&result, e)
+	}
+	for len(result) > ef {
+		heap.Pop(&result)
+	}
+	for cands.Len() > 0 {
+		c := heap.Pop(&cands).(candidate)
+		if len(result) >= ef && c.dist > result[0].dist {
+			break
+		}
+		for _, n := range g.linkList(c.id, l) {
+			if _, dup := visited[n]; dup {
+				continue
+			}
+			visited[n] = struct{}{}
+			d := vec.SqDist(v, g.points[n])
+			if len(result) < ef || d < result[0].dist {
+				heap.Push(&cands, candidate{id: n, dist: d})
+				heap.Push(&result, candidate{id: n, dist: d})
+				if len(result) > ef {
+					heap.Pop(&result)
+				}
+			}
+		}
+	}
+	return result
+}
+
+// selectClosest returns the m closest candidates (simple selection, a
+// standard HNSW variant).
+func selectClosest(cands []candidate, m int) []candidate {
+	out := make([]candidate, len(cands))
+	copy(out, cands)
+	// Partial selection sort: m is small.
+	if m > len(out) {
+		m = len(out)
+	}
+	for i := 0; i < m; i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].dist < out[best].dist {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out[:m]
+}
+
+// Search returns the approximate k nearest neighbors of q with beam
+// width ef (ef is clamped to at least k). Distances in the results are
+// Euclidean (not squared).
+func (g *Graph) Search(q []float32, k, ef int) []knn.Result {
+	if g.entry < 0 {
+		return nil
+	}
+	if len(q) != g.dim {
+		panic(fmt.Sprintf("hnsw: query dim %d, graph expects %d", len(q), g.dim))
+	}
+	if ef < k {
+		ef = k
+	}
+	cur := uint32(g.entry)
+	curDist := vec.SqDist(q, g.points[cur])
+	for l := g.maxLevel; l >= 1; l-- {
+		cur, curDist = g.greedyStep(q, cur, curDist, l)
+	}
+	found := g.searchLayer(q, []candidate{{id: cur, dist: curDist}}, ef, 0)
+	top := selectClosest(found, k)
+	out := make([]knn.Result, len(top))
+	for i, c := range top {
+		out[i] = knn.Result{ID: c.id, Dist: math.Sqrt(c.dist)}
+	}
+	knn.SortResults(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package hnsw
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func randVecs(rng *rand.Rand, n, dim int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func bruteKNN(data [][]float32, q []float32, k int) []uint32 {
+	type pair struct {
+		id uint32
+		d  float64
+	}
+	ps := make([]pair, len(data))
+	for i, v := range data {
+		ps[i] = pair{uint32(i), vec.SqDist(q, v)}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].id
+	}
+	return out
+}
+
+func recall(exact []uint32, approx []uint32) float64 {
+	got := make(map[uint32]struct{}, len(approx))
+	for _, id := range approx {
+		got[id] = struct{}{}
+	}
+	hits := 0
+	for _, id := range exact {
+		if _, ok := got[id]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(4, Config{})
+	if got := g.Search([]float32{0, 0, 0, 0}, 3, 16); got != nil {
+		t.Fatalf("empty graph returned %v", got)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestSingleAndFewPoints(t *testing.T) {
+	g := New(2, Config{Seed: 1})
+	g.Add([]float32{0, 0})
+	got := g.Search([]float32{1, 1}, 5, 16)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("got %v", got)
+	}
+	g.Add([]float32{5, 5})
+	g.Add([]float32{1, 1})
+	got = g.Search([]float32{0.9, 0.9}, 1, 16)
+	if got[0].ID != 2 {
+		t.Fatalf("nearest = %d, want 2", got[0].ID)
+	}
+}
+
+func TestRecallOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	data := randVecs(rng, 2000, 16)
+	g := New(16, Config{M: 16, EfConstruction: 128, Seed: 3})
+	for _, v := range data {
+		g.Add(v)
+	}
+	var total float64
+	const queries = 30
+	for i := 0; i < queries; i++ {
+		q := randVecs(rng, 1, 16)[0]
+		exact := bruteKNN(data, q, 10)
+		approx := g.Search(q, 10, 64)
+		ids := make([]uint32, len(approx))
+		for j, r := range approx {
+			ids[j] = r.ID
+		}
+		total += recall(exact, ids)
+	}
+	if avg := total / queries; avg < 0.9 {
+		t.Fatalf("recall@10 = %.3f < 0.9", avg)
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	data := randVecs(rng, 500, 8)
+	g := New(8, Config{Seed: 2})
+	for _, v := range data {
+		g.Add(v)
+	}
+	misses := 0
+	for i := 0; i < 100; i++ {
+		got := g.Search(data[i], 1, 32)
+		if got[0].Dist > 1e-6 {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("%d/100 self-queries missed", misses)
+	}
+}
+
+func TestResultsSortedAndDistancesCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	data := randVecs(rng, 300, 6)
+	g := New(6, Config{Seed: 5})
+	for _, v := range data {
+		g.Add(v)
+	}
+	q := randVecs(rng, 1, 6)[0]
+	got := g.Search(q, 10, 64)
+	prev := -1.0
+	for _, r := range got {
+		if r.Dist < prev {
+			t.Fatal("results not sorted")
+		}
+		prev = r.Dist
+		want := vec.Dist(q, data[r.ID])
+		if diff := r.Dist - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("distance mismatch for %d: %v vs %v", r.ID, r.Dist, want)
+		}
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	g := New(3, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Add([]float32{1, 2})
+}
+
+func TestQueryDimMismatchPanics(t *testing.T) {
+	g := New(3, Config{})
+	g.Add([]float32{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Search([]float32{1}, 1, 8)
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	data := randVecs(rng, 400, 8)
+	build := func() *Graph {
+		g := New(8, Config{Seed: 42})
+		for _, v := range data {
+			g.Add(v)
+		}
+		return g
+	}
+	a, b := build(), build()
+	q := randVecs(rng, 1, 8)[0]
+	ra, rb := a.Search(q, 10, 32), b.Search(q, 10, 32)
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatal("identically-seeded graphs answered differently")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package keyword provides an inverted index over object texts for
+// boolean keyword filtering. The paper positions CSSI against classic
+// spatial-keyword search (§2), which matches query keywords exactly;
+// combining the two — exact containment of required terms plus semantic
+// ranking of the survivors — is a natural hybrid this package enables
+// (used by Index.SearchWithKeywords in the public API).
+package keyword
+
+import (
+	"sort"
+
+	"repro/internal/text"
+)
+
+// Filter is an inverted index from token to the sorted list of object
+// IDs whose text contains it.
+type Filter struct {
+	postings map[string][]uint32
+	total    int
+}
+
+// Build tokenizes every (id, text) pair and constructs the postings.
+// Tokens are normalized exactly like query keywords (lower-cased,
+// stop-words dropped).
+func Build(ids []uint32, texts []string) *Filter {
+	f := &Filter{postings: make(map[string][]uint32), total: len(ids)}
+	for i, id := range ids {
+		seen := map[string]struct{}{}
+		for _, tok := range text.Tokenize(texts[i]) {
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			f.postings[tok] = append(f.postings[tok], id)
+		}
+	}
+	for tok := range f.postings {
+		list := f.postings[tok]
+		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+	}
+	return f
+}
+
+// Add indexes one more object (for maintenance parity with the main
+// index).
+func (f *Filter) Add(id uint32, docText string) {
+	seen := map[string]struct{}{}
+	for _, tok := range text.Tokenize(docText) {
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		list := f.postings[tok]
+		pos := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+		if pos < len(list) && list[pos] == id {
+			continue
+		}
+		list = append(list, 0)
+		copy(list[pos+1:], list[pos:])
+		list[pos] = id
+		f.postings[tok] = list
+	}
+	f.total++
+}
+
+// Remove drops an object from all postings.
+func (f *Filter) Remove(id uint32, docText string) {
+	for _, tok := range text.Tokenize(docText) {
+		list := f.postings[tok]
+		pos := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+		if pos < len(list) && list[pos] == id {
+			f.postings[tok] = append(list[:pos], list[pos+1:]...)
+		}
+	}
+	if f.total > 0 {
+		f.total--
+	}
+}
+
+// DocFrequency returns the number of objects containing the token.
+func (f *Filter) DocFrequency(token string) int {
+	return len(f.postings[normalize(token)])
+}
+
+func normalize(token string) string {
+	toks := text.Tokenize(token)
+	if len(toks) != 1 {
+		return ""
+	}
+	return toks[0]
+}
+
+// Candidates returns the sorted IDs of objects containing ALL keywords
+// (boolean AND). ok=false means at least one keyword normalizes away
+// (e.g. a pure stop word); an empty result with ok=true means no object
+// matches.
+func (f *Filter) Candidates(keywords []string) (ids []uint32, ok bool) {
+	if len(keywords) == 0 {
+		return nil, false
+	}
+	lists := make([][]uint32, 0, len(keywords))
+	for _, kw := range keywords {
+		norm := normalize(kw)
+		if norm == "" {
+			return nil, false
+		}
+		lists = append(lists, f.postings[norm])
+	}
+	// Intersect starting from the rarest list.
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	if len(lists[0]) == 0 {
+		return []uint32{}, true
+	}
+	out := append([]uint32(nil), lists[0]...)
+	for _, list := range lists[1:] {
+		out = intersect(out, list)
+		if len(out) == 0 {
+			return out, true
+		}
+	}
+	return out, true
+}
+
+// intersect merges two sorted lists.
+func intersect(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Predicate returns a membership test over the AND-candidate set.
+func (f *Filter) Predicate(keywords []string) (allow func(id uint32) bool, ok bool) {
+	ids, ok := f.Candidates(keywords)
+	if !ok {
+		return nil, false
+	}
+	set := make(map[uint32]struct{}, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return func(id uint32) bool {
+		_, in := set[id]
+		return in
+	}, true
+}

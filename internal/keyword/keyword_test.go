@@ -1,0 +1,137 @@
+package keyword
+
+import (
+	"testing"
+)
+
+func buildTestFilter() *Filter {
+	ids := []uint32{1, 2, 3, 4}
+	texts := []string{
+		"great coffee and cake",
+		"coffee shop downtown",
+		"pizza place with great view",
+		"coffee coffee coffee", // duplicates collapse
+	}
+	return Build(ids, texts)
+}
+
+func TestCandidatesSingleKeyword(t *testing.T) {
+	f := buildTestFilter()
+	ids, ok := f.Candidates([]string{"coffee"})
+	if !ok {
+		t.Fatal("unexpected not-ok")
+	}
+	want := []uint32{1, 2, 4}
+	if len(ids) != len(want) {
+		t.Fatalf("got %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("got %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestCandidatesANDSemantics(t *testing.T) {
+	f := buildTestFilter()
+	ids, ok := f.Candidates([]string{"great", "coffee"})
+	if !ok || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("got %v ok=%v", ids, ok)
+	}
+	// No match.
+	ids, ok = f.Candidates([]string{"pizza", "coffee"})
+	if !ok || len(ids) != 0 {
+		t.Fatalf("got %v ok=%v", ids, ok)
+	}
+	// Unknown word.
+	ids, ok = f.Candidates([]string{"sushi"})
+	if !ok || len(ids) != 0 {
+		t.Fatalf("got %v ok=%v", ids, ok)
+	}
+}
+
+func TestCandidatesRejectsStopWordsAndEmpty(t *testing.T) {
+	f := buildTestFilter()
+	if _, ok := f.Candidates([]string{"the"}); ok {
+		t.Fatal("stop word should be rejected")
+	}
+	if _, ok := f.Candidates(nil); ok {
+		t.Fatal("empty keyword list should be rejected")
+	}
+	if _, ok := f.Candidates([]string{"two words"}); ok {
+		t.Fatal("multi-token keyword should be rejected")
+	}
+}
+
+func TestCandidatesCaseInsensitive(t *testing.T) {
+	f := buildTestFilter()
+	ids, ok := f.Candidates([]string{"COFFEE"})
+	if !ok || len(ids) != 3 {
+		t.Fatalf("got %v ok=%v", ids, ok)
+	}
+}
+
+func TestDocFrequency(t *testing.T) {
+	f := buildTestFilter()
+	if df := f.DocFrequency("coffee"); df != 3 {
+		t.Fatalf("df(coffee) = %d", df)
+	}
+	if df := f.DocFrequency("sushi"); df != 0 {
+		t.Fatalf("df(sushi) = %d", df)
+	}
+	if df := f.DocFrequency("the"); df != 0 {
+		t.Fatalf("df(the) = %d (stop word)", df)
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	f := buildTestFilter()
+	f.Add(10, "fresh coffee beans")
+	ids, _ := f.Candidates([]string{"coffee"})
+	if len(ids) != 4 || ids[3] != 10 {
+		t.Fatalf("after add: %v", ids)
+	}
+	// Idempotent add of same id.
+	f.Add(10, "fresh coffee beans")
+	ids, _ = f.Candidates([]string{"coffee"})
+	if len(ids) != 4 {
+		t.Fatalf("duplicate add changed postings: %v", ids)
+	}
+	f.Remove(10, "fresh coffee beans")
+	ids, _ = f.Candidates([]string{"coffee"})
+	if len(ids) != 3 {
+		t.Fatalf("after remove: %v", ids)
+	}
+	// Removing a non-member is harmless.
+	f.Remove(999, "coffee")
+	ids, _ = f.Candidates([]string{"coffee"})
+	if len(ids) != 3 {
+		t.Fatalf("phantom remove changed postings: %v", ids)
+	}
+}
+
+func TestAddKeepsSorted(t *testing.T) {
+	f := Build([]uint32{5}, []string{"alpha beta"})
+	f.Add(2, "alpha")
+	f.Add(9, "alpha")
+	ids, _ := f.Candidates([]string{"alpha"})
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatalf("postings unsorted: %v", ids)
+		}
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	f := buildTestFilter()
+	allow, ok := f.Predicate([]string{"coffee"})
+	if !ok {
+		t.Fatal("predicate rejected")
+	}
+	if !allow(1) || !allow(2) || allow(3) {
+		t.Fatal("predicate membership wrong")
+	}
+	if _, ok := f.Predicate([]string{"the"}); ok {
+		t.Fatal("stop-word predicate should be rejected")
+	}
+}

@@ -1,0 +1,127 @@
+// Package knn provides the bounded result heap every search algorithm in
+// this repository shares, plus the result-set error metric the paper uses
+// to evaluate CSSIA (§7.1: missed exact neighbors divided by k).
+package knn
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Result is one k-NN candidate.
+type Result struct {
+	ID   uint32
+	Dist float64
+}
+
+// Heap maintains the k best (smallest-distance) results seen so far as a
+// max-heap, so the worst kept result is inspectable in O(1). The zero
+// value is not usable; construct with NewHeap.
+type Heap struct {
+	k     int
+	items []Result
+}
+
+// NewHeap returns a heap retaining the k smallest-distance results.
+func NewHeap(k int) *Heap {
+	if k < 1 {
+		panic("knn: k must be >= 1")
+	}
+	return &Heap{k: k, items: make([]Result, 0, k+1)}
+}
+
+// maxHeap adapts items to container/heap with the largest distance on top.
+type maxHeap []Result
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// K returns the heap's capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len returns the number of results currently held.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Full reports whether k results are held.
+func (h *Heap) Full() bool { return len(h.items) >= h.k }
+
+// Bound returns the distance of the current k-th nearest neighbor, or
+// +Inf semantics via ok=false while fewer than k results are held. The
+// paper's U (d(q,o_nn)).
+func (h *Heap) Bound() (float64, bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.items[0].Dist, true
+}
+
+// Push offers a candidate. It returns true if the candidate was kept
+// (i.e., the heap was not full or the candidate beat the current worst).
+func (h *Heap) Push(r Result) bool {
+	if len(h.items) < h.k {
+		mh := maxHeap(h.items)
+		heap.Push(&mh, r)
+		h.items = mh
+		return true
+	}
+	if r.Dist >= h.items[0].Dist {
+		return false
+	}
+	mh := maxHeap(h.items)
+	mh[0] = r
+	heap.Fix(&mh, 0)
+	h.items = mh
+	return true
+}
+
+// Items returns the held results in unspecified order (shared storage;
+// do not mutate).
+func (h *Heap) Items() []Result { return h.items }
+
+// Sorted returns the held results ordered by ascending distance, ties
+// broken by ascending ID for determinism.
+func (h *Heap) Sorted() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	SortResults(out)
+	return out
+}
+
+// SortResults orders results by ascending distance, then ascending ID.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// ErrorRate returns the paper's CSSIA error metric: the fraction of the
+// exact result set missing from the approximate one (|exact \ approx| / k,
+// §7.1). It panics if exact is empty.
+func ErrorRate(exact, approx []Result) float64 {
+	if len(exact) == 0 {
+		panic("knn: ErrorRate with empty exact result set")
+	}
+	got := make(map[uint32]struct{}, len(approx))
+	for _, r := range approx {
+		got[r.ID] = struct{}{}
+	}
+	missing := 0
+	for _, r := range exact {
+		if _, ok := got[r.ID]; !ok {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(exact))
+}

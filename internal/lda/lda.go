@@ -1,0 +1,222 @@
+// Package lda implements Latent Dirichlet Allocation via collapsed Gibbs
+// sampling. The paper's related work (§2) describes the NIQ-tree and
+// LHQ-tree using LDA-derived topic relevance as their semantic layer —
+// in contrast with CSSI's word embeddings — so this substrate exists to
+// build the NIQ-style competitor (internal/niqtree) the S²R-tree paper
+// compared against.
+//
+// Documents are slices of word ranks (the tokenized, stop-word-free form
+// produced by the text package). Fit runs collapsed Gibbs sweeps over
+// token-topic assignments; Infer folds a new document in against the
+// fitted topic-word distribution.
+package lda
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Config controls Fit.
+type Config struct {
+	// Topics is the number of latent topics T. Required, >= 2.
+	Topics int
+	// Alpha and Beta are the Dirichlet priors for document-topic and
+	// topic-word distributions (defaults 50/T and 0.01, standard
+	// heuristics).
+	Alpha, Beta float64
+	// Iterations is the number of Gibbs sweeps (default 50).
+	Iterations int
+	// Seed drives the sampler deterministically.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Alpha <= 0 {
+		c.Alpha = 50 / float64(c.Topics)
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 50
+	}
+}
+
+// Model is a fitted LDA model.
+type Model struct {
+	// Topics is T; VocabSize is V.
+	Topics, VocabSize int
+	// Theta[d][t] is document d's topic distribution (rows sum to 1).
+	Theta [][]float64
+	// Phi[t][v] is topic t's word distribution (rows sum to 1).
+	Phi [][]float64
+
+	alpha, beta float64
+}
+
+// Fit trains a model on the corpus. Each document is a slice of word
+// ranks in [0, vocabSize). Empty documents are allowed (their theta is
+// uniform).
+func Fit(docs [][]int, vocabSize int, cfg Config) (*Model, error) {
+	if cfg.Topics < 2 {
+		return nil, fmt.Errorf("lda: Topics = %d, want >= 2", cfg.Topics)
+	}
+	if vocabSize < 1 {
+		return nil, fmt.Errorf("lda: vocabSize = %d, want >= 1", vocabSize)
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("lda: no documents")
+	}
+	cfg.applyDefaults()
+	T, V := cfg.Topics, vocabSize
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6c6461))
+
+	// Gibbs state.
+	z := make([][]int, len(docs)) // token-topic assignments
+	docTopic := make([][]int, len(docs))
+	topicWord := make([][]int, T)
+	topicTotal := make([]int, T)
+	for t := 0; t < T; t++ {
+		topicWord[t] = make([]int, V)
+	}
+	for d, doc := range docs {
+		z[d] = make([]int, len(doc))
+		docTopic[d] = make([]int, T)
+		for i, w := range doc {
+			if w < 0 || w >= V {
+				return nil, fmt.Errorf("lda: word rank %d out of [0,%d) in document %d", w, V, d)
+			}
+			t := rng.IntN(T)
+			z[d][i] = t
+			docTopic[d][t]++
+			topicWord[t][w]++
+			topicTotal[t]++
+		}
+	}
+
+	probs := make([]float64, T)
+	vb := float64(V) * cfg.Beta
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for d, doc := range docs {
+			for i, w := range doc {
+				old := z[d][i]
+				docTopic[d][old]--
+				topicWord[old][w]--
+				topicTotal[old]--
+				var total float64
+				for t := 0; t < T; t++ {
+					p := (float64(docTopic[d][t]) + cfg.Alpha) *
+						(float64(topicWord[t][w]) + cfg.Beta) /
+						(float64(topicTotal[t]) + vb)
+					probs[t] = p
+					total += p
+				}
+				u := rng.Float64() * total
+				nt := T - 1
+				for t := 0; t < T; t++ {
+					u -= probs[t]
+					if u <= 0 {
+						nt = t
+						break
+					}
+				}
+				z[d][i] = nt
+				docTopic[d][nt]++
+				topicWord[nt][w]++
+				topicTotal[nt]++
+			}
+		}
+	}
+
+	m := &Model{Topics: T, VocabSize: V, alpha: cfg.Alpha, beta: cfg.Beta}
+	m.Theta = make([][]float64, len(docs))
+	for d, doc := range docs {
+		m.Theta[d] = thetaFromCounts(docTopic[d], len(doc), cfg.Alpha)
+	}
+	m.Phi = make([][]float64, T)
+	for t := 0; t < T; t++ {
+		row := make([]float64, V)
+		denom := float64(topicTotal[t]) + vb
+		for v := 0; v < V; v++ {
+			row[v] = (float64(topicWord[t][v]) + cfg.Beta) / denom
+		}
+		m.Phi[t] = row
+	}
+	return m, nil
+}
+
+func thetaFromCounts(counts []int, docLen int, alpha float64) []float64 {
+	T := len(counts)
+	out := make([]float64, T)
+	denom := float64(docLen) + float64(T)*alpha
+	for t, c := range counts {
+		out[t] = (float64(c) + alpha) / denom
+	}
+	return out
+}
+
+// Infer folds a new document in against the fitted Phi with a short
+// Gibbs chain, returning its topic distribution. It is deterministic for
+// a given seed.
+func (m *Model) Infer(doc []int, iterations int, seed uint64) []float64 {
+	if iterations <= 0 {
+		iterations = 20
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x696e666572))
+	T := m.Topics
+	counts := make([]int, T)
+	z := make([]int, len(doc))
+	for i, w := range doc {
+		if w < 0 || w >= m.VocabSize {
+			z[i] = -1 // out of vocabulary: ignore
+			continue
+		}
+		t := rng.IntN(T)
+		z[i] = t
+		counts[t]++
+	}
+	probs := make([]float64, T)
+	for iter := 0; iter < iterations; iter++ {
+		for i, w := range doc {
+			if z[i] < 0 {
+				continue
+			}
+			counts[z[i]]--
+			var total float64
+			for t := 0; t < T; t++ {
+				p := (float64(counts[t]) + m.alpha) * m.Phi[t][w]
+				probs[t] = p
+				total += p
+			}
+			u := rng.Float64() * total
+			nt := T - 1
+			for t := 0; t < T; t++ {
+				u -= probs[t]
+				if u <= 0 {
+					nt = t
+					break
+				}
+			}
+			z[i] = nt
+			counts[nt]++
+		}
+	}
+	n := 0
+	for _, zi := range z {
+		if zi >= 0 {
+			n++
+		}
+	}
+	return thetaFromCounts(counts, n, m.alpha)
+}
+
+// DominantTopic returns the argmax topic of a distribution.
+func DominantTopic(theta []float64) int {
+	best := 0
+	for t, p := range theta {
+		if p > theta[best] {
+			best = t
+		}
+	}
+	return best
+}

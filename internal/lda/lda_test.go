@@ -1,0 +1,209 @@
+package lda
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// synthCorpus builds documents from trueTopics disjoint word blocks, so
+// topic recovery is unambiguous.
+func synthCorpus(rng *rand.Rand, docs, trueTopics, wordsPerTopic, docLen int) (corpus [][]int, labels []int, vocab int) {
+	vocab = trueTopics * wordsPerTopic
+	corpus = make([][]int, docs)
+	labels = make([]int, docs)
+	for d := range corpus {
+		topic := rng.IntN(trueTopics)
+		labels[d] = topic
+		doc := make([]int, docLen)
+		for i := range doc {
+			if rng.Float64() < 0.9 {
+				doc[i] = topic*wordsPerTopic + rng.IntN(wordsPerTopic)
+			} else {
+				doc[i] = rng.IntN(vocab)
+			}
+		}
+		corpus[d] = doc
+	}
+	return corpus, labels, vocab
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit(nil, 10, Config{Topics: 3}); err == nil {
+		t.Fatal("expected error for empty corpus")
+	}
+	if _, err := Fit([][]int{{0}}, 10, Config{Topics: 1}); err == nil {
+		t.Fatal("expected error for Topics=1")
+	}
+	if _, err := Fit([][]int{{0}}, 0, Config{Topics: 2}); err == nil {
+		t.Fatal("expected error for vocabSize=0")
+	}
+	if _, err := Fit([][]int{{99}}, 10, Config{Topics: 2}); err == nil {
+		t.Fatal("expected error for out-of-range word")
+	}
+}
+
+func TestDistributionsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	corpus, _, vocab := synthCorpus(rng, 50, 3, 10, 20)
+	m, err := Fit(corpus, vocab, Config{Topics: 3, Iterations: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, theta := range m.Theta {
+		var sum float64
+		for _, p := range theta {
+			if p < 0 {
+				t.Fatalf("doc %d: negative probability", d)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d: theta sums to %v", d, sum)
+		}
+	}
+	for tt, phi := range m.Phi {
+		var sum float64
+		for _, p := range phi {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("topic %d: phi sums to %v", tt, sum)
+		}
+	}
+}
+
+// LDA must recover well-separated topics: documents with the same true
+// label should share a dominant topic.
+func TestTopicRecovery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	corpus, labels, vocab := synthCorpus(rng, 200, 3, 15, 30)
+	m, err := Fit(corpus, vocab, Config{Topics: 3, Iterations: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purity of dominant-topic assignment.
+	counts := map[[2]int]int{}
+	for d := range corpus {
+		counts[[2]int{DominantTopic(m.Theta[d]), labels[d]}]++
+	}
+	clusterTotal := map[int]int{}
+	clusterBest := map[int]int{}
+	for key, n := range counts {
+		clusterTotal[key[0]] += n
+		if n > clusterBest[key[0]] {
+			clusterBest[key[0]] = n
+		}
+	}
+	var pure, total int
+	for c, tot := range clusterTotal {
+		pure += clusterBest[c]
+		total += tot
+	}
+	if p := float64(pure) / float64(total); p < 0.9 {
+		t.Fatalf("topic purity %v < 0.9", p)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	corpus, _, vocab := synthCorpus(rng, 40, 2, 8, 15)
+	a, _ := Fit(corpus, vocab, Config{Topics: 2, Iterations: 15, Seed: 9})
+	b, _ := Fit(corpus, vocab, Config{Topics: 2, Iterations: 15, Seed: 9})
+	for d := range a.Theta {
+		for tt := range a.Theta[d] {
+			if a.Theta[d][tt] != b.Theta[d][tt] {
+				t.Fatal("same seed gave different theta")
+			}
+		}
+	}
+}
+
+func TestInfer(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	corpus, labels, vocab := synthCorpus(rng, 200, 3, 15, 30)
+	m, err := Fit(corpus, vocab, Config{Topics: 3, Iterations: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map fitted topics to true labels via the training set.
+	topicToLabel := map[int]map[int]int{}
+	for d := range corpus {
+		tt := DominantTopic(m.Theta[d])
+		if topicToLabel[tt] == nil {
+			topicToLabel[tt] = map[int]int{}
+		}
+		topicToLabel[tt][labels[d]]++
+	}
+	dominantLabel := map[int]int{}
+	for tt, dist := range topicToLabel {
+		best, bestN := -1, -1
+		for l, n := range dist {
+			if n > bestN {
+				best, bestN = l, n
+			}
+		}
+		dominantLabel[tt] = best
+	}
+	// Fold in fresh documents and check label agreement.
+	fresh, freshLabels, _ := synthCorpus(rng, 60, 3, 15, 30)
+	hits := 0
+	for d, doc := range fresh {
+		theta := m.Infer(doc, 25, uint64(d))
+		var sum float64
+		for _, p := range theta {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("inferred theta sums to %v", sum)
+		}
+		if dominantLabel[DominantTopic(theta)] == freshLabels[d] {
+			hits++
+		}
+	}
+	if float64(hits)/float64(len(fresh)) < 0.85 {
+		t.Fatalf("inference accuracy %d/%d too low", hits, len(fresh))
+	}
+}
+
+func TestInferHandlesOOVAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	corpus, _, vocab := synthCorpus(rng, 30, 2, 8, 15)
+	m, err := Fit(corpus, vocab, Config{Topics: 2, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.Infer([]int{-1, vocab + 5}, 10, 1) // all out of vocabulary
+	var sum float64
+	for _, p := range theta {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("OOV theta sums to %v", sum)
+	}
+	theta = m.Infer(nil, 10, 1)
+	if len(theta) != 2 {
+		t.Fatal("empty doc inference broken")
+	}
+}
+
+func TestEmptyDocumentInCorpus(t *testing.T) {
+	corpus := [][]int{{0, 1, 2}, {}, {3, 4}}
+	m, err := Fit(corpus, 5, Config{Topics: 2, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range m.Theta[1] {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("empty doc theta sums to %v", sum)
+	}
+}
+
+func TestDominantTopic(t *testing.T) {
+	if DominantTopic([]float64{0.2, 0.5, 0.3}) != 1 {
+		t.Fatal("DominantTopic wrong")
+	}
+}

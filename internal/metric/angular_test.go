@@ -1,0 +1,100 @@
+package metric
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+func TestAngularDistBasics(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if d := vec.AngularDist(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("orthogonal distance = %v, want 0.5", d)
+	}
+	if d := vec.AngularDist(a, []float32{-1, 0}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("opposite distance = %v, want 1", d)
+	}
+	if d := vec.AngularDist(a, []float32{5, 0}); d != 0 {
+		t.Fatalf("parallel distance = %v, want 0 (scale invariance)", d)
+	}
+	if d := vec.AngularDist(a, a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+func TestAngularDistZeroVectors(t *testing.T) {
+	z := []float32{0, 0}
+	a := []float32{1, 2}
+	if d := vec.AngularDist(z, z); d != 0 {
+		t.Fatalf("zero-zero = %v", d)
+	}
+	if d := vec.AngularDist(z, a); d != 1 {
+		t.Fatalf("zero-nonzero = %v, want 1", d)
+	}
+}
+
+// Property: the angular distance satisfies the metric axioms (symmetry,
+// identity-like behavior on directions, triangle inequality) — the
+// precondition for the paper's bounds (§4.2) under this metric.
+func TestAngularMetricAxioms(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 2 + rng.IntN(16)
+		mk := func() []float32 {
+			v := make([]float32, n)
+			for i := range v {
+				v[i] = float32(rng.NormFloat64())
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		dab, dba := vec.AngularDist(a, b), vec.AngularDist(b, a)
+		if math.Abs(dab-dba) > 1e-12 {
+			return false
+		}
+		if dab < 0 || dab > 1 {
+			return false
+		}
+		return vec.AngularDist(a, c) <= dab+vec.AngularDist(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSpaceWithSemanticAngular(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 100, Dim: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSpaceWithSemantic(ds, AngularSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.DtMax != 1 || sp.SemanticKind != AngularSemantic {
+		t.Fatalf("space = %+v", sp)
+	}
+	// SemanticVec routes to the angular metric.
+	d := sp.SemanticVec([]float32{1, 0, 0, 0, 0, 0, 0, 0}, []float32{0, 1, 0, 0, 0, 0, 0, 0})
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("angular SemanticVec = %v", d)
+	}
+	// The combined λ-distance remains a metric.
+	for trial := 0; trial < 200; trial++ {
+		a := &ds.Objects[trial%ds.Len()]
+		b := &ds.Objects[(trial*7+1)%ds.Len()]
+		c := &ds.Objects[(trial*13+2)%ds.Len()]
+		lambda := float64(trial%11) / 10
+		dac := sp.Distance(nil, lambda, a, c)
+		dab := sp.Distance(nil, lambda, a, b)
+		dbc := sp.Distance(nil, lambda, b, c)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("triangle inequality broken at λ=%v", lambda)
+		}
+	}
+}

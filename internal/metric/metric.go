@@ -1,0 +1,204 @@
+// Package metric defines the paper's distance model (§3): a normalized
+// spatial Euclidean distance ds, a normalized semantic Euclidean distance
+// dt, and their λ-weighted combination d = λ·ds + (1−λ)·dt, plus the
+// projected-space variant d't used by CSSIA. All distances are normalized
+// by conservative maxima estimated from per-dimension corner points
+// (paper footnote 1), so every component lies in [0,1].
+//
+// The package also carries the distance-calculation counters the
+// evaluation reports (Fig. 16 measures exactly these).
+package metric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+// SemanticMetric selects the semantic distance function. The paper's
+// theory (§4.2) holds for arbitrary metrics; the evaluation uses the
+// normalized Euclidean distance, and the angular option exists to
+// demonstrate (and test) metric-independence.
+type SemanticMetric int
+
+const (
+	// EuclideanSemantic is the paper's normalized Euclidean distance.
+	EuclideanSemantic SemanticMetric = iota
+	// AngularSemantic is the angle between embedding vectors divided by
+	// π — the metric counterpart of cosine similarity.
+	AngularSemantic
+)
+
+// Space is the normalized spatio-semantic metric space of one dataset.
+type Space struct {
+	// DsMax and DtMax are the conservative spatial/semantic diameter
+	// estimates used as normalizers.
+	DsMax, DtMax float64
+	// DtProjMax normalizes distances in the m-dimensional projected
+	// space (set by SetProjectedNormalizer; zero until then).
+	DtProjMax float64
+	// Semantic selects the semantic distance (default Euclidean).
+	// Angular distances are natively in [0,1], so DtMax is 1 then.
+	SemanticKind SemanticMetric
+}
+
+// NewSpace estimates the normalizers from the dataset using the corner
+// points of the per-dimension bounding box (paper footnote 1: distance
+// from the virtual all-minima point to the virtual all-maxima point),
+// with the Euclidean semantic metric.
+func NewSpace(ds *dataset.Dataset) (*Space, error) {
+	return NewSpaceWithSemantic(ds, EuclideanSemantic)
+}
+
+// NewSpaceWithSemantic is NewSpace with an explicit semantic metric.
+func NewSpaceWithSemantic(ds *dataset.Dataset, kind SemanticMetric) (*Space, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("metric: empty dataset")
+	}
+	minX, maxX := ds.Objects[0].X, ds.Objects[0].X
+	minY, maxY := ds.Objects[0].Y, ds.Objects[0].Y
+	vecs := make([][]float32, ds.Len())
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		if o.X < minX {
+			minX = o.X
+		}
+		if o.X > maxX {
+			maxX = o.X
+		}
+		if o.Y < minY {
+			minY = o.Y
+		}
+		if o.Y > maxY {
+			maxY = o.Y
+		}
+		vecs[i] = o.Vec
+	}
+	s := &Space{
+		DsMax:        math.Hypot(maxX-minX, maxY-minY),
+		SemanticKind: kind,
+	}
+	if kind == AngularSemantic {
+		s.DtMax = 1 // angular distances are natively normalized
+	} else {
+		lo, hi := vec.MinMax(vecs)
+		s.DtMax = vec.Dist(lo, hi)
+	}
+	if s.DsMax == 0 {
+		s.DsMax = 1 // all objects at one location; any positive value works
+	}
+	if s.DtMax == 0 {
+		s.DtMax = 1
+	}
+	return s, nil
+}
+
+// SetProjectedNormalizer estimates DtProjMax from the projected vectors
+// with the same corner-point rule.
+func (s *Space) SetProjectedNormalizer(projected [][]float32) {
+	if len(projected) == 0 {
+		s.DtProjMax = 1
+		return
+	}
+	lo, hi := vec.MinMax(projected)
+	s.DtProjMax = vec.Dist(lo, hi)
+	if s.DtProjMax == 0 {
+		s.DtProjMax = 1
+	}
+}
+
+// Stats counts the work done while answering one query (or a batch).
+// The paper reports visited objects and per-space distance calculations.
+type Stats struct {
+	// SpatialDistCalcs and SemanticDistCalcs count object-level distance
+	// computations in each space (Fig. 16's metric is their sum).
+	SpatialDistCalcs, SemanticDistCalcs int64
+	// VisitedObjects counts objects whose full distance to the query was
+	// evaluated.
+	VisitedObjects int64
+	// InterPruned counts objects skipped because their whole cluster (or
+	// subtree) was pruned; IntraPruned counts objects skipped inside an
+	// examined cluster.
+	InterPruned, IntraPruned int64
+	// ClustersExamined and ClustersPruned count hybrid clusters (or
+	// index nodes) examined vs pruned wholesale.
+	ClustersExamined, ClustersPruned int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.SpatialDistCalcs += o.SpatialDistCalcs
+	s.SemanticDistCalcs += o.SemanticDistCalcs
+	s.VisitedObjects += o.VisitedObjects
+	s.InterPruned += o.InterPruned
+	s.IntraPruned += o.IntraPruned
+	s.ClustersExamined += o.ClustersExamined
+	s.ClustersPruned += o.ClustersPruned
+}
+
+// DistCalcs returns the total number of per-space distance calculations.
+func (s *Stats) DistCalcs() int64 { return s.SpatialDistCalcs + s.SemanticDistCalcs }
+
+// SpatialXY returns the normalized spatial distance between two raw
+// coordinate pairs.
+func (s *Space) SpatialXY(ax, ay, bx, by float64) float64 {
+	return math.Hypot(ax-bx, ay-by) / s.DsMax
+}
+
+// Spatial returns ds(q,o), counting one spatial distance calculation.
+func (s *Space) Spatial(st *Stats, qx, qy, ox, oy float64) float64 {
+	if st != nil {
+		st.SpatialDistCalcs++
+	}
+	return s.SpatialXY(qx, qy, ox, oy)
+}
+
+// SemanticVec returns the normalized semantic distance between two
+// n-dimensional vectors under the space's semantic metric.
+func (s *Space) SemanticVec(a, b []float32) float64 {
+	if s.SemanticKind == AngularSemantic {
+		return vec.AngularDist(a, b)
+	}
+	return vec.Dist(a, b) / s.DtMax
+}
+
+// Semantic returns dt(q,o), counting one semantic distance calculation.
+func (s *Space) Semantic(st *Stats, a, b []float32) float64 {
+	if st != nil {
+		st.SemanticDistCalcs++
+	}
+	return s.SemanticVec(a, b)
+}
+
+// SemanticProjVec returns the normalized semantic distance in the
+// projected space (d't). SetProjectedNormalizer must have been called.
+func (s *Space) SemanticProjVec(a, b []float32) float64 {
+	return vec.Dist(a, b) / s.DtProjMax
+}
+
+// SemanticProj returns d't(q,o), counting one semantic distance
+// calculation.
+func (s *Space) SemanticProj(st *Stats, a, b []float32) float64 {
+	if st != nil {
+		st.SemanticDistCalcs++
+	}
+	return s.SemanticProjVec(a, b)
+}
+
+// Combine applies the λ-weighting of Eq. 1.
+func Combine(lambda, ds, dt float64) float64 {
+	return lambda*ds + (1-lambda)*dt
+}
+
+// Distance computes d(q,o) = λ·ds + (1−λ)·dt for two objects, counting
+// one visited object and one distance calculation per space.
+func (s *Space) Distance(st *Stats, lambda float64, q, o *dataset.Object) float64 {
+	if st != nil {
+		st.VisitedObjects++
+	}
+	ds := s.Spatial(st, q.X, q.Y, o.X, o.Y)
+	dt := s.Semantic(st, q.Vec, o.Vec)
+	return Combine(lambda, ds, dt)
+}

@@ -1,0 +1,126 @@
+package niqtree
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/lda"
+	"repro/internal/metric"
+	"repro/internal/scan"
+)
+
+func setup(t *testing.T, size int) (*dataset.Dataset, *metric.Space, *Index, *scan.Scanner) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: size, Dim: 24, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metric.NewSpace(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topics, err := AssignTopicsLDA(ds, ds.Model.Vocab, 8, lda.Config{Iterations: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds, sp, topics, Config{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, sp, idx, scan.New(ds, sp)
+}
+
+func TestSearchMatchesScan(t *testing.T) {
+	ds, _, idx, sc := setup(t, 600)
+	for _, lambda := range []float64{0, 0.3, 0.5, 0.8, 1} {
+		for qi := 0; qi < 6; qi++ {
+			q := ds.Objects[(qi*67+9)%ds.Len()]
+			want := sc.Search(&q, 10, lambda, nil)
+			got := idx.Search(&q, 10, lambda, nil)
+			if len(got) != len(want) {
+				t.Fatalf("λ=%v: got %d results", lambda, len(got))
+			}
+			for i := range want {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("λ=%v q=%d result %d: %v vs %v", lambda, q.ID, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildRejectsMismatchedTopics(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 20, Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := metric.NewSpace(ds)
+	if _, err := Build(ds, sp, []int{1, 2}, Config{}); err == nil {
+		t.Fatal("expected error for mismatched topics")
+	}
+}
+
+func TestSpatialOnlyPrunesWell(t *testing.T) {
+	ds, _, idx, _ := setup(t, 3000)
+	q := ds.Objects[5]
+	var st metric.Stats
+	idx.Search(&q, 10, 1.0, &st)
+	if st.VisitedObjects >= int64(ds.Len())/2 {
+		t.Fatalf("λ=1 visited %d of %d — quadtree not pruning", st.VisitedObjects, ds.Len())
+	}
+}
+
+// The spatial-first weakness: at λ=0 the internal-node bounds are all
+// zero and pruning is weak — the reason the paper rejects this design.
+func TestSemanticOnlyPrunesPoorly(t *testing.T) {
+	ds, _, idx, _ := setup(t, 3000)
+	q := ds.Objects[5]
+	var st0, st1 metric.Stats
+	idx.Search(&q, 10, 0.0, &st0)
+	idx.Search(&q, 10, 1.0, &st1)
+	if st0.VisitedObjects <= st1.VisitedObjects {
+		t.Fatalf("expected λ=0 (%d) to visit more than λ=1 (%d)", st0.VisitedObjects, st1.VisitedObjects)
+	}
+}
+
+func TestUniformTopicsStillExact(t *testing.T) {
+	// All objects in one topic group per leaf: degenerate but valid.
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.YelpLike, Size: 300, Dim: 16, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := metric.NewSpace(ds)
+	topics := make([]int, ds.Len())
+	idx, err := Build(ds, sp, topics, Config{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scan.New(ds, sp)
+	q := ds.Objects[7]
+	want := sc.Search(&q, 10, 0.5, nil)
+	got := idx.Search(&q, 10, 0.5, nil)
+	for i := range want {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d: %v vs %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	sp := &metric.Space{DsMax: 1, DtMax: 1}
+	idx, err := Build(&dataset.Dataset{Dim: 4}, sp, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Object{Vec: make([]float32, 4)}
+	if got := idx.Search(&q, 3, 0.5, nil); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}
+
+func TestAssignTopicsLDAErrors(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 20, Dim: 8, Seed: 3})
+	if _, err := AssignTopicsLDA(ds, nil, 4, lda.Config{}); err == nil {
+		t.Fatal("expected error for nil vocabulary")
+	}
+}

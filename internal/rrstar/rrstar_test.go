@@ -1,0 +1,118 @@
+package rrstar
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/metric"
+	"repro/internal/scan"
+)
+
+func setup(t *testing.T, size int) (*dataset.Dataset, *Index, *scan.Scanner) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: size, Dim: 16, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metric.NewSpace(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, Build(ds, sp, Config{Seed: 1}), scan.New(ds, sp)
+}
+
+func TestSearchMatchesScan(t *testing.T) {
+	ds, idx, sc := setup(t, 600)
+	for _, lambda := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		for qi := 0; qi < 8; qi++ {
+			q := ds.Objects[(qi*43+11)%ds.Len()]
+			want := sc.Search(&q, 10, lambda, nil)
+			got := idx.Search(&q, 10, lambda, nil)
+			if len(got) != len(want) {
+				t.Fatalf("λ=%v: got %d results", lambda, len(got))
+			}
+			for i := range want {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("λ=%v q=%d result %d: %v vs %v", lambda, q.ID, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreReferencesStillExact(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.YelpLike, Size: 400, Dim: 16, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := metric.NewSpace(ds)
+	idx := Build(ds, sp, Config{RefsPerSpace: 5, Seed: 3})
+	sc := scan.New(ds, sp)
+	q := ds.Objects[31]
+	want := sc.Search(&q, 8, 0.6, nil)
+	got := idx.Search(&q, 8, 0.6, nil)
+	for i := range want {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d: %v vs %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	sp := &metric.Space{DsMax: 1, DtMax: 1}
+	idx := Build(&dataset.Dataset{Dim: 4}, sp, Config{})
+	q := dataset.Object{Vec: make([]float32, 4)}
+	if got := idx.Search(&q, 3, 0.5, nil); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}
+
+func TestReferenceCountsCharged(t *testing.T) {
+	ds, idx, _ := setup(t, 300)
+	var st metric.Stats
+	idx.Search(&ds.Objects[0], 5, 0.5, &st)
+	// Mapping the query alone charges RefsPerSpace calcs per space.
+	if st.SpatialDistCalcs < 3 || st.SemanticDistCalcs < 3 {
+		t.Fatalf("reference mapping not charged: %+v", st)
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 2, Dim: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := metric.NewSpace(ds)
+	idx := Build(ds, sp, Config{Seed: 1})
+	got := idx.Search(&ds.Objects[0], 10, 0.5, nil)
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+}
+
+// Property: the reference-space lower bound never exceeds the true
+// combined distance for any λ (the soundness of RR*-style pruning).
+func TestReferenceLowerBoundProperty(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 300, Dim: 16, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := metric.NewSpace(ds)
+	idx := Build(ds, sp, Config{RefsPerSpace: 4, Seed: 2})
+	for trial := 0; trial < 200; trial++ {
+		lambda := float64(trial%11) / 10
+		q := &ds.Objects[(trial*17+3)%ds.Len()]
+		o := &ds.Objects[(trial*31+11)%ds.Len()]
+		qm := idx.mapObject(q)
+		om := idx.mapObject(o)
+		// The degenerate rect at o's mapped point: its bound must not
+		// exceed d(q,o).
+		r := geo.RectFromPoint(om)
+		lb := idx.lowerBound(r, qm, lambda)
+		d := sp.Distance(nil, lambda, q, o)
+		if lb > d+1e-9 {
+			t.Fatalf("λ=%v: reference bound %v exceeds true distance %v", lambda, lb, d)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metric"
+	"repro/internal/scan"
+)
+
+func baselineSetup(t *testing.T, size int) (*dataset.Dataset, *metric.Space, *Baseline, *scan.Scanner) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: size, Dim: 16, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metric.NewSpace(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, sp, NewBaseline(ds, sp, 16), scan.New(ds, sp)
+}
+
+func TestBaselineMatchesScan(t *testing.T) {
+	ds, _, b, sc := baselineSetup(t, 500)
+	for _, lambda := range []float64{0.2, 0.5, 0.8, 1.0} {
+		for qi := 0; qi < 10; qi++ {
+			q := ds.Objects[qi*31%ds.Len()]
+			want := sc.Search(&q, 10, lambda, nil)
+			got := b.Search(&q, 10, lambda, nil)
+			if len(got) != len(want) {
+				t.Fatalf("λ=%v: got %d results", lambda, len(got))
+			}
+			for i := range want {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("λ=%v q=%d result %d: %v vs %v", lambda, q.ID, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+// With λ=0 the spatial lower bound is useless (always 0), so the baseline
+// must still be correct — it degenerates to visiting everything.
+func TestBaselineLambdaZeroStillExact(t *testing.T) {
+	ds, _, b, sc := baselineSetup(t, 300)
+	q := ds.Objects[5]
+	want := sc.Search(&q, 5, 0, nil)
+	var st metric.Stats
+	got := b.Search(&q, 5, 0, &st)
+	for i := range want {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d: %v vs %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+	if st.VisitedObjects != int64(ds.Len()) {
+		t.Fatalf("λ=0 should visit all %d objects, visited %d", ds.Len(), st.VisitedObjects)
+	}
+}
+
+// With λ=1 (pure spatial k-NN) the R-tree should prune most of the data.
+func TestBaselinePrunesWhenSpatial(t *testing.T) {
+	ds, _, b, _ := baselineSetup(t, 2000)
+	q := ds.Objects[7]
+	var st metric.Stats
+	got := b.Search(&q, 10, 1.0, &st)
+	if len(got) != 10 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if st.VisitedObjects >= int64(ds.Len())/2 {
+		t.Fatalf("λ=1 visited %d of %d objects — no pruning", st.VisitedObjects, ds.Len())
+	}
+}
+
+func TestBaselineKExceedsDataset(t *testing.T) {
+	ds, _, b, _ := baselineSetup(t, 8)
+	got := b.Search(&ds.Objects[0], 20, 0.5, nil)
+	if len(got) != 8 {
+		t.Fatalf("got %d results, want 8", len(got))
+	}
+}

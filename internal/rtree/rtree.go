@@ -1,0 +1,422 @@
+// Package rtree implements a d-dimensional rectangle R-tree with STR bulk
+// loading, quadratic-split insertion, and generic best-first traversal
+// (Hjaltason–Samet distance browsing). It backs the spatial-only baseline
+// of the evaluation (§7.1 "R-tree"), the spatial layer of the S²R-tree,
+// and the reference-space index of the RR*-tree baseline.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Entry is a leaf item: a rectangle (possibly degenerate, i.e. a point)
+// and the caller's item id.
+type Entry struct {
+	Rect geo.Rect
+	ID   uint32
+}
+
+type entry struct {
+	rect  geo.Rect
+	child *node  // nil at leaves
+	id    uint32 // valid at leaves
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an R-tree over d-dimensional rectangles.
+type Tree struct {
+	root       *node
+	dims       int
+	maxEntries int
+	minEntries int
+	size       int
+	split      SplitAlgorithm
+}
+
+// DefaultMaxEntries is the default node fan-out.
+const DefaultMaxEntries = 32
+
+// New returns an empty tree for rectangles of the given dimensionality.
+// maxEntries <= 0 selects DefaultMaxEntries.
+func New(dims, maxEntries int) *Tree {
+	if dims < 1 {
+		panic("rtree: dims must be >= 1")
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		dims:       dims,
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5, // R*-style 40% minimum fill
+	}
+}
+
+// BulkLoad builds a tree from the entries using Sort-Tile-Recursive
+// packing. The input slice is reordered in place.
+func BulkLoad(entries []Entry, dims, maxEntries int) *Tree {
+	t := New(dims, maxEntries)
+	if len(entries) == 0 {
+		return t
+	}
+	es := make([]entry, len(entries))
+	for i, e := range entries {
+		if e.Rect.Dims() != dims {
+			panic(fmt.Sprintf("rtree: entry dims %d != tree dims %d", e.Rect.Dims(), dims))
+		}
+		es[i] = entry{rect: e.Rect, id: e.ID}
+	}
+	level := packLevel(es, dims, t.maxEntries, true)
+	for len(level) > 1 {
+		parents := make([]entry, len(level))
+		for i, n := range level {
+			parents[i] = entry{rect: nodeRect(n, dims), child: n}
+		}
+		level = packLevel(parents, dims, t.maxEntries, false)
+	}
+	t.root = level[0]
+	t.size = len(entries)
+	return t
+}
+
+// packLevel groups entries into nodes of at most maxEntries using STR
+// tiling, returning the new nodes.
+func packLevel(es []entry, dims, maxEntries int, leaf bool) []*node {
+	groups := strPack(es, dims, maxEntries, 0)
+	nodes := make([]*node, len(groups))
+	for i, g := range groups {
+		nodes[i] = &node{leaf: leaf, entries: g}
+	}
+	return nodes
+}
+
+// strPack recursively tiles es along dimension dim, producing groups of
+// at most m entries.
+func strPack(es []entry, dims, m, dim int) [][]entry {
+	if len(es) <= m {
+		return [][]entry{es}
+	}
+	if dim >= dims-1 {
+		// Final dimension: sort and chop.
+		sortByCenter(es, dim)
+		var out [][]entry
+		for lo := 0; lo < len(es); lo += m {
+			hi := lo + m
+			if hi > len(es) {
+				hi = len(es)
+			}
+			out = append(out, es[lo:hi:hi])
+		}
+		return out
+	}
+	numGroups := (len(es) + m - 1) / m
+	// Number of slabs along this dimension: numGroups^(1/remainingDims).
+	remaining := dims - dim
+	slabs := int(math.Ceil(math.Pow(float64(numGroups), 1/float64(remaining))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (len(es) + slabs - 1) / slabs
+	sortByCenter(es, dim)
+	var out [][]entry
+	for lo := 0; lo < len(es); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(es) {
+			hi = len(es)
+		}
+		out = append(out, strPack(es[lo:hi:hi], dims, m, dim+1)...)
+	}
+	return out
+}
+
+func sortByCenter(es []entry, dim int) {
+	sort.Slice(es, func(i, j int) bool {
+		ci := es[i].rect.Lo[dim] + es[i].rect.Hi[dim]
+		cj := es[j].rect.Lo[dim] + es[j].rect.Hi[dim]
+		return ci < cj
+	})
+}
+
+func nodeRect(n *node, dims int) geo.Rect {
+	r := geo.NewRect(dims)
+	for i := range n.entries {
+		r.ExtendRect(n.entries[i].rect)
+	}
+	return r
+}
+
+// Size returns the number of stored entries.
+func (t *Tree) Size() int { return t.size }
+
+// Dims returns the dimensionality of the tree.
+func (t *Tree) Dims() int { return t.dims }
+
+// Height returns the number of levels (1 for a tree holding only a leaf
+// root).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+	}
+	return h
+}
+
+// Insert adds an entry, splitting nodes as needed with the configured
+// split algorithm (R* by default).
+func (t *Tree) Insert(e Entry) {
+	if e.Rect.Dims() != t.dims {
+		panic(fmt.Sprintf("rtree: entry dims %d != tree dims %d", e.Rect.Dims(), t.dims))
+	}
+	t.size++
+	split := t.insert(t.root, entry{rect: e.Rect, id: e.ID})
+	if split != nil {
+		old := t.root
+		t.root = &node{
+			leaf: false,
+			entries: []entry{
+				{rect: nodeRect(old, t.dims), child: old},
+				{rect: nodeRect(split, t.dims), child: split},
+			},
+		}
+	}
+}
+
+// insert descends to a leaf and returns a sibling node if n was split.
+func (t *Tree) insert(n *node, e entry) *node {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	best := t.chooseSubtree(n, e.rect)
+	child := n.entries[best].child
+	split := t.insert(child, e)
+	n.entries[best].rect.ExtendRect(e.rect)
+	if split != nil {
+		n.entries[best].rect = nodeRect(child, t.dims)
+		n.entries = append(n.entries, entry{rect: nodeRect(split, t.dims), child: split})
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose rect needs least enlargement
+// (ties: smaller area).
+func (t *Tree) chooseSubtree(n *node, r geo.Rect) int {
+	best := 0
+	bestEnl, bestArea := -1.0, 0.0
+	for i := range n.entries {
+		area := n.entries[i].rect.Area()
+		enl := n.entries[i].rect.EnlargedArea(r) - area
+		if bestEnl < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode dispatches to the configured split algorithm.
+func (t *Tree) splitNode(n *node) *node {
+	if t.split == Quadratic {
+		return t.quadraticSplit(n)
+	}
+	return t.rstarSplit(n)
+}
+
+// quadraticSplit splits an overfull node in place and returns the new
+// sibling (Guttman's quadratic algorithm).
+func (t *Tree) quadraticSplit(n *node) *node {
+	es := n.entries
+	// Pick the pair wasting the most area as seeds.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			waste := es[i].rect.EnlargedArea(es[j].rect) - es[i].rect.Area() - es[j].rect.Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groupA := []entry{es[seedA]}
+	groupB := []entry{es[seedB]}
+	rectA := es[seedA].rect.Clone()
+	rectB := es[seedB].rect.Clone()
+	rest := make([]entry, 0, len(es)-2)
+	for i := range es {
+		if i != seedA && i != seedB {
+			rest = append(rest, es[i])
+		}
+	}
+	for len(rest) > 0 {
+		// Force-assign to meet the minimum fill.
+		if len(groupA)+len(rest) == t.minEntries {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				rectA.ExtendRect(e.rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				rectB.ExtendRect(e.rect)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bestI, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dA := rectA.EnlargedArea(e.rect) - rectA.Area()
+			dB := rectB.EnlargedArea(e.rect) - rectB.Area()
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestI = diff, i
+			}
+		}
+		e := rest[bestI]
+		rest[bestI] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		dA := rectA.EnlargedArea(e.rect) - rectA.Area()
+		dB := rectB.EnlargedArea(e.rect) - rectB.Area()
+		if dA < dB || (dA == dB && len(groupA) < len(groupB)) {
+			groupA = append(groupA, e)
+			rectA.ExtendRect(e.rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB.ExtendRect(e.rect)
+		}
+	}
+	n.entries = groupA
+	return &node{leaf: n.leaf, entries: groupB}
+}
+
+// pqItem is a best-first queue element: either a node or a leaf entry.
+type pqItem struct {
+	dist float64
+	n    *node // nil for object items
+	id   uint32
+	rect geo.Rect
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// BestFirst traverses the tree in ascending order of nodeLB over entry
+// rectangles, calling emit for each leaf entry (objects arrive in
+// ascending lower-bound order). emit returns false to stop the
+// traversal — for k-NN, stop once the popped lower bound reaches the
+// current k-th best distance. nodesVisited counts internal+leaf nodes
+// popped (an index-overhead measure).
+func (t *Tree) BestFirst(nodeLB func(geo.Rect) float64, emit func(id uint32, lb float64) bool) (nodesVisited int) {
+	if t.size == 0 {
+		return 0
+	}
+	q := pq{{dist: nodeLB(nodeRect(t.root, t.dims)), n: t.root}}
+	for len(q) > 0 {
+		item := heap.Pop(&q).(pqItem)
+		if item.n == nil {
+			if !emit(item.id, item.dist) {
+				return nodesVisited
+			}
+			continue
+		}
+		nodesVisited++
+		for i := range item.n.entries {
+			e := &item.n.entries[i]
+			d := nodeLB(e.rect)
+			if e.child != nil {
+				heap.Push(&q, pqItem{dist: d, n: e.child})
+			} else {
+				heap.Push(&q, pqItem{dist: d, id: e.id, rect: e.rect})
+			}
+		}
+	}
+	return nodesVisited
+}
+
+// Validate checks structural invariants (for tests): child rectangles are
+// contained in their parent entry rectangle, leaves are at a uniform
+// depth, fan-out respects maxEntries, and the entry count matches Size.
+func (t *Tree) Validate() error {
+	count := 0
+	leafDepth := -1
+	var walk func(n *node, depth int, bound *geo.Rect) error
+	walk = func(n *node, depth int, bound *geo.Rect) error {
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("rtree: node with %d entries exceeds max %d", len(n.entries), t.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if bound != nil {
+				for d := 0; d < t.dims; d++ {
+					if e.rect.Lo[d] < bound.Lo[d]-1e-12 || e.rect.Hi[d] > bound.Hi[d]+1e-12 {
+						return fmt.Errorf("rtree: child rect escapes parent at dim %d", d)
+					}
+				}
+			}
+			if n.leaf {
+				count++
+			} else {
+				if e.child == nil {
+					return fmt.Errorf("rtree: internal entry without child")
+				}
+				want := nodeRect(e.child, t.dims)
+				for d := 0; d < t.dims; d++ {
+					if want.Lo[d] < e.rect.Lo[d]-1e-12 || want.Hi[d] > e.rect.Hi[d]+1e-12 {
+						return fmt.Errorf("rtree: stored rect does not cover child at dim %d", d)
+					}
+				}
+				if err := walk(e.child, depth+1, &e.rect); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: counted %d entries, Size() = %d", count, t.size)
+	}
+	return nil
+}

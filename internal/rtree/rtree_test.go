@@ -1,0 +1,291 @@
+package rtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func randPoints(rng *rand.Rand, n, dims int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		p := make([]float64, dims)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		out[i] = Entry{Rect: geo.RectFromPoint(p), ID: uint32(i)}
+	}
+	return out
+}
+
+func pointOf(e Entry) []float64 { return e.Rect.Lo }
+
+// knnBrute returns the ids of the k nearest points to q by brute force.
+func knnBrute(entries []Entry, q []float64, k int) []float64 {
+	type pair struct {
+		d  float64
+		id uint32
+	}
+	ps := make([]pair, len(entries))
+	for i, e := range entries {
+		var s float64
+		for j, v := range pointOf(e) {
+			s += (v - q[j]) * (v - q[j])
+		}
+		ps[i] = pair{math.Sqrt(s), e.ID}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].d
+	}
+	return out
+}
+
+// knnTree runs best-first k-NN over the tree with Euclidean point
+// distance and returns the k result distances in order.
+func knnTree(t *Tree, q []float64, k int) []float64 {
+	var out []float64
+	t.BestFirst(
+		func(r geo.Rect) float64 { return r.MinDist(q) },
+		func(id uint32, lb float64) bool {
+			out = append(out, lb) // for points, lb == exact distance
+			return len(out) < k
+		})
+	return out
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, 2, 0)
+	if tr.Size() != 0 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	visited := tr.BestFirst(func(geo.Rect) float64 { return 0 }, func(uint32, float64) bool { return true })
+	if visited != 0 {
+		t.Fatal("traversal of empty tree visited nodes")
+	}
+}
+
+func TestBulkLoadValidates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{1, 5, 33, 100, 1000} {
+		for _, dims := range []int{1, 2, 3, 5} {
+			tr := BulkLoad(randPoints(rng, n, dims), dims, 16)
+			if tr.Size() != n {
+				t.Fatalf("n=%d dims=%d Size=%d", n, dims, tr.Size())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("n=%d dims=%d: %v", n, dims, err)
+			}
+		}
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	tr := New(2, 8)
+	pts := randPoints(rng, 500, 2)
+	for _, e := range pts {
+		tr.Insert(e)
+	}
+	if tr.Size() != 500 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("Height = %d, expected splits to raise the tree", tr.Height())
+	}
+}
+
+func TestKNNMatchesBruteForceBulk(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	entries := randPoints(rng, 800, 2)
+	tr := BulkLoad(entries, 2, 16)
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		want := knnBrute(entries, q, 10)
+		got := knnTree(tr, q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d result %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForceInserted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	entries := randPoints(rng, 600, 3)
+	tr := New(3, 10)
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := knnBrute(entries, q, 7)
+		got := knnTree(tr, q, 7)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d result %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMixedBulkAndInsert(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	entries := randPoints(rng, 300, 2)
+	tr := BulkLoad(entries[:200], 2, 12)
+	for _, e := range entries[200:] {
+		tr.Insert(e)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	want := knnBrute(entries, q, 5)
+	got := knnTree(tr, q, 5)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("result %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBestFirstEmitsInAscendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	entries := randPoints(rng, 400, 2)
+	tr := BulkLoad(entries, 2, 16)
+	q := []float64{0.3, 0.7}
+	prev := -1.0
+	tr.BestFirst(
+		func(r geo.Rect) float64 { return r.MinDist(q) },
+		func(id uint32, lb float64) bool {
+			if lb < prev-1e-12 {
+				t.Fatalf("emitted out of order: %v after %v", lb, prev)
+			}
+			prev = lb
+			return true
+		})
+}
+
+func TestRectEntries(t *testing.T) {
+	// Non-degenerate rectangles (boxes) also work.
+	entries := []Entry{
+		{Rect: geo.Rect{Lo: []float64{0, 0}, Hi: []float64{1, 1}}, ID: 1},
+		{Rect: geo.Rect{Lo: []float64{5, 5}, Hi: []float64{6, 7}}, ID: 2},
+		{Rect: geo.Rect{Lo: []float64{2, 2}, Hi: []float64{3, 3}}, ID: 3},
+	}
+	tr := BulkLoad(entries, 2, 4)
+	q := []float64{5.5, 6}
+	var first uint32
+	tr.BestFirst(
+		func(r geo.Rect) float64 { return r.MinDist(q) },
+		func(id uint32, lb float64) bool { first = id; return false })
+	if first != 2 {
+		t.Fatalf("nearest rect = %d, want 2", first)
+	}
+}
+
+func TestInsertDimMismatchPanics(t *testing.T) {
+	tr := New(2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Insert(Entry{Rect: geo.RectFromPoint([]float64{1, 2, 3})})
+}
+
+// Property: for random data, bulk and insert trees agree with brute force
+// on the nearest neighbor.
+func TestNearestNeighborProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := 10 + rng.IntN(300)
+		dims := 1 + rng.IntN(4)
+		entries := randPoints(rng, n, dims)
+		tr := BulkLoad(entries, dims, 4+rng.IntN(28))
+		q := make([]float64, dims)
+		for j := range q {
+			q[j] = rng.Float64()*2 - 0.5
+		}
+		want := knnBrute(entries, q, 1)
+		got := knnTree(tr, q, 1)
+		return len(got) == 1 && math.Abs(got[0]-want[0]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Both split algorithms must keep the tree valid and the search exact.
+func TestSplitAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	entries := randPoints(rng, 700, 2)
+	for _, alg := range []SplitAlgorithm{RStar, Quadratic} {
+		tr := NewWithSplit(2, 8, alg)
+		for _, e := range entries {
+			tr.Insert(e)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("alg %v: %v", alg, err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := []float64{rng.Float64(), rng.Float64()}
+			want := knnBrute(entries, q, 8)
+			got := knnTree(tr, q, 8)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("alg %v trial %d result %d: %v vs %v", alg, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The R* split's design goal: an overfull node holding two spatially
+// separable groups must be split exactly between them (zero overlap).
+func TestRStarSplitSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	tr := NewWithSplit(2, 16, RStar)
+	n := &node{leaf: true}
+	for i := 0; i < 17; i++ { // one over capacity
+		cx := 0.1
+		if i%2 == 1 {
+			cx = 0.9
+		}
+		p := []float64{cx + 0.02*rng.NormFloat64(), 0.5 + 0.02*rng.NormFloat64()}
+		n.entries = append(n.entries, entry{rect: geo.RectFromPoint(p), id: uint32(i)})
+	}
+	sibling := tr.rstarSplit(n)
+	left := coverRect(n.entries, 2)
+	right := coverRect(sibling.entries, 2)
+	if ov := overlapArea(left, right); ov != 0 {
+		t.Fatalf("R* split left overlap %v between separable clusters", ov)
+	}
+	// Minimum fill respected on both sides.
+	if len(n.entries) < tr.minEntries || len(sibling.entries) < tr.minEntries {
+		t.Fatalf("minimum fill violated: %d / %d", len(n.entries), len(sibling.entries))
+	}
+	// All clustered points ended up on their own side.
+	for _, e := range n.entries {
+		for _, e2 := range sibling.entries {
+			if (e.rect.Lo[0] < 0.5) == (e2.rect.Lo[0] < 0.5) {
+				t.Fatal("clusters mixed across the split")
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package scan implements the linear-scan baseline of the evaluation
+// (§7.1): compute d(q,o) for every object and keep the k smallest. In
+// high dimensions this is a strong baseline — the paper includes it
+// precisely because it often beats index-based methods there.
+package scan
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// Scanner answers k-NN queries by exhaustive scan.
+type Scanner struct {
+	objects []dataset.Object
+	space   *metric.Space
+}
+
+// New returns a Scanner over the dataset's objects.
+func New(ds *dataset.Dataset, space *metric.Space) *Scanner {
+	return &Scanner{objects: ds.Objects, space: space}
+}
+
+// Search returns the exact k nearest neighbors of q under
+// d = λ·ds + (1−λ)·dt. Stats (if non-nil) receive one visited object and
+// one distance pair per object.
+func (s *Scanner) Search(q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	h := knn.NewHeap(k)
+	for i := range s.objects {
+		o := &s.objects[i]
+		d := s.space.Distance(st, lambda, q, o)
+		h.Push(knn.Result{ID: o.ID, Dist: d})
+	}
+	return h.Sorted()
+}

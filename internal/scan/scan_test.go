@@ -1,0 +1,105 @@
+package scan
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+func setup(t *testing.T, size int) (*dataset.Dataset, *metric.Space, *Scanner) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: size, Dim: 12, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metric.NewSpace(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, sp, New(ds, sp)
+}
+
+func TestSearchMatchesSortedBruteForce(t *testing.T) {
+	ds, sp, sc := setup(t, 300)
+	q := ds.Objects[17]
+	for _, lambda := range []float64{0, 0.3, 0.5, 1} {
+		got := sc.Search(&q, 10, lambda, nil)
+		// Independent brute force with full sort.
+		all := make([]knn.Result, ds.Len())
+		for i := range ds.Objects {
+			all[i] = knn.Result{ID: ds.Objects[i].ID, Dist: sp.Distance(nil, lambda, &q, &ds.Objects[i])}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dist != all[j].Dist {
+				return all[i].Dist < all[j].Dist
+			}
+			return all[i].ID < all[j].ID
+		})
+		for i := 0; i < 10; i++ {
+			if got[i].Dist != all[i].Dist {
+				t.Fatalf("λ=%v result %d dist %v, want %v", lambda, i, got[i].Dist, all[i].Dist)
+			}
+		}
+	}
+}
+
+func TestQueryObjectIsItsOwnNearestNeighbor(t *testing.T) {
+	ds, _, sc := setup(t, 200)
+	q := ds.Objects[42]
+	got := sc.Search(&q, 1, 0.5, nil)
+	if got[0].ID != q.ID || got[0].Dist != 0 {
+		t.Fatalf("self-query returned %+v", got[0])
+	}
+}
+
+func TestStatsVisitEverything(t *testing.T) {
+	ds, _, sc := setup(t, 150)
+	var st metric.Stats
+	sc.Search(&ds.Objects[0], 5, 0.5, &st)
+	if st.VisitedObjects != int64(ds.Len()) {
+		t.Fatalf("visited %d, want %d", st.VisitedObjects, ds.Len())
+	}
+	if st.DistCalcs() != 2*int64(ds.Len()) {
+		t.Fatalf("dist calcs %d, want %d", st.DistCalcs(), 2*ds.Len())
+	}
+}
+
+func TestKLargerThanDataset(t *testing.T) {
+	ds, _, sc := setup(t, 7)
+	got := sc.Search(&ds.Objects[0], 50, 0.5, nil)
+	if len(got) != 7 {
+		t.Fatalf("got %d results, want all 7", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	ds, sp, sc := setup(t, 200)
+	q := ds.Objects[3]
+	// λ=1: ranking must depend only on spatial distance.
+	got := sc.Search(&q, 5, 1, nil)
+	for _, r := range got {
+		o := &ds.Objects[r.ID]
+		want := sp.SpatialXY(q.X, q.Y, o.X, o.Y)
+		if math.Abs(r.Dist-want) > 1e-12 {
+			t.Fatalf("λ=1 distance %v, want spatial %v", r.Dist, want)
+		}
+	}
+	// λ=0: ranking must depend only on semantic distance.
+	got = sc.Search(&q, 5, 0, nil)
+	for _, r := range got {
+		o := &ds.Objects[r.ID]
+		want := sp.SemanticVec(q.Vec, o.Vec)
+		if math.Abs(r.Dist-want) > 1e-12 {
+			t.Fatalf("λ=0 distance %v, want semantic %v", r.Dist, want)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package server exposes a built CSSI/CSSIA index over HTTP with a small
+// JSON API, turning the library into a standalone similarity-search
+// service (the downstream-adoption path: build or load an index, then
+// `cssiserve` it).
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness probe
+//	GET  /stats               index statistics
+//	POST /search              k-NN query (exact or approximate)
+//	POST /range               range query
+//	POST /box                 windowed semantic k-NN
+//	POST /objects             insert an object
+//	PUT  /objects             update an object
+//	DELETE /objects?id=N      delete an object
+//
+// Queries carry either an explicit embedding vector or free text (encoded
+// with the dataset's embedding model when one is attached). Reads run
+// concurrently; writes are serialized with a RWMutex.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro"
+	"repro/internal/embed"
+)
+
+// Server wraps an index and its optional embedding model.
+type Server struct {
+	mu    sync.RWMutex
+	idx   *cssi.Index
+	model *embed.Model // may be nil: text queries then return an error
+}
+
+// New returns a Server over the given index. model may be nil if clients
+// always send explicit vectors. The index's keyword filter is enabled so
+// the /keyword-search endpoint works out of the box.
+func New(idx *cssi.Index, model *embed.Model) *Server {
+	if !idx.KeywordFilterEnabled() {
+		idx.EnableKeywordFilter()
+	}
+	return &Server{idx: idx, model: model}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /keyword-search", s.handleKeywordSearch)
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /box", s.handleBox)
+	mux.HandleFunc("POST /objects", s.handleInsert)
+	mux.HandleFunc("PUT /objects", s.handleUpdate)
+	mux.HandleFunc("DELETE /objects", s.handleDelete)
+	return mux
+}
+
+// queryRequest is the shared request body of the query endpoints.
+type queryRequest struct {
+	X      float64   `json:"x"`
+	Y      float64   `json:"y"`
+	Text   string    `json:"text,omitempty"`
+	Vec    []float32 `json:"vec,omitempty"`
+	K      int       `json:"k,omitempty"`
+	Lambda float64   `json:"lambda"`
+	Radius float64   `json:"radius,omitempty"` // /range only
+	Approx bool      `json:"approx,omitempty"` // /search only
+	// Keywords are the required terms of /keyword-search (boolean AND).
+	Keywords []string `json:"keywords,omitempty"`
+	// Box window (/box only).
+	LoX float64 `json:"loX,omitempty"`
+	LoY float64 `json:"loY,omitempty"`
+	HiX float64 `json:"hiX,omitempty"`
+	HiY float64 `json:"hiY,omitempty"`
+}
+
+// resultItem is one answer row.
+type resultItem struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Text string  `json:"text,omitempty"`
+}
+
+type queryResponse struct {
+	Results []resultItem `json:"results"`
+	Visited int64        `json:"visited"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"objects":           s.idx.Len(),
+		"hybridClusters":    s.idx.NumClusters(),
+		"updatesSinceBuild": s.idx.UpdatesSinceBuild(),
+	})
+}
+
+// buildQuery turns a request into a query object, encoding text when no
+// vector is given.
+func (s *Server) buildQuery(req *queryRequest) (*cssi.Object, error) {
+	vec := req.Vec
+	if vec == nil {
+		if req.Text == "" {
+			return nil, fmt.Errorf("request needs either vec or text")
+		}
+		if s.model == nil {
+			return nil, fmt.Errorf("server has no embedding model; send an explicit vec")
+		}
+		v, ok := s.model.EncodeDocument(req.Text)
+		if !ok {
+			return nil, fmt.Errorf("text has fewer than 3 in-vocabulary words")
+		}
+		vec = v
+	}
+	return &cssi.Object{ID: 1<<32 - 1, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.Lambda < 0 || req.Lambda > 1 {
+		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st cssi.Stats
+	var rs []cssi.Result
+	if req.Approx {
+		rs = s.idx.SearchApproxStats(q, req.K, req.Lambda, &st)
+	} else {
+		rs = s.idx.SearchStats(q, req.K, req.Lambda, &st)
+	}
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+}
+
+func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.Lambda < 0 || req.Lambda > 1 {
+		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		return
+	}
+	if len(req.Keywords) == 0 {
+		writeError(w, http.StatusBadRequest, "keywords required")
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rs, ok := s.idx.SearchWithKeywords(q, req.K, req.Lambda, req.Keywords...)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "keywords unusable (stop words only?)")
+		return
+	}
+	var st cssi.Stats
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Radius < 0 {
+		writeError(w, http.StatusBadRequest, "radius must be >= 0")
+		return
+	}
+	if req.Lambda < 0 || req.Lambda > 1 {
+		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st cssi.Stats
+	rs := s.idx.RangeSearchStats(q, req.Radius, req.Lambda, &st)
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+}
+
+func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.LoX > req.HiX || req.LoY > req.HiY {
+		writeError(w, http.StatusBadRequest, "inverted window")
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st cssi.Stats
+	rs := s.idx.SearchInBoxStats(q, req.LoX, req.LoY, req.HiX, req.HiY, req.K, &st)
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+}
+
+// respond decorates results with object metadata (caller must hold at
+// least the read lock).
+func (s *Server) respond(rs []cssi.Result, st *cssi.Stats) queryResponse {
+	resp := queryResponse{Results: make([]resultItem, len(rs)), Visited: st.VisitedObjects}
+	for i, r := range rs {
+		item := resultItem{ID: r.ID, Dist: r.Dist}
+		if o, ok := s.idx.Object(r.ID); ok {
+			item.X, item.Y, item.Text = o.X, o.Y, o.Text
+		}
+		resp.Results[i] = item
+	}
+	return resp
+}
+
+// objectRequest is the insert/update body.
+type objectRequest struct {
+	ID   uint32    `json:"id"`
+	X    float64   `json:"x"`
+	Y    float64   `json:"y"`
+	Text string    `json:"text,omitempty"`
+	Vec  []float32 `json:"vec,omitempty"`
+}
+
+func (s *Server) buildObject(req *objectRequest) (cssi.Object, error) {
+	vec := req.Vec
+	if vec == nil {
+		if req.Text == "" || s.model == nil {
+			return cssi.Object{}, fmt.Errorf("object needs vec, or text plus a server-side model")
+		}
+		v, ok := s.model.EncodeDocument(req.Text)
+		if !ok {
+			return cssi.Object{}, fmt.Errorf("text has fewer than 3 in-vocabulary words")
+		}
+		vec = v
+	}
+	return cssi.Object{ID: req.ID, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req objectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	o, err := s.buildObject(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	err = s.idx.Insert(o)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint32{"id": o.ID})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req objectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	o, err := s.buildObject(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	err = s.idx.Update(o)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint32{"id": o.ID})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "missing or invalid id")
+		return
+	}
+	s.mu.Lock()
+	err = s.idx.Delete(uint32(id))
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"deleted": id})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *cssi.Dataset) {
+	t.Helper()
+	ds, err := cssi.GenerateDataset(cssi.DatasetConfig{Kind: cssi.TwitterLike, Size: 500, Dim: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := cssi.Build(ds, cssi.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, ds.Model).Handler())
+	t.Cleanup(ts.Close)
+	return ts, ds
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Objects        int `json:"objects"`
+		HybridClusters int `json:"hybridClusters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != 500 || stats.HybridClusters == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestSearchByVector(t *testing.T) {
+	ts, ds := newTestServer(t)
+	q := ds.Objects[7]
+	resp, out := postJSON(t, ts.URL+"/search", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 5, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var results []struct {
+		ID   uint32  `json:"id"`
+		Dist float64 `json:"dist"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].ID != q.ID || results[0].Dist != 0 {
+		t.Fatalf("self-query top hit %+v", results[0])
+	}
+}
+
+func TestSearchByText(t *testing.T) {
+	ts, ds := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/search", map[string]interface{}{
+		"x": 0.5, "y": 0.5, "text": ds.Objects[0].Text, "k": 3, "lambda": 0.0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var results []struct {
+		ID uint32 `json:"id"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].ID != ds.Objects[0].ID {
+		t.Fatalf("semantic text query should hit source object, got %d", results[0].ID)
+	}
+}
+
+func TestSearchApproxFlag(t *testing.T) {
+	ts, ds := newTestServer(t)
+	q := ds.Objects[9]
+	resp, _ := postJSON(t, ts.URL+"/search", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 5, "lambda": 0.5, "approx": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// No vec and no text.
+	resp, _ := postJSON(t, ts.URL+"/search", map[string]interface{}{"x": 0.1, "y": 0.1, "k": 3, "lambda": 0.5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing vec/text: status %d", resp.StatusCode)
+	}
+	// Bad lambda.
+	resp, _ = postJSON(t, ts.URL+"/search", map[string]interface{}{"x": 0.1, "y": 0.1, "text": "a b c", "lambda": 3.0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad lambda: status %d", resp.StatusCode)
+	}
+	// Unknown fields rejected.
+	r, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte(`{"bogus":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", r.StatusCode)
+	}
+}
+
+func TestRangeEndpoint(t *testing.T) {
+	ts, ds := newTestServer(t)
+	q := ds.Objects[3]
+	resp, out := postJSON(t, ts.URL+"/range", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "lambda": 0.5, "radius": 0.1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var results []struct {
+		Dist float64 `json:"dist"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Dist > 0.1 {
+			t.Fatalf("result outside radius: %v", r.Dist)
+		}
+	}
+}
+
+func TestBoxEndpoint(t *testing.T) {
+	ts, ds := newTestServer(t)
+	q := ds.Objects[3]
+	resp, out := postJSON(t, ts.URL+"/box", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 5,
+		"loX": 0.0, "loY": 0.0, "hiX": 1.0, "hiY": 1.0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	// Inverted window rejected.
+	resp, _ = postJSON(t, ts.URL+"/box", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "loX": 0.9, "hiX": 0.1, "hiY": 1.0,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted window: status %d", resp.StatusCode)
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	ts, ds := newTestServer(t)
+	// Insert.
+	resp, _ := postJSON(t, ts.URL+"/objects", map[string]interface{}{
+		"id": 90001, "x": 0.2, "y": 0.3, "vec": ds.Objects[0].Vec,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	// Duplicate insert conflicts.
+	resp, _ = postJSON(t, ts.URL+"/objects", map[string]interface{}{
+		"id": 90001, "x": 0.2, "y": 0.3, "vec": ds.Objects[0].Vec,
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("dup insert status %d", resp.StatusCode)
+	}
+	// Update.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/objects", bytes.NewReader(mustJSON(map[string]interface{}{
+		"id": 90001, "x": 0.8, "y": 0.9, "vec": ds.Objects[1].Vec,
+	})))
+	req.Header.Set("Content-Type", "application/json")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", r2.StatusCode)
+	}
+	// Delete.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/objects?id=90001", nil)
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", r3.StatusCode)
+	}
+	// Delete again: not found.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/objects?id=90001", nil)
+	r4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-delete status %d", r4.StatusCode)
+	}
+	// Bad id.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/objects?id=abc", nil)
+	r5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", r5.StatusCode)
+	}
+}
+
+// Concurrent reads and writes must not race (run with -race).
+func TestConcurrentReadWrite(t *testing.T) {
+	ts, ds := newTestServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := ds.Objects[(g*29+i)%ds.Len()]
+				resp, _ := postJSON(t, ts.URL+"/search", map[string]interface{}{
+					"x": q.X, "y": q.Y, "vec": q.Vec, "k": 3, "lambda": 0.5,
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("search status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id := 100000 + g*100 + i
+				resp, _ := postJSON(t, ts.URL+"/objects", map[string]interface{}{
+					"id": id, "x": 0.5, "y": 0.5, "vec": ds.Objects[0].Vec,
+				})
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("insert status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func mustJSON(v interface{}) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("mustJSON: %v", err))
+	}
+	return b
+}
+
+func TestKeywordSearchEndpoint(t *testing.T) {
+	ts, ds := newTestServer(t)
+	word := strings.Fields(ds.Objects[12].Text)[0]
+	q := ds.Objects[3]
+	resp, out := postJSON(t, ts.URL+"/keyword-search", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 5, "lambda": 0.5,
+		"keywords": []string{word},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var results []struct {
+		ID   uint32 `json:"id"`
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results for an occurring keyword")
+	}
+	for _, r := range results {
+		if !strings.Contains(" "+r.Text+" ", " "+word+" ") {
+			t.Fatalf("result %d lacks keyword %q: %q", r.ID, word, r.Text)
+		}
+	}
+	// Missing keywords rejected.
+	resp, _ = postJSON(t, ts.URL+"/keyword-search", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 5, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing keywords: status %d", resp.StatusCode)
+	}
+	// Stop-word-only keywords rejected.
+	resp, _ = postJSON(t, ts.URL+"/keyword-search", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 5, "lambda": 0.5,
+		"keywords": []string{"the"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stop-word keywords: status %d", resp.StatusCode)
+	}
+}

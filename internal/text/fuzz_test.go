@@ -1,0 +1,39 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks the tokenizer's contract on arbitrary input: no
+// panics, every token lower-case, no stop words, no separator runes.
+func FuzzTokenize(f *testing.F) {
+	f.Add("The quick brown fox!")
+	f.Add("")
+	f.Add("çafé ÜBER 123 --- \t\n")
+	f.Add("a b c d e f g h")
+	f.Add(strings.Repeat("word ", 100))
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Tokenize(s)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if IsStopWord(tok) {
+				t.Fatalf("stop word %q survived", tok)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("separator rune %q in token %q", r, tok)
+				}
+			}
+			// Lower-casing must be a fixed point. (Some uppercase runes
+			// like U+03D2 have no lowercase mapping, so checking
+			// unicode.IsUpper directly would be wrong.)
+			if low := strings.ToLower(tok); low != tok {
+				t.Fatalf("token %q not lower-cased (want %q)", tok, low)
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package vec provides the low-level vector kernels used throughout the
+// repository. Vectors are stored as []float32 to halve memory for the
+// high-dimensional semantic embeddings, but every reduction accumulates in
+// float64 so that distance comparisons are stable.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the dot product of a and b, accumulated in float64.
+// It panics if the lengths differ.
+func Dot(a, b []float32) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += float64(av) * float64(b[i])
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ.
+func SqDist(a, b []float32) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		d := float64(av) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float32) float64 {
+	return math.Sqrt(SqDist(a, b))
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	var s float64
+	for _, av := range a {
+		s += float64(av) * float64(av)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales a in place to unit Euclidean norm. A zero vector is
+// left unchanged.
+func Normalize(a []float32) {
+	n := Norm(a)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] = float32(float64(a[i]) * inv)
+	}
+}
+
+// AngularDist returns the angular distance between a and b, normalized
+// into [0,1] (the angle between the vectors divided by π). It is a
+// proper metric on directions; zero vectors are handled by convention:
+// two zero vectors are at distance 0, a zero and a non-zero vector at
+// the maximal distance 1 (which preserves the triangle inequality).
+func AngularDist(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	cos := Dot(a, b) / (na * nb)
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos) / math.Pi
+}
+
+// Add accumulates src into dst element-wise. It panics if the lengths
+// differ.
+func Add(dst, src []float32) {
+	checkLen(dst, src)
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// AXPY computes dst += alpha*src element-wise. It panics if the lengths
+// differ.
+func AXPY(alpha float64, dst, src []float32) {
+	checkLen(dst, src)
+	a := float32(alpha)
+	for i, v := range src {
+		dst[i] += a * v
+	}
+}
+
+// Scale multiplies every element of a by alpha in place.
+func Scale(a []float32, alpha float64) {
+	f := float32(alpha)
+	for i := range a {
+		a[i] *= f
+	}
+}
+
+// Zero sets every element of a to zero.
+func Zero(a []float32) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// Clone returns a newly allocated copy of a.
+func Clone(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return out
+}
+
+// Mean computes the element-wise mean of the given rows into dst.
+// All rows must have len(dst). Mean panics if rows is empty.
+func Mean(dst []float32, rows [][]float32) {
+	if len(rows) == 0 {
+		panic("vec: Mean of zero rows")
+	}
+	acc := make([]float64, len(dst))
+	for _, r := range rows {
+		checkLen(dst, r)
+		for i, v := range r {
+			acc[i] += float64(v)
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for i := range dst {
+		dst[i] = float32(acc[i] * inv)
+	}
+}
+
+// MinMax folds rows into per-dimension minima and maxima. The returned
+// slices have the dimensionality of the rows. MinMax panics if rows is
+// empty.
+func MinMax(rows [][]float32) (lo, hi []float32) {
+	if len(rows) == 0 {
+		panic("vec: MinMax of zero rows")
+	}
+	lo = Clone(rows[0])
+	hi = Clone(rows[0])
+	for _, r := range rows[1:] {
+		checkLen(lo, r)
+		for i, v := range r {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// ArgNearest returns the index of the centroid nearest to x (squared
+// Euclidean distance) and that squared distance. It panics if centroids
+// is empty.
+func ArgNearest(x []float32, centroids [][]float32) (int, float64) {
+	if len(centroids) == 0 {
+		panic("vec: ArgNearest with zero centroids")
+	}
+	best, bestD := 0, SqDist(x, centroids[0])
+	for i := 1; i < len(centroids); i++ {
+		if d := SqDist(x, centroids[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func checkLen(a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: length mismatch %d != %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,226 @@
+package vec
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, -5, 6}
+	if got := Dot(a, b); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotEmpty(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestSqDistAndDist(t *testing.T) {
+	a := []float32{0, 0}
+	b := []float32{3, 4}
+	if got := SqDist(a, b); got != 25 {
+		t.Fatalf("SqDist = %v, want 25", got)
+	}
+	if got := Dist(a, b); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+}
+
+func TestDistToSelfIsZero(t *testing.T) {
+	a := []float32{1.5, -2.25, 7}
+	if got := Dist(a, a); got != 0 {
+		t.Fatalf("Dist(a,a) = %v, want 0", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float32{3, 4}); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Fatalf("Norm(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := []float32{3, 4}
+	Normalize(a)
+	if !almostEq(Norm(a), 1, 1e-6) {
+		t.Fatalf("norm after Normalize = %v, want 1", Norm(a))
+	}
+	z := []float32{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize(zero) changed the vector: %v", z)
+	}
+}
+
+func TestAddAXPYScale(t *testing.T) {
+	dst := []float32{1, 2}
+	Add(dst, []float32{10, 20})
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("Add result %v", dst)
+	}
+	AXPY(2, dst, []float32{1, 1})
+	if dst[0] != 13 || dst[1] != 24 {
+		t.Fatalf("AXPY result %v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 6.5 || dst[1] != 12 {
+		t.Fatalf("Scale result %v", dst)
+	}
+}
+
+func TestZeroClone(t *testing.T) {
+	a := []float32{1, 2, 3}
+	c := Clone(a)
+	Zero(a)
+	if a[0] != 0 || a[2] != 0 {
+		t.Fatalf("Zero result %v", a)
+	}
+	if c[0] != 1 || c[2] != 3 {
+		t.Fatalf("Clone aliases original: %v", c)
+	}
+}
+
+func TestMean(t *testing.T) {
+	rows := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	dst := make([]float32, 2)
+	Mean(dst, rows)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Mean = %v, want [3 4]", dst)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty Mean")
+		}
+	}()
+	Mean(make([]float32, 2), nil)
+}
+
+func TestMinMax(t *testing.T) {
+	rows := [][]float32{{1, 9}, {-2, 4}, {5, 6}}
+	lo, hi := MinMax(rows)
+	if lo[0] != -2 || lo[1] != 4 {
+		t.Fatalf("lo = %v", lo)
+	}
+	if hi[0] != 5 || hi[1] != 9 {
+		t.Fatalf("hi = %v", hi)
+	}
+}
+
+func TestArgNearest(t *testing.T) {
+	cents := [][]float32{{0, 0}, {10, 10}, {5, 5}}
+	i, d := ArgNearest([]float32{4, 4}, cents)
+	if i != 2 {
+		t.Fatalf("ArgNearest index = %d, want 2", i)
+	}
+	if d != 2 {
+		t.Fatalf("ArgNearest dist = %v, want 2", d)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// Property: Euclidean distance is symmetric and satisfies the triangle
+// inequality.
+func TestDistMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + r.IntN(64)
+		a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		if !almostEq(Dist(a, b), Dist(b, a), 1e-9) {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is bilinear in its first argument.
+func TestDotLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + r.IntN(32)
+		a, b, c := randVec(r, n), randVec(r, n), randVec(r, n)
+		sum := Clone(a)
+		Add(sum, b)
+		return almostEq(Dot(sum, c), Dot(a, c)+Dot(b, c), 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean minimizes the sum of squared distances over the members
+// compared with any member itself.
+func TestMeanIsCenter(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + r.IntN(16)
+		m := 2 + r.IntN(20)
+		rows := make([][]float32, m)
+		for i := range rows {
+			rows[i] = randVec(r, n)
+		}
+		mean := make([]float32, n)
+		Mean(mean, rows)
+		var sseMean float64
+		for _, row := range rows {
+			sseMean += SqDist(row, mean)
+		}
+		for _, cand := range rows {
+			var sse float64
+			for _, row := range rows {
+				sse += SqDist(row, cand)
+			}
+			if sse < sseMean-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSqDist100(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	x, y := randVec(rng, 100), randVec(rng, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SqDist(x, y)
+	}
+}

@@ -1,0 +1,23 @@
+package cssi
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// Save writes the index to w in a self-contained binary format. The
+// stored form includes the objects, the PCA model and all cluster
+// representations, so LoadIndex restores a fully functional index without
+// re-clustering.
+func (x *Index) Save(w io.Writer) error { return x.core.Save(w) }
+
+// LoadIndex restores an index previously written with Save. The loaded
+// index answers queries identically and supports maintenance.
+func LoadIndex(r io.Reader) (*Index, error) {
+	c, space, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: c, space: space}, nil
+}

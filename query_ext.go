@@ -1,0 +1,85 @@
+package cssi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RangeSearch returns every object within combined distance r of q,
+// ordered by ascending distance. It reuses the hybrid clusters and the
+// bounds of the k-NN algorithm (a query type the paper's conclusion names
+// as a natural extension of the index).
+func (x *Index) RangeSearch(q *Object, r, lambda float64) []Result {
+	return x.RangeSearchStats(q, r, lambda, nil)
+}
+
+// RangeSearchStats is RangeSearch with work counters.
+func (x *Index) RangeSearchStats(q *Object, r, lambda float64, st *Stats) []Result {
+	checkQuery(q, 1, lambda)
+	if r < 0 {
+		panic(fmt.Sprintf("cssi: negative range radius %v", r))
+	}
+	return x.core.RangeSearch(q, r, lambda, st)
+}
+
+// SearchInBox returns the k objects inside the spatial window
+// [loX,hiX]×[loY,hiY] that are semantically nearest to q — "show me the
+// most relevant things in this map viewport".
+func (x *Index) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k int) []Result {
+	return x.SearchInBoxStats(q, loX, loY, hiX, hiY, k, nil)
+}
+
+// SearchInBoxStats is SearchInBox with work counters.
+func (x *Index) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k int, st *Stats) []Result {
+	checkQuery(q, k, 0)
+	if loX > hiX || loY > hiY {
+		panic("cssi: inverted spatial window")
+	}
+	return x.core.SearchInBox(q, loX, loY, hiX, hiY, k, st)
+}
+
+// BatchSearch answers many k-NN queries concurrently (the parallel
+// query-processing direction of the paper's conclusion). Results are
+// returned in query order; parallelism ≤ 0 selects GOMAXPROCS. approx
+// selects CSSIA instead of CSSI. If st is non-nil it receives the summed
+// work counters of all queries.
+func (x *Index) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) [][]Result {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([][]Result, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	stats := make([]Stats, parallelism)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for qi := range next {
+				if approx {
+					out[qi] = x.SearchApproxStats(&queries[qi], k, lambda, &stats[w])
+				} else {
+					out[qi] = x.SearchStats(&queries[qi], k, lambda, &stats[w])
+				}
+			}
+		}(w)
+	}
+	for qi := range queries {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	if st != nil {
+		for i := range stats {
+			st.Add(&stats[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package cssi
+
+import "testing"
+
+func TestRangeSearchFacade(t *testing.T) {
+	ds := testDataset(t, 600)
+	idx, err := Build(ds, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Objects[5]
+	var st Stats
+	got := idx.RangeSearchStats(&q, 0.08, 0.5, &st)
+	if len(got) == 0 {
+		t.Fatal("range search around an existing object returned nothing")
+	}
+	prev := -1.0
+	for _, r := range got {
+		if r.Dist > 0.08 {
+			t.Fatalf("result outside radius: %v", r.Dist)
+		}
+		if r.Dist < prev {
+			t.Fatal("results not sorted")
+		}
+		prev = r.Dist
+	}
+	if st.VisitedObjects+st.InterPruned+st.IntraPruned != int64(ds.Len()) {
+		t.Fatalf("accounting identity broken: %+v", st)
+	}
+}
+
+func TestRangeSearchPanicsOnNegativeRadius(t *testing.T) {
+	ds := testDataset(t, 50)
+	idx, _ := Build(ds, Options{Seed: 9})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.RangeSearch(&ds.Objects[0], -1, 0.5)
+}
+
+func TestSearchInBoxFacade(t *testing.T) {
+	ds := testDataset(t, 600)
+	idx, err := Build(ds, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Objects[5]
+	got := idx.SearchInBox(&q, 0.2, 0.2, 0.8, 0.8, 5)
+	for _, r := range got {
+		o, ok := idx.Object(r.ID)
+		if !ok {
+			t.Fatalf("result %d not live", r.ID)
+		}
+		if o.X < 0.2 || o.X > 0.8 || o.Y < 0.2 || o.Y > 0.8 {
+			t.Fatalf("result %d outside window: (%v,%v)", r.ID, o.X, o.Y)
+		}
+	}
+}
+
+func TestSearchInBoxPanicsOnInvertedWindow(t *testing.T) {
+	ds := testDataset(t, 50)
+	idx, _ := Build(ds, Options{Seed: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.SearchInBox(&ds.Objects[0], 0.8, 0.2, 0.2, 0.8, 5)
+}
+
+func TestBatchSearchMatchesSequential(t *testing.T) {
+	ds := testDataset(t, 800)
+	idx, err := Build(ds, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.SampleQueries(40, 3)
+	var st Stats
+	batch := idx.BatchSearch(queries, 10, 0.5, false, 4, &st)
+	if len(batch) != len(queries) {
+		t.Fatalf("got %d result sets", len(batch))
+	}
+	for qi := range queries {
+		seq := idx.Search(&queries[qi], 10, 0.5)
+		if len(batch[qi]) != len(seq) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(batch[qi]), len(seq))
+		}
+		for i := range seq {
+			if batch[qi][i].Dist != seq[i].Dist {
+				t.Fatalf("query %d result %d differs", qi, i)
+			}
+		}
+	}
+	if st.VisitedObjects == 0 {
+		t.Fatal("batch stats not accumulated")
+	}
+}
+
+func TestBatchSearchApprox(t *testing.T) {
+	ds := testDataset(t, 400)
+	idx, err := Build(ds, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.SampleQueries(10, 3)
+	batch := idx.BatchSearch(queries, 5, 0.5, true, 0, nil)
+	for qi, rs := range batch {
+		if len(rs) != 5 {
+			t.Fatalf("query %d returned %d results", qi, len(rs))
+		}
+	}
+}
+
+func TestBatchSearchEmpty(t *testing.T) {
+	ds := testDataset(t, 50)
+	idx, _ := Build(ds, Options{Seed: 13})
+	if got := idx.BatchSearch(nil, 5, 0.5, false, 2, nil); len(got) != 0 {
+		t.Fatalf("expected empty, got %d", len(got))
+	}
+}
