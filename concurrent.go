@@ -47,6 +47,22 @@ func (c *ConcurrentIndex) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k i
 	return c.idx.SearchInBox(q, loX, loY, hiX, hiY, k)
 }
 
+// SearchBatch is Index.SearchBatch under a read lock: the whole batch
+// runs against one consistent snapshot of the index (writers wait until
+// it completes).
+func (c *ConcurrentIndex) SearchBatch(queries []Object, k int, lambda float64) [][]Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.SearchBatch(queries, k, lambda)
+}
+
+// BatchSearch is Index.BatchSearch under a read lock.
+func (c *ConcurrentIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) [][]Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchSearch(queries, k, lambda, approx, parallelism, st)
+}
+
 // Insert is Index.Insert under the write lock.
 func (c *ConcurrentIndex) Insert(o Object) error {
 	c.mu.Lock()

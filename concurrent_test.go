@@ -138,3 +138,92 @@ func TestPickBestFallsBackToLowestError(t *testing.T) {
 		t.Fatalf("budgeted pick %d", got)
 	}
 }
+
+// Batched readers racing maintenance writers: SearchBatch fans its
+// queries over internal worker goroutines while Insert/Delete/Update/
+// Rebuild mutate the index (and its vector arenas) under the write
+// lock. Run with -race; the dataset is small so the stress stays cheap.
+func TestConcurrentBatchStress(t *testing.T) {
+	ds := testDataset(t, 400)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 33}))
+	queries := ds.SampleQueries(24, 17)
+	var wg sync.WaitGroup
+	// Batch readers, exact and approximate, with varying worker counts.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if g%2 == 0 {
+					got := c.SearchBatch(queries, 5, 0.5)
+					if len(got) != len(queries) {
+						t.Errorf("batch returned %d sets", len(got))
+						return
+					}
+				} else {
+					var st Stats
+					c.BatchSearch(queries, 5, 0.5, true, 1+i%4, &st)
+					if st.VisitedObjects == 0 {
+						t.Error("batch stats not accumulated")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Single-query readers keep the scratch pool contended.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			q := ds.Objects[(i*13)%ds.Len()]
+			c.Search(&q, 3, 0.5)
+		}
+	}()
+	// Writers: inserts force arena regrowth, deletes shrink clusters,
+	// periodic Rebuild swaps the whole index value.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				o := ds.Objects[(g*7+i)%ds.Len()]
+				o.ID = uint32(300000 + g*1000 + i)
+				if err := c.Insert(o); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					if err := c.Delete(o.ID); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				case 1:
+					o.X = 1 - o.X
+					if err := c.Update(o); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+				case 2:
+					if err := c.Rebuild(); err != nil {
+						t.Errorf("rebuild: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The index must still be coherent: a batch against the final state
+	// agrees with sequential search.
+	final := c.SearchBatch(queries, 5, 0.5)
+	for qi := range queries {
+		seq := c.Search(&queries[qi], 5, 0.5)
+		for i := range seq {
+			if final[qi][i].Dist != seq[i].Dist {
+				t.Fatalf("post-stress query %d result %d differs", qi, i)
+			}
+		}
+	}
+}

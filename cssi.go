@@ -152,6 +152,31 @@ func (x *Index) SearchStats(q *Object, k int, lambda float64, st *Stats) []Resul
 	return x.core.Search(q, k, lambda, st)
 }
 
+// SearchInto is Search appending its results to dst (typically dst[:0]
+// of a buffer retained across queries). With sufficient dst capacity a
+// steady-state call performs zero heap allocations — per-query scratch
+// comes from an internal pool. If st is non-nil it accumulates work
+// counters.
+func (x *Index) SearchInto(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
+	checkQuery(q, k, lambda)
+	return x.core.SearchInto(dst, q, k, lambda, st)
+}
+
+// SearchApproxInto is SearchInto for the approximate CSSIA algorithm.
+func (x *Index) SearchApproxInto(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
+	checkQuery(q, k, lambda)
+	return x.core.SearchApproxInto(dst, q, k, lambda, st)
+}
+
+// SearchBatch answers many exact k-NN queries across a bounded worker
+// pool (GOMAXPROCS workers), each worker reusing one pooled scratch for
+// its whole share of the batch. Results are in query order. Use
+// BatchSearch for the approximate variant, explicit parallelism, or
+// work counters.
+func (x *Index) SearchBatch(queries []Object, k int, lambda float64) [][]Result {
+	return x.BatchSearch(queries, k, lambda, false, 0, nil)
+}
+
 // SearchApprox returns approximate k nearest neighbors with the CSSIA
 // algorithm — typically 2-3× faster than Search with under 1% result
 // error (paper §5, §7).

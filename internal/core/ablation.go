@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/dataset"
 	"repro/internal/knn"
 	"repro/internal/metric"
@@ -31,27 +29,29 @@ type SearchOptions struct {
 // SearchAblated is Search with individual pruning mechanisms switched
 // off. It remains exact for every combination of switches.
 func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
-	dsq := make([]float64, len(x.sCentX))
-	for s := range dsq {
-		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
-	}
-	dtq := make([]float64, len(x.tCent))
-	for t := range dtq {
-		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
-	}
-	order := make([]orderedCluster, len(x.clusters))
-	for i, c := range x.clusters {
-		order[i] = orderedCluster{
-			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t]),
+	// The ablation path keeps the paper-faithful eager shape of Alg. 2
+	// (all centroid distances up front, no lazy ordering or early
+	// abandonment) so the measured pruning deltas isolate the switches
+	// below; it still draws its buffers from the scratch pool.
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	x.fillSpatialCentroidDists(sc, q)
+	x.fillSemanticCentroidDists(sc, q)
+	for _, c := range x.clusters {
+		sc.order = append(sc.order, orderedCluster{
+			lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
 			c:  c,
-		}
+		})
 	}
+	order := sc.order
 	if !opts.DisableClusterOrder {
-		sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+		sortOrder(order)
 	}
 
-	h := knn.NewHeap(k)
-	for ci, oc := range order {
+	h := &sc.heap
+	h.Reset(k)
+	for ci := range order {
+		oc := &order[ci]
 		if !opts.DisableInterCluster {
 			if u, full := h.Bound(); full && oc.lb >= u {
 				if opts.DisableClusterOrder {
@@ -72,9 +72,9 @@ func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts Sea
 				break
 			}
 		}
-		x.scanClusterAblated(q, lambda, oc.c, dsq[oc.c.s], dtq[oc.c.t], h, st, opts.DisableIntraCluster)
+		x.scanClusterAblated(q, lambda, oc.c, sc.dsq[oc.c.s], sc.dtq[oc.c.t], h, st, opts.DisableIntraCluster)
 	}
-	return h.Sorted()
+	return h.AppendSorted(nil)
 }
 
 // scanClusterAblated is scanCluster with the intra-cluster pruning

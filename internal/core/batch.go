@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// SearchBatch answers queries[i] into result slot i using a bounded
+// worker pool. workers <= 0 selects GOMAXPROCS; approx selects CSSIA
+// instead of CSSI. Each worker draws one scratch from the index's pool
+// for its whole run and accumulates work counters locally, so a
+// steady-state batch allocates only the per-query result slices and
+// never contends on st. Queries are drawn from a shared atomic cursor,
+// which load-balances skewed per-query costs better than static
+// chunking.
+func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, workers int, approx bool, st *metric.Stats) [][]knn.Result {
+	out := make([][]knn.Result, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	stats := make([]metric.Stats, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := x.getScratch()
+			var local *metric.Stats
+			if st != nil {
+				local = &stats[w]
+			}
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(queries) {
+					break
+				}
+				if approx {
+					out[qi] = x.searchApproxWith(sc, nil, &queries[qi], k, lambda, local)
+				} else {
+					out[qi] = x.searchWith(sc, nil, &queries[qi], k, lambda, local)
+				}
+			}
+			x.putScratch(sc)
+		}(w)
+	}
+	wg.Wait()
+	if st != nil {
+		for i := range stats {
+			st.Add(&stats[i])
+		}
+	}
+	return out
+}

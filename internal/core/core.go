@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -131,8 +132,19 @@ type Index struct {
 	live    int
 	idToIdx map[uint32]uint32
 
+	// The embeddings and their PCA projections live in two contiguous
+	// row-major float32 arenas (SoA, fixed stride): row i of vecArena is
+	// the n-dimensional vector of objects[i] (objects[i].Vec is a view
+	// into it), row i of projArena its m-dimensional projection. The
+	// query loops walk these arenas sequentially, so the layout turns
+	// the dominant kernel traffic into linear prefetchable reads instead
+	// of one pointer chase per row.
+	dim      int // n: embedding dimensionality (vecArena stride)
+	m        int // m: projection dimensionality (projArena stride)
+	vecArena []float32
+	projArena []float32
+
 	pcaModel *pca.Model
-	proj     [][]float32 // per-object m-dim projections
 
 	// Spatial side clusters.
 	sCentX, sCentY []float64
@@ -165,6 +177,12 @@ type Index struct {
 	// saturate after the first outlier.
 	builtSRad, builtTRadProj        []float64
 	insertsSinceBuild, radiusDrifts int
+
+	// scratchPool recycles per-query searchScratch buffers so the query
+	// algorithms allocate nothing in steady state. A pointer (not a
+	// value) because Rebuild replaces the whole Index value and
+	// sync.Pool must not be copied.
+	scratchPool *sync.Pool
 }
 
 // Build constructs the index over the dataset (Alg. 1).
@@ -181,13 +199,14 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 	}
 	cfg.applyDefaults(ds.Len())
 	x := &Index{
-		cfg:        cfg,
-		space:      space,
-		objects:    ds.Objects,
-		deleted:    make([]bool, ds.Len()),
-		live:       ds.Len(),
-		idToIdx:    make(map[uint32]uint32, ds.Len()),
-		clusterIdx: make(map[[2]int]*hybrid),
+		cfg:         cfg,
+		space:       space,
+		objects:     append([]dataset.Object(nil), ds.Objects...),
+		deleted:     make([]bool, ds.Len()),
+		live:        ds.Len(),
+		idToIdx:     make(map[uint32]uint32, ds.Len()),
+		clusterIdx:  make(map[[2]int]*hybrid),
+		scratchPool: newScratchPool(),
 	}
 	for i := range x.objects {
 		if _, dup := x.idToIdx[x.objects[i].ID]; dup {
@@ -196,11 +215,29 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 		x.idToIdx[x.objects[i].ID] = uint32(i)
 	}
 
+	// Copy the embeddings into the contiguous arena and repoint each
+	// object's Vec at its row. The values are bit-identical to the
+	// caller's, so downstream distance computations are unchanged.
+	x.dim = len(x.objects[0].Vec)
+	x.vecArena = make([]float32, len(x.objects)*x.dim)
+	for i := range x.objects {
+		if len(x.objects[i].Vec) != x.dim {
+			return nil, fmt.Errorf("core: object %d has vector dim %d, want %d",
+				x.objects[i].ID, len(x.objects[i].Vec), x.dim)
+		}
+		row := x.vecArena[i*x.dim : (i+1)*x.dim : (i+1)*x.dim]
+		copy(row, x.objects[i].Vec)
+		x.objects[i].Vec = row
+	}
+
 	// --- Spatial clustering (Alg. 1 lines 2-4) ---
 	phase := time.Now()
+	spatialBuf := make([]float32, 2*len(x.objects))
 	spatialPts := make([][]float32, len(x.objects))
 	for i := range x.objects {
-		spatialPts[i] = []float32{float32(x.objects[i].X), float32(x.objects[i].Y)}
+		p := spatialBuf[2*i : 2*i+2 : 2*i+2]
+		p[0], p[1] = float32(x.objects[i].X), float32(x.objects[i].Y)
+		spatialPts[i] = p
 	}
 	sres, err := kmeans.SampleFit(spatialPts, cfg.SampleFraction, kmeans.Config{
 		K: cfg.Ks, MaxIters: cfg.KMeansIters, Seed: cfg.Seed,
@@ -232,23 +269,26 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 	if err != nil {
 		return nil, fmt.Errorf("core: PCA: %w", err)
 	}
-	// Project every vector (parallel: rows are independent).
-	x.proj = make([][]float32, len(vecs))
-	projBuf := make([]float32, cfg.M*len(vecs))
+	// Project every vector into the projection arena (parallel: rows are
+	// independent). proj holds temporary per-row views used only during
+	// the remainder of construction; queries go through projAt.
+	x.m = x.pcaModel.M()
+	x.projArena = make([]float32, x.m*len(vecs))
+	proj := make([][]float32, len(vecs))
 	parallelFor(len(vecs), cfg.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			dst := projBuf[i*cfg.M : (i+1)*cfg.M : (i+1)*cfg.M]
+			dst := x.projArena[i*x.m : (i+1)*x.m : (i+1)*x.m]
 			x.pcaModel.TransformInto(dst, vecs[i])
-			x.proj[i] = dst
+			proj[i] = dst
 		}
 	})
-	space.SetProjectedNormalizer(x.proj)
+	space.SetProjectedNormalizerArena(x.projArena, x.m)
 
 	tm.PCA = time.Since(phase)
 
 	// --- Semantic clustering on the projections (Alg. 1 lines 7-9) ---
 	phase = time.Now()
-	tres, err := kmeans.SampleFit(x.proj, cfg.SampleFraction, kmeans.Config{
+	tres, err := kmeans.SampleFit(proj, cfg.SampleFraction, kmeans.Config{
 		K: cfg.Kt, MaxIters: cfg.KMeansIters, Seed: cfg.Seed + 1,
 	})
 	if err != nil {
@@ -273,17 +313,16 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 	// Semantic cluster representations: the original-space centroid is
 	// the mean of the members' n-dimensional vectors (§4.1); the
 	// projected centroid is the mean of their projections (§5.2).
-	dim := len(x.objects[0].Vec)
 	for t := 0; t < kt; t++ {
 		ms := x.tMembers[t]
-		cent := make([]float32, dim)
-		centP := make([]float32, cfg.M)
+		cent := make([]float32, x.dim)
+		centP := make([]float32, x.m)
 		if len(ms) > 0 {
 			rows := make([][]float32, len(ms))
 			rowsP := make([][]float32, len(ms))
 			for i, mi := range ms {
 				rows[i] = x.objects[mi].Vec
-				rowsP[i] = x.proj[mi]
+				rowsP[i] = proj[mi]
 			}
 			vec.Mean(cent, rows)
 			vec.Mean(centP, rowsP)
@@ -373,7 +412,21 @@ func (x *Index) semanticToCent(idx uint32, t int) float64 {
 // projToCent returns the normalized projected-space distance from object
 // idx to the projected semantic centroid t.
 func (x *Index) projToCent(idx uint32, t int) float64 {
-	return x.space.SemanticProjVec(x.proj[idx], x.tCentProj[t])
+	return x.space.SemanticProjVec(x.projAt(idx), x.tCentProj[t])
+}
+
+// vecAt returns the arena row holding the embedding of the object at
+// storage position i (identical to objects[i].Vec).
+func (x *Index) vecAt(i uint32) []float32 {
+	d := x.dim
+	return x.vecArena[int(i)*d : (int(i)+1)*d : (int(i)+1)*d]
+}
+
+// projAt returns the arena row holding the m-dimensional projection of
+// the object at storage position i.
+func (x *Index) projAt(i uint32) []float32 {
+	m := x.m
+	return x.projArena[int(i)*m : (int(i)+1)*m : (int(i)+1)*m]
 }
 
 // addToHybrid places object idx into its hybrid cluster, computing its

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
 	"repro/internal/metric"
+	"repro/internal/vec"
 )
 
 // orderedCluster pairs a hybrid cluster with its query-specific lower
@@ -15,50 +16,182 @@ type orderedCluster struct {
 	c  *hybrid
 }
 
+// sortOrder sorts clusters by ascending lower bound. slices.SortFunc
+// (not sort.Slice) so the comparator is monomorphized and the sort does
+// not allocate.
+func sortOrder(order []orderedCluster) {
+	slices.SortFunc(order, func(a, b orderedCluster) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// fillSpatialCentroidDists computes the normalized spatial distance from
+// q to every spatial centroid into sc.dsq (Ks cheap 2-D distances,
+// always eager).
+func (x *Index) fillSpatialCentroidDists(sc *searchScratch, q *dataset.Object) {
+	for s := range sc.dsq {
+		sc.dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
+	}
+}
+
+// fillSemanticCentroidDists computes all Kt original-space semantic
+// centroid distances eagerly (the fallback path when the lazy ordering
+// does not apply).
+func (x *Index) fillSemanticCentroidDists(sc *searchScratch, q *dataset.Object) {
+	for t := range sc.dtq {
+		sc.dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+		sc.dtqKnown[t] = true
+	}
+}
+
+// lazyOrderable reports whether cluster ordering can use the cheap
+// projected-space lower bound on dtq instead of computing all Kt
+// n-dimensional centroid distances up front. The bound relies on the
+// PCA projection being a contraction of the Euclidean metric, so it is
+// restricted to the Euclidean semantic kind.
+func (x *Index) lazyOrderable() bool {
+	return x.space.SemanticKind == metric.EuclideanSemantic && x.pcaModel != nil && x.m > 0
+}
+
+// projWeakRelSlack and projWeakAbsSlack deflate the projected-space
+// estimate of dtq so that it is a certain lower bound despite
+// floating-point noise. Mathematically ‖W(q−C^t)‖ ≤ ‖q−C^t‖ for the
+// orthonormal components W, and the stored projected centroid equals
+// the projection of the original-space centroid by linearity of the
+// mean — but both are computed in float32, so the computed projected
+// distance can exceed the true one by a few float32 ulps of the
+// component magnitudes. The absolute slack (in normalized [0,1] units)
+// dominates that error by >100×, and costs effectively no pruning
+// power: it only matters for clusters whose bound ties the k-NN bound
+// to within 1e-5.
+const (
+	projWeakRelSlack = 1e-6
+	projWeakAbsSlack = 1e-5
+)
+
+// fillProjLowerBounds projects q and fills sc.dtqProj[t] with a weak
+// lower bound on the original-space centroid distance dtq[t], clearing
+// the dtq memoization flags. Used by the lazy ordering of Search: the
+// true dtq of a cluster is only computed when the cluster is actually
+// reached (satellite fix for the eager all-Kt computation).
+func (x *Index) fillProjLowerBounds(sc *searchScratch, q *dataset.Object) {
+	x.pcaModel.TransformInto(sc.qProj, q.Vec)
+	inv := (1 - projWeakRelSlack) / x.space.DtMax
+	for t := range sc.dtqProj {
+		w := vec.Dist(sc.qProj, x.tCentProj[t])*inv - projWeakAbsSlack
+		if w < 0 {
+			w = 0
+		}
+		sc.dtqProj[t] = w
+	}
+	for t := range sc.dtqKnown {
+		sc.dtqKnown[t] = false
+	}
+}
+
 // Search answers an exact k-NN query with the CSSI algorithm (Alg. 2).
 // Centroid-level distance computations are not charged to st — the
 // evaluation counts object-level work (visited objects, and §7.7 counts
-// CSSI distance calculations as visited×2), and the K(s)+K(t) centroid
-// distances per query are part of the index overhead reflected in wall
-// time instead.
+// CSSI distance calculations as visited×2), and the centroid distances
+// per query are part of the index overhead reflected in wall time
+// instead.
 func (x *Index) Search(q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
-	// Per-side distances from q to every centroid (computed once; each
-	// hybrid cluster reuses its sides' values).
-	dsq := make([]float64, len(x.sCentX))
-	for s := range dsq {
-		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
-	}
-	dtq := make([]float64, len(x.tCent))
-	for t := range dtq {
-		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
-	}
+	return x.SearchInto(nil, q, k, lambda, st)
+}
 
-	// Sort hybrid clusters by L(q,C) ascending (Alg. 2 line 4).
-	order := make([]orderedCluster, len(x.clusters))
-	for i, c := range x.clusters {
-		order[i] = orderedCluster{
-			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t]),
-			c:  c,
+// SearchInto is Search appending the results to dst (usually dst[:0] of
+// a retained buffer). With a dst of sufficient capacity, a steady-state
+// call performs zero heap allocations: all per-query state comes from
+// the index's scratch pool.
+func (x *Index) SearchInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchWith(sc, dst, q, k, lambda, st)
+	x.putScratch(sc)
+	return out
+}
+
+func (x *Index) searchWith(sc *searchScratch, dst []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	// The scratch may be reused across queries by a SearchBatch worker;
+	// the cluster order is rebuilt from empty each time.
+	sc.order = sc.order[:0]
+	x.fillSpatialCentroidDists(sc, q)
+
+	// Cluster ordering (Alg. 2 line 4). The original-space semantic
+	// centroid distances dominate the centroid-level cost (Kt
+	// n-dimensional kernels), yet a query that fills its heap early never
+	// consults most of them. Under the Euclidean metric the ordering
+	// therefore uses a weak lower bound from the m-dimensional projected
+	// space and the true dtq is computed lazily — only for clusters the
+	// scan actually reaches — and memoized per semantic side-cluster.
+	// Exactness is preserved: the weak bound never exceeds the true
+	// L(q,C) (lowerBound is non-decreasing in dtq), so the sorted cut-off
+	// of Lemma 4.4 stays sound, and each reached cluster is re-checked
+	// against its true bound before scanning.
+	lazy := x.lazyOrderable()
+	if lazy {
+		x.fillProjLowerBounds(sc, q)
+		for _, c := range x.clusters {
+			sc.order = append(sc.order, orderedCluster{
+				lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRad[c.t]),
+				c:  c,
+			})
+		}
+	} else {
+		x.fillSemanticCentroidDists(sc, q)
+		for _, c := range x.clusters {
+			sc.order = append(sc.order, orderedCluster{
+				lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
+				c:  c,
+			})
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+	sortOrder(sc.order)
 
-	h := knn.NewHeap(k)
-	for ci, oc := range order {
+	h := &sc.heap
+	h.Reset(k)
+	for ci := range sc.order {
+		oc := &sc.order[ci]
 		if u, full := h.Bound(); full && oc.lb >= u {
 			// Pruning property 1 (Lemma 4.4): every remaining cluster
 			// has an even larger lower bound.
 			if st != nil {
-				for _, rest := range order[ci:] {
+				for _, rest := range sc.order[ci:] {
 					st.ClustersPruned++
 					st.InterPruned += int64(len(rest.c.elems))
 				}
 			}
 			break
 		}
-		x.scanCluster(q, lambda, oc.c, dsq[oc.c.s], dtq[oc.c.t], h, st)
+		c := oc.c
+		dtqC := sc.dtq[c.t]
+		if !sc.dtqKnown[c.t] {
+			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtq[c.t] = dtqC
+			sc.dtqKnown[c.t] = true
+		}
+		if lazy {
+			// The weak bound admitted this cluster; re-check with the true
+			// dtq (Lemma 4.4 as a per-cluster filter).
+			if u, full := h.Bound(); full {
+				if lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], dtqC, x.tRad[c.t]) >= u {
+					if st != nil {
+						st.ClustersPruned++
+						st.InterPruned += int64(len(c.elems))
+					}
+					continue
+				}
+			}
+		}
+		x.scanCluster(q, lambda, c, sc.dsq[c.s], dtqC, h, st)
 	}
-	return h.Sorted()
+	return h.AppendSorted(dst)
 }
 
 // scanCluster examines the objects of one hybrid cluster (Alg. 2 lines
@@ -90,7 +223,27 @@ func (x *Index) scanCluster(q *dataset.Object, lambda float64, c *hybrid, dsqC, 
 			}
 		}
 		o := &x.objects[e.idx]
-		d := x.space.Distance(st, lambda, q, o)
-		h.Push(knn.Result{ID: o.ID, Dist: d})
+		if st != nil {
+			st.VisitedObjects++
+		}
+		ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+		var dt float64
+		if u, full := h.Bound(); full && lambda < 1 {
+			// Early abandonment: o can only enter the heap with
+			// d = λ·ds + (1−λ)·dt < u, i.e. dt < (u − λ·ds)/(1−λ). The
+			// kernel stops once its monotone partial sum proves dt beyond
+			// that, so far-away candidates cost a fraction of the full
+			// n-dimensional work. A non-abandoned dt is bit-identical to
+			// the plain kernel, keeping results exact.
+			dtBound := (u - lambda*ds) / (1 - lambda)
+			var ok bool
+			dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
+			if !ok {
+				continue
+			}
+		} else {
+			dt = x.space.Semantic(st, q.Vec, o.Vec)
+		}
+		h.Push(knn.Result{ID: o.ID, Dist: metric.Combine(lambda, ds, dt)})
 	}
 }

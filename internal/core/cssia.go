@@ -1,9 +1,7 @@
 package core
 
 import (
-	"container/heap"
 	"math"
-	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -21,18 +19,48 @@ type cand struct {
 // max-heap by d, mirroring the paper's priority queue R. Whenever the set
 // changes, CSSIA re-derives both U (max d) and U' (max d') — the paper's
 // complexity analysis (§6.1) accounts for exactly this per-update scan.
+// The sift operations are hand-written (no container/heap) so pushes do
+// not box candidates onto the heap; the backing array is pooled in
+// searchScratch.
 type candHeap []cand
 
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h *candHeap) push(v cand) {
+	*h = append(*h, v)
+	items := *h
+	i := len(items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if items[p].d >= items[i].d {
+			break
+		}
+		items[p], items[i] = items[i], items[p]
+		i = p
+	}
+}
+
+// popMax removes the candidate with the largest exact distance.
+func (h *candHeap) popMax() {
+	items := *h
+	n := len(items) - 1
+	items[0] = items[n]
+	*h = items[:n]
+	items = items[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		big := l
+		if r := l + 1; r < n && items[r].d > items[l].d {
+			big = r
+		}
+		if items[i].d >= items[big].d {
+			break
+		}
+		items[i], items[big] = items[big], items[i]
+		i = big
+	}
 }
 
 // maxDPr returns max d' over the held candidates.
@@ -53,42 +81,57 @@ func (h candHeap) maxDPr() float64 {
 // the projection contracts distances, so a cluster holding a true
 // neighbor can be pruned when its projected bound looks too large.
 func (x *Index) SearchApprox(q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
-	qProj := x.pcaModel.Transform(q.Vec)
+	return x.SearchApproxInto(nil, q, k, lambda, st)
+}
 
-	dsq := make([]float64, len(x.sCentX))
-	for s := range dsq {
-		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
-	}
+// SearchApproxInto is SearchApprox appending the results to dst; like
+// SearchInto it is allocation-free in steady state given sufficient dst
+// capacity.
+func (x *Index) SearchApproxInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchApproxWith(sc, dst, q, k, lambda, st)
+	x.putScratch(sc)
+	return out
+}
+
+func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	// The scratch may be reused across queries by a SearchBatch worker;
+	// the cluster order is rebuilt from empty each time.
+	sc.order = sc.order[:0]
+	qProj := sc.qProj
+	x.pcaModel.TransformInto(qProj, q.Vec)
+
+	x.fillSpatialCentroidDists(sc, q)
 	// Semantic centroid distances in the projected space (m-dimensional,
 	// much cheaper than CSSI's n-dimensional sort — the m·K·logK term of
 	// Table 2).
-	dtqProj := make([]float64, len(x.tCentProj))
-	for t := range dtqProj {
-		dtqProj[t] = x.space.SemanticProjVec(qProj, x.tCentProj[t])
+	for t := range sc.dtqProj {
+		sc.dtqProj[t] = x.space.SemanticProjVec(qProj, x.tCentProj[t])
 	}
 
-	order := make([]orderedCluster, len(x.clusters))
-	for i, c := range x.clusters {
-		order[i] = orderedCluster{
-			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtqProj[c.t], x.tRadProj[c.t]),
+	for _, c := range x.clusters {
+		sc.order = append(sc.order, orderedCluster{
+			lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRadProj[c.t]),
 			c:  c,
-		}
+		})
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+	sortOrder(sc.order)
 
-	var cands candHeap
+	cands := sc.cands[:0]
 	u := math.Inf(1)      // distance to current k-NN in the original space
 	uPrime := math.Inf(1) // distance to current k-NN in the projected space
-	// dtqOrig caches the original-space semantic centroid distances that
+	// sc.dtq caches the original-space semantic centroid distances that
 	// intra-cluster pruning needs, computed lazily per examined cluster.
-	dtqOrig := make([]float64, len(x.tCent))
-	dtqKnown := make([]bool, len(x.tCent))
+	for t := range sc.dtqKnown {
+		sc.dtqKnown[t] = false
+	}
 
-	for ci, oc := range order {
+	for ci := range sc.order {
+		oc := &sc.order[ci]
 		if len(cands) >= k && oc.lb >= uPrime {
 			// Revised pruning property 1 (§5.3) in the projected space.
 			if st != nil {
-				for _, rest := range order[ci:] {
+				for _, rest := range sc.order[ci:] {
 					st.ClustersPruned++
 					st.InterPruned += int64(len(rest.c.elems))
 				}
@@ -99,12 +142,13 @@ func (x *Index) SearchApprox(q *dataset.Object, k int, lambda float64, st *metri
 		if st != nil {
 			st.ClustersExamined++
 		}
-		if !dtqKnown[c.t] {
-			dtqOrig[c.t] = x.space.SemanticVec(q.Vec, x.tCent[c.t])
-			dtqKnown[c.t] = true
+		if !sc.dtqKnown[c.t] {
+			sc.dtq[c.t] = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtqKnown[c.t] = true
 		}
-		enclosed := dsq[c.s] < x.sRad[c.s] && dtqOrig[c.t] < x.tRad[c.t]
-		dqC := lambda*dsq[c.s] + (1-lambda)*dtqOrig[c.t]
+		dtqC := sc.dtq[c.t]
+		enclosed := sc.dsq[c.s] < x.sRad[c.s] && dtqC < x.tRad[c.t]
+		dqC := lambda*sc.dsq[c.s] + (1-lambda)*dtqC
 		for ei := range c.elems {
 			e := &c.elems[ei]
 			if !enclosed && len(cands) >= k {
@@ -123,13 +167,25 @@ func (x *Index) SearchApprox(q *dataset.Object, k int, lambda float64, st *metri
 				st.VisitedObjects++
 			}
 			ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
-			dt := x.space.Semantic(st, q.Vec, o.Vec)
+			var dt float64
+			if len(cands) >= k && lambda < 1 {
+				// Early abandonment (see scanCluster): a candidate only
+				// joins R with d < U, i.e. dt < (U − λ·ds)/(1−λ).
+				dtBound := (u - lambda*ds) / (1 - lambda)
+				var ok bool
+				dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
+				if !ok {
+					continue
+				}
+			} else {
+				dt = x.space.Semantic(st, q.Vec, o.Vec)
+			}
 			d := metric.Combine(lambda, ds, dt)
 			if d < u || len(cands) < k {
-				dpr := metric.Combine(lambda, ds, x.space.SemanticProjVec(qProj, x.proj[e.idx]))
-				heap.Push(&cands, cand{id: o.ID, d: d, dpr: dpr})
+				dpr := metric.Combine(lambda, ds, x.space.SemanticProjVec(qProj, x.projAt(e.idx)))
+				cands.push(cand{id: o.ID, d: d, dpr: dpr})
 				if len(cands) > k {
-					heap.Pop(&cands)
+					cands.popMax()
 				}
 				if len(cands) == k {
 					u = cands[0].d
@@ -138,10 +194,11 @@ func (x *Index) SearchApprox(q *dataset.Object, k int, lambda float64, st *metri
 			}
 		}
 	}
-	out := make([]knn.Result, len(cands))
-	for i, c := range cands {
-		out[i] = knn.Result{ID: c.id, Dist: c.d}
+	n := len(dst)
+	for _, c := range cands {
+		dst = append(dst, knn.Result{ID: c.id, Dist: c.d})
 	}
-	knn.SortResults(out)
-	return out
+	knn.SortResults(dst[n:])
+	sc.cands = cands[:0]
+	return dst
 }

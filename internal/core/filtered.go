@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/dataset"
 	"repro/internal/knn"
 	"repro/internal/metric"
@@ -19,28 +17,25 @@ import (
 // the visited+inter+intra identity of the unfiltered algorithms does not
 // apply here.
 func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow func(id uint32) bool, st *metric.Stats) []knn.Result {
-	dsq := make([]float64, len(x.sCentX))
-	for s := range dsq {
-		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
-	}
-	dtq := make([]float64, len(x.tCent))
-	for t := range dtq {
-		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
-	}
-	order := make([]orderedCluster, len(x.clusters))
-	for i, c := range x.clusters {
-		order[i] = orderedCluster{
-			lb: lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t]),
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	x.fillSpatialCentroidDists(sc, q)
+	x.fillSemanticCentroidDists(sc, q)
+	for _, c := range x.clusters {
+		sc.order = append(sc.order, orderedCluster{
+			lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
 			c:  c,
-		}
+		})
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+	sortOrder(sc.order)
 
-	h := knn.NewHeap(k)
-	for ci, oc := range order {
+	h := &sc.heap
+	h.Reset(k)
+	for ci := range sc.order {
+		oc := &sc.order[ci]
 		if u, full := h.Bound(); full && oc.lb >= u {
 			if st != nil {
-				st.ClustersPruned += int64(len(order) - ci)
+				st.ClustersPruned += int64(len(sc.order) - ci)
 			}
 			break
 		}
@@ -48,8 +43,8 @@ func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow f
 		if st != nil {
 			st.ClustersExamined++
 		}
-		enclosed := dsq[c.s] < x.sRad[c.s] && dtq[c.t] < x.tRad[c.t]
-		dqC := lambda*dsq[c.s] + (1-lambda)*dtq[c.t]
+		enclosed := sc.dsq[c.s] < x.sRad[c.s] && sc.dtq[c.t] < x.tRad[c.t]
+		dqC := lambda*sc.dsq[c.s] + (1-lambda)*sc.dtq[c.t]
 		for ei := range c.elems {
 			e := &c.elems[ei]
 			if !enclosed {
@@ -68,5 +63,5 @@ func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow f
 			h.Push(knn.Result{ID: o.ID, Dist: d})
 		}
 	}
-	return h.Sorted()
+	return h.AppendSorted(nil)
 }

@@ -79,7 +79,7 @@ func (x *Index) ProjectQuery(v []float32) []float32 { return x.pcaModel.Transfor
 // distance between a projected query and the stored projection of the
 // object at the given dataset position.
 func (x *Index) ProjectedDistance(qProj []float32, position int) float64 {
-	return x.space.SemanticProjVec(qProj, x.proj[position])
+	return x.space.SemanticProjVec(qProj, x.projAt(uint32(position)))
 }
 
 // BuildTimings records where index-construction time went (Fig. 15).

@@ -20,7 +20,7 @@ func (x *Index) Insert(o dataset.Object) error {
 	idx := uint32(len(x.objects))
 	x.objects = append(x.objects, o)
 	x.deleted = append(x.deleted, false)
-	x.proj = append(x.proj, x.pcaModel.Transform(o.Vec))
+	x.appendArenaRows(idx)
 	x.idToIdx[o.ID] = idx
 
 	// Nearest spatial cluster by location.
@@ -184,6 +184,42 @@ func (x *Index) Rebuild() error {
 	}
 	*x = *fresh
 	return nil
+}
+
+// appendArenaRows copies the vector of the just-appended object into a
+// new vecArena row, projects it into a new projArena row, and repoints
+// the stored object's Vec at the arena. When the vector arena must
+// grow, every stored view is repointed at the new backing array —
+// amortized O(1) per insert thanks to the doubling growth.
+func (x *Index) appendArenaRows(idx uint32) {
+	src := x.objects[idx].Vec
+	if need := len(x.vecArena) + x.dim; need > cap(x.vecArena) {
+		na := make([]float32, len(x.vecArena), arenaCap(need, cap(x.vecArena)))
+		copy(na, x.vecArena)
+		x.vecArena = na
+		for i := uint32(0); i < idx; i++ {
+			x.objects[i].Vec = x.vecAt(i)
+		}
+	}
+	x.vecArena = append(x.vecArena, src...)
+	x.objects[idx].Vec = x.vecAt(idx)
+
+	if need := len(x.projArena) + x.m; need > cap(x.projArena) {
+		na := make([]float32, len(x.projArena), arenaCap(need, cap(x.projArena)))
+		copy(na, x.projArena)
+		x.projArena = na
+	}
+	x.projArena = x.projArena[:len(x.projArena)+x.m]
+	x.pcaModel.TransformInto(x.projAt(idx), x.objects[idx].Vec)
+}
+
+// arenaCap doubles the arena capacity until it covers need.
+func arenaCap(need, old int) int {
+	c := old * 2
+	if c < need {
+		c = need
+	}
+	return c
 }
 
 func removeIdx(list []uint32, idx uint32) []uint32 {

@@ -28,7 +28,11 @@ type gobHybrid struct {
 	Members []gobMember
 }
 
-// gobIndex is the serialized form of an Index.
+// gobIndex is the serialized form of an Index. Since version 2 the
+// embeddings and projections are stored as the two flat arenas (with
+// their strides) instead of per-object vectors and per-row projection
+// slices: Objects carry nil Vec on the wire and Load reslices them into
+// the decoded vector arena.
 type gobIndex struct {
 	Version int
 	Cfg     Config
@@ -41,7 +45,9 @@ type gobIndex struct {
 	Live    int
 
 	PCAModel *pca.Model
-	Proj     [][]float32
+
+	Dim, M              int
+	VecArena, ProjArena []float32
 
 	SCentX, SCentY, SRad []float64
 	SMembers             [][]uint32
@@ -56,10 +62,17 @@ type gobIndex struct {
 	UpdatesSinceBuild_ int
 }
 
-const persistVersion = 1
+const persistVersion = 2
 
 // Save writes the index (including its metric-space normalizers) to w.
 func (x *Index) Save(w io.Writer) error {
+	// Strip the per-object arena views from a copy of the objects slice
+	// (never from the live one): the vectors travel once, in VecArena.
+	objs := make([]dataset.Object, len(x.objects))
+	copy(objs, x.objects)
+	for i := range objs {
+		objs[i].Vec = nil
+	}
 	g := gobIndex{
 		Version:            persistVersion,
 		Cfg:                x.cfg,
@@ -67,11 +80,14 @@ func (x *Index) Save(w io.Writer) error {
 		DtMax:              x.space.DtMax,
 		DtProjMax:          x.space.DtProjMax,
 		SemanticKind:       x.space.SemanticKind,
-		Objects:            x.objects,
+		Objects:            objs,
 		Deleted:            x.deleted,
 		Live:               x.live,
 		PCAModel:           x.pcaModel,
-		Proj:               x.proj,
+		Dim:                x.dim,
+		M:                  x.m,
+		VecArena:           x.vecArena,
+		ProjArena:          x.projArena,
 		SCentX:             x.sCentX,
 		SCentY:             x.sCentY,
 		SRad:               x.sRad,
@@ -109,6 +125,14 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 	if g.Version != persistVersion {
 		return nil, nil, fmt.Errorf("core: load: unsupported version %d", g.Version)
 	}
+	if g.Dim <= 0 || len(g.VecArena) != len(g.Objects)*g.Dim {
+		return nil, nil, fmt.Errorf("core: load: vector arena length %d does not match %d objects of dim %d",
+			len(g.VecArena), len(g.Objects), g.Dim)
+	}
+	if g.M <= 0 || len(g.ProjArena) != len(g.Objects)*g.M {
+		return nil, nil, fmt.Errorf("core: load: projection arena length %d does not match %d objects of dim %d",
+			len(g.ProjArena), len(g.Objects), g.M)
+	}
 	space := &metric.Space{DsMax: g.DsMax, DtMax: g.DtMax, DtProjMax: g.DtProjMax, SemanticKind: g.SemanticKind}
 	x := &Index{
 		cfg:               g.Cfg,
@@ -118,7 +142,11 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		live:              g.Live,
 		idToIdx:           make(map[uint32]uint32, g.Live),
 		pcaModel:          g.PCAModel,
-		proj:              g.Proj,
+		dim:               g.Dim,
+		m:                 g.M,
+		vecArena:          g.VecArena,
+		projArena:         g.ProjArena,
+		scratchPool:       newScratchPool(),
 		sCentX:            g.SCentX,
 		sCentY:            g.SCentY,
 		sRad:              g.SRad,
@@ -134,6 +162,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		UpdatesSinceBuild: g.UpdatesSinceBuild_,
 	}
 	for i := range x.objects {
+		x.objects[i].Vec = x.vecAt(uint32(i))
 		if !x.deleted[i] {
 			x.idToIdx[x.objects[i].ID] = uint32(i)
 		}

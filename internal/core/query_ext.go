@@ -1,10 +1,9 @@
 package core
 
 import (
-	"sort"
+	"math"
 
 	"repro/internal/dataset"
-	"repro/internal/geo"
 	"repro/internal/knn"
 	"repro/internal/metric"
 )
@@ -22,31 +21,55 @@ import (
 // ordered by ascending distance. Pruning mirrors the k-NN algorithm with
 // the fixed radius in place of the adaptive bound U: clusters with
 // L(q,C) > r cannot contain results (Lemma 4.3), and within a cluster the
-// scan stops once d(q,C) − bound > r (Lemma 4.5).
+// scan stops once d(q,C) − bound > r (Lemma 4.5). Like Search, the
+// semantic centroid distances are computed lazily per surviving cluster
+// under the Euclidean metric, and candidate kernels abandon early once
+// dt provably pushes d beyond r.
 func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Stats) []knn.Result {
-	dsq := make([]float64, len(x.sCentX))
-	for s := range dsq {
-		dsq[s] = x.space.SpatialXY(q.X, q.Y, x.sCentX[s], x.sCentY[s])
-	}
-	dtq := make([]float64, len(x.tCent))
-	for t := range dtq {
-		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	x.fillSpatialCentroidDists(sc, q)
+	lazy := x.lazyOrderable()
+	if lazy {
+		x.fillProjLowerBounds(sc, q)
+	} else {
+		x.fillSemanticCentroidDists(sc, q)
 	}
 	var out []knn.Result
 	for _, c := range x.clusters {
-		lb := lowerBound(lambda, dsq[c.s], x.sRad[c.s], dtq[c.t], x.tRad[c.t])
-		if lb > r {
+		var weak float64
+		if lazy {
+			weak = lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRad[c.t])
+		} else {
+			weak = lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t])
+		}
+		if weak > r {
 			if st != nil {
 				st.ClustersPruned++
 				st.InterPruned += int64(len(c.elems))
 			}
 			continue
 		}
+		dtqC := sc.dtq[c.t]
+		if !sc.dtqKnown[c.t] {
+			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtq[c.t] = dtqC
+			sc.dtqKnown[c.t] = true
+		}
+		if lazy {
+			if lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], dtqC, x.tRad[c.t]) > r {
+				if st != nil {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(c.elems))
+				}
+				continue
+			}
+		}
 		if st != nil {
 			st.ClustersExamined++
 		}
-		enclosed := dsq[c.s] < x.sRad[c.s] && dtq[c.t] < x.tRad[c.t]
-		dqC := lambda*dsq[c.s] + (1-lambda)*dtq[c.t]
+		enclosed := sc.dsq[c.s] < x.sRad[c.s] && dtqC < x.tRad[c.t]
+		dqC := lambda*sc.dsq[c.s] + (1-lambda)*dtqC
 		for ei := range c.elems {
 			e := &c.elems[ei]
 			if !enclosed {
@@ -59,8 +82,24 @@ func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Sta
 				}
 			}
 			o := &x.objects[e.idx]
-			d := x.space.Distance(st, lambda, q, o)
-			if d <= r {
+			if st != nil {
+				st.VisitedObjects++
+			}
+			ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+			var dt float64
+			if lambda < 1 {
+				// A result needs d ≤ r, i.e. dt ≤ (r − λ·ds)/(1−λ); the
+				// kernel abandons once dt provably exceeds that.
+				dtBound := (r - lambda*ds) / (1 - lambda)
+				var ok bool
+				dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
+				if !ok {
+					continue
+				}
+			} else {
+				dt = x.space.Semantic(st, q.Vec, o.Vec)
+			}
+			if d := metric.Combine(lambda, ds, dt); d <= r {
 				out = append(out, knn.Result{ID: o.ID, Dist: d})
 			}
 		}
@@ -69,28 +108,48 @@ func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Sta
 	return out
 }
 
+// boxMinDistXY returns the Euclidean distance from (px,py) to the
+// rectangle [loX,hiX]×[loY,hiY] (zero inside), without the slice
+// round-trip of geo.Rect.MinDist.
+func boxMinDistXY(px, py, loX, loY, hiX, hiY float64) float64 {
+	var dx, dy float64
+	if px < loX {
+		dx = loX - px
+	} else if px > hiX {
+		dx = px - hiX
+	}
+	if py < loY {
+		dy = loY - py
+	} else if py > hiY {
+		dy = py - hiY
+	}
+	// Same formula as geo.Rect.MinDist so pruning decisions are
+	// bit-for-bit unchanged.
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
 // SearchInBox returns the k objects inside the spatial window [loX,hiX]×
 // [loY,hiY] that are semantically nearest to q (pure dt ranking). Hybrid
 // clusters whose spatial ball cannot intersect the window are pruned
 // wholesale; within a cluster the semantic side of Lemma 4.5 cuts the
 // scan once dt(q,Ct) − e.dt exceeds the current k-th semantic distance.
 func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int, st *metric.Stats) []knn.Result {
-	box := geo.Rect{Lo: []float64{loX, loY}, Hi: []float64{hiX, hiY}}
-	dtq := make([]float64, len(x.tCent))
-	for t := range dtq {
-		dtq[t] = x.space.SemanticVec(q.Vec, x.tCent[t])
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	lazy := x.lazyOrderable()
+	if lazy {
+		x.fillProjLowerBounds(sc, q)
+	} else {
+		x.fillSemanticCentroidDists(sc, q)
 	}
 	// Order clusters by their semantic lower bound so the cut-off of
-	// Lemma 4.4 (with the pure-semantic metric) applies.
-	type boxedCluster struct {
-		lb float64
-		c  *hybrid
-	}
-	var order []boxedCluster
+	// Lemma 4.4 (with the pure-semantic metric) applies. Under the lazy
+	// path the ordering uses the weak projected bound (max(0, w−R^t) ≤
+	// max(0, dtq−R^t)); the true dtq is computed per reached cluster.
 	for _, c := range x.clusters {
 		// Spatial filter: the cluster ball (center, radius in normalized
 		// units) must reach the window.
-		centerDist := box.MinDist([]float64{x.sCentX[c.s], x.sCentY[c.s]}) / x.space.DsMax
+		centerDist := boxMinDistXY(x.sCentX[c.s], x.sCentY[c.s], loX, loY, hiX, hiY) / x.space.DsMax
 		if centerDist > x.sRad[c.s] {
 			if st != nil {
 				st.ClustersPruned++
@@ -98,34 +157,57 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 			}
 			continue
 		}
-		lb := dtq[c.t] - x.tRad[c.t]
+		var dtEst float64
+		if lazy {
+			dtEst = sc.dtqProj[c.t]
+		} else {
+			dtEst = sc.dtq[c.t]
+		}
+		lb := dtEst - x.tRad[c.t]
 		if lb < 0 {
 			lb = 0
 		}
-		order = append(order, boxedCluster{lb: lb, c: c})
+		sc.order = append(sc.order, orderedCluster{lb: lb, c: c})
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a].lb < order[b].lb })
+	sortOrder(sc.order)
 
-	h := knn.NewHeap(k)
-	for ci, oc := range order {
+	h := &sc.heap
+	h.Reset(k)
+	for ci := range sc.order {
+		oc := &sc.order[ci]
 		if u, full := h.Bound(); full && oc.lb >= u {
 			if st != nil {
-				for _, rest := range order[ci:] {
+				for _, rest := range sc.order[ci:] {
 					st.ClustersPruned++
 					st.InterPruned += int64(len(rest.c.elems))
 				}
 			}
 			break
 		}
+		c := oc.c
+		dtqC := sc.dtq[c.t]
+		if !sc.dtqKnown[c.t] {
+			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtq[c.t] = dtqC
+			sc.dtqKnown[c.t] = true
+		}
+		if lazy {
+			if u, full := h.Bound(); full && dtqC-x.tRad[c.t] >= u {
+				if st != nil {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(c.elems))
+				}
+				continue
+			}
+		}
 		if st != nil {
 			st.ClustersExamined++
 		}
-		c := oc.c
-		enclosedSem := dtq[c.t] < x.tRad[c.t]
+		enclosedSem := dtqC < x.tRad[c.t]
 		for ei := range c.elems {
 			e := &c.elems[ei]
 			if !enclosedSem {
-				if u, full := h.Bound(); full && dtq[c.t]-e.dt > u {
+				if u, full := h.Bound(); full && dtqC-e.dt > u {
 					if st != nil {
 						st.IntraPruned += int64(len(c.elems) - ei)
 					}
@@ -142,9 +224,17 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 			if st != nil {
 				st.VisitedObjects++
 			}
-			d := x.space.Semantic(st, q.Vec, o.Vec)
-			h.Push(knn.Result{ID: o.ID, Dist: d})
+			if u, full := h.Bound(); full {
+				// Pure-semantic ranking: only dt < u can enter the heap,
+				// so the kernel may abandon at u directly.
+				dt, ok := x.space.SemanticBound(st, q.Vec, o.Vec, u)
+				if ok {
+					h.Push(knn.Result{ID: o.ID, Dist: dt})
+				}
+			} else {
+				h.Push(knn.Result{ID: o.ID, Dist: x.space.Semantic(st, q.Vec, o.Vec)})
+			}
 		}
 	}
-	return h.Sorted()
+	return h.AppendSorted(nil)
 }

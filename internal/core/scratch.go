@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/knn"
+)
+
+// searchScratch holds every per-query buffer the query algorithms need.
+// The buffers grow to the high-water mark of the index geometry (Ks, Kt,
+// cluster count, k, m) and are then reused: in steady state a query
+// performs zero heap allocations. Scratches live in the Index's
+// sync.Pool, so concurrent queries each draw their own and SearchBatch
+// workers keep one for a whole batch.
+type searchScratch struct {
+	// dsq[s] is the normalized spatial distance from q to spatial
+	// centroid s (always filled eagerly: Ks cheap 2-D distances).
+	dsq []float64
+	// dtq[t] is the normalized original-space semantic distance from q
+	// to semantic centroid t, filled lazily per visited cluster and
+	// memoized; dtqKnown[t] marks the filled entries.
+	dtq      []float64
+	dtqKnown []bool
+	// dtqProj[t] is a projected-space value per semantic centroid: the
+	// normalized d't for CSSIA, or the weak lower bound on dtq that CSSI
+	// orders clusters by (see fillProjLowerBounds).
+	dtqProj []float64
+	// qProj is the PCA projection of the query vector (length m).
+	qProj []float32
+	// order is the cluster visit order of Alg. 2 line 4 / Alg. 3 line 5.
+	order []orderedCluster
+	// heap collects the k best results; cands is CSSIA's candidate
+	// max-heap.
+	heap  knn.Heap
+	cands candHeap
+}
+
+func newScratchPool() *sync.Pool {
+	return &sync.Pool{New: func() interface{} { return new(searchScratch) }}
+}
+
+// getScratch draws a scratch from the pool and sizes its centroid-level
+// buffers for the index's current geometry.
+func (x *Index) getScratch() *searchScratch {
+	sc := x.scratchPool.Get().(*searchScratch)
+	sc.dsq = growSlice(sc.dsq, len(x.sCentX))
+	sc.dtq = growSlice(sc.dtq, len(x.tCent))
+	sc.dtqKnown = growSlice(sc.dtqKnown, len(x.tCent))
+	sc.dtqProj = growSlice(sc.dtqProj, len(x.tCent))
+	sc.qProj = growSlice(sc.qProj, x.m)
+	if cap(sc.order) < len(x.clusters) {
+		sc.order = make([]orderedCluster, 0, len(x.clusters))
+	}
+	sc.order = sc.order[:0]
+	return sc
+}
+
+// putScratch returns a scratch to the pool for reuse.
+func (x *Index) putScratch(sc *searchScratch) {
+	x.scratchPool.Put(sc)
+}
+
+// growSlice returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -4,8 +4,7 @@
 package knn
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
 )
 
 // Result is one k-NN candidate.
@@ -15,8 +14,12 @@ type Result struct {
 }
 
 // Heap maintains the k best (smallest-distance) results seen so far as a
-// max-heap, so the worst kept result is inspectable in O(1). The zero
-// value is not usable; construct with NewHeap.
+// max-heap, so the worst kept result is inspectable in O(1). The sift
+// operations are hand-written rather than going through container/heap:
+// the interface indirection there boxes every pushed Result onto the
+// heap, which would break the zero-allocation guarantee of the pooled
+// search scratch that embeds this type. The zero value is empty with
+// k=0; call Reset (or construct with NewHeap) before use.
 type Heap struct {
 	k     int
 	items []Result
@@ -24,25 +27,24 @@ type Heap struct {
 
 // NewHeap returns a heap retaining the k smallest-distance results.
 func NewHeap(k int) *Heap {
+	h := &Heap{}
+	h.Reset(k)
+	return h
+}
+
+// Reset empties the heap and sets its capacity to k, retaining the
+// backing storage so a pooled heap reaches zero allocations in steady
+// state. It panics if k < 1.
+func (h *Heap) Reset(k int) {
 	if k < 1 {
 		panic("knn: k must be >= 1")
 	}
-	return &Heap{k: k, items: make([]Result, 0, k+1)}
-}
-
-// maxHeap adapts items to container/heap with the largest distance on top.
-type maxHeap []Result
-
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	h.k = k
+	if cap(h.items) < k {
+		h.items = make([]Result, 0, k)
+	} else {
+		h.items = h.items[:0]
+	}
 }
 
 // K returns the heap's capacity.
@@ -68,41 +70,86 @@ func (h *Heap) Bound() (float64, bool) {
 // (i.e., the heap was not full or the candidate beat the current worst).
 func (h *Heap) Push(r Result) bool {
 	if len(h.items) < h.k {
-		mh := maxHeap(h.items)
-		heap.Push(&mh, r)
-		h.items = mh
+		h.items = append(h.items, r)
+		h.siftUp(len(h.items) - 1)
 		return true
 	}
 	if r.Dist >= h.items[0].Dist {
 		return false
 	}
-	mh := maxHeap(h.items)
-	mh[0] = r
-	heap.Fix(&mh, 0)
-	h.items = mh
+	h.items[0] = r
+	h.siftDown(0)
 	return true
+}
+
+func (h *Heap) siftUp(i int) {
+	items := h.items
+	for i > 0 {
+		p := (i - 1) / 2
+		if items[p].Dist >= items[i].Dist {
+			break
+		}
+		items[p], items[i] = items[i], items[p]
+		i = p
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	items := h.items
+	n := len(items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		big := l
+		if r := l + 1; r < n && items[r].Dist > items[l].Dist {
+			big = r
+		}
+		if items[i].Dist >= items[big].Dist {
+			break
+		}
+		items[i], items[big] = items[big], items[i]
+		i = big
+	}
 }
 
 // Items returns the held results in unspecified order (shared storage;
 // do not mutate).
 func (h *Heap) Items() []Result { return h.items }
 
+// AppendSorted appends the held results to dst ordered by ascending
+// distance (ties by ascending ID) and returns the extended slice. With a
+// dst of sufficient capacity it performs no allocation; the heap itself
+// is left unchanged.
+func (h *Heap) AppendSorted(dst []Result) []Result {
+	n := len(dst)
+	dst = append(dst, h.items...)
+	SortResults(dst[n:])
+	return dst
+}
+
 // Sorted returns the held results ordered by ascending distance, ties
 // broken by ascending ID for determinism.
 func (h *Heap) Sorted() []Result {
-	out := make([]Result, len(h.items))
-	copy(out, h.items)
-	SortResults(out)
-	return out
+	return h.AppendSorted(make([]Result, 0, len(h.items)))
 }
 
 // SortResults orders results by ascending distance, then ascending ID.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Dist != rs[j].Dist {
-			return rs[i].Dist < rs[j].Dist
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
 		}
-		return rs[i].ID < rs[j].ID
 	})
 }
 

@@ -109,6 +109,22 @@ func (s *Space) SetProjectedNormalizer(projected [][]float32) {
 	}
 }
 
+// SetProjectedNormalizerArena is SetProjectedNormalizer over a
+// contiguous row-major arena of projected vectors with the given
+// dimensionality (the index's SoA layout), avoiding the per-row slice
+// headers.
+func (s *Space) SetProjectedNormalizerArena(arena []float32, dim int) {
+	if len(arena) == 0 || dim <= 0 {
+		s.DtProjMax = 1
+		return
+	}
+	lo, hi := vec.MinMaxStrided(arena, dim)
+	s.DtProjMax = vec.Dist(lo, hi)
+	if s.DtProjMax == 0 {
+		s.DtProjMax = 1
+	}
+}
+
 // Stats counts the work done while answering one query (or a batch).
 // The paper reports visited objects and per-space distance calculations.
 type Stats struct {
@@ -170,6 +186,51 @@ func (s *Space) Semantic(st *Stats, a, b []float32) float64 {
 		st.SemanticDistCalcs++
 	}
 	return s.SemanticVec(a, b)
+}
+
+// semanticBoundSlack inflates the squared early-abandon limit so that a
+// candidate is only abandoned when its distance provably exceeds the
+// bound: without the slack, floating-point rounding in bound*DtMax and
+// the squaring could abandon a candidate whose exact normalized distance
+// ties the bound to the last bit. 1e-9 relative is orders of magnitude
+// above the rounding error of these few operations and orders of
+// magnitude below any distance gap the float32 inputs can represent.
+const semanticBoundSlack = 1e-9
+
+// SemanticVecBound is SemanticVec with early abandonment: if the
+// distance provably exceeds bound, it returns ok=false (and an undefined
+// distance) without finishing the kernel. When ok is true the returned
+// distance is exact and bit-identical to SemanticVec. Only the Euclidean
+// metric can abandon (its partial sums are monotone); the angular metric
+// computes fully and always returns ok=true.
+func (s *Space) SemanticVecBound(a, b []float32, bound float64) (float64, bool) {
+	if s.SemanticKind == AngularSemantic {
+		return vec.AngularDist(a, b), true
+	}
+	if math.IsInf(bound, 1) {
+		return vec.Dist(a, b) / s.DtMax, true
+	}
+	if bound < 0 {
+		bound = 0
+	}
+	limit := bound * s.DtMax
+	limit *= limit
+	limit += limit * semanticBoundSlack
+	sq := vec.SqDistBound(a, b, limit)
+	if sq > limit {
+		return 0, false
+	}
+	return math.Sqrt(sq) / s.DtMax, true
+}
+
+// SemanticBound is SemanticVecBound counting one semantic distance
+// calculation (abandoned kernels count too: the work matters, not the
+// outcome — and the paper's Fig. 16 counts per-object calculations).
+func (s *Space) SemanticBound(st *Stats, a, b []float32, bound float64) (float64, bool) {
+	if st != nil {
+		st.SemanticDistCalcs++
+	}
+	return s.SemanticVecBound(a, b, bound)
 }
 
 // SemanticProjVec returns the normalized semantic distance in the

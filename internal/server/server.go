@@ -8,6 +8,7 @@
 //	GET  /healthz             liveness probe
 //	GET  /stats               index statistics
 //	POST /search              k-NN query (exact or approximate)
+//	POST /search/batch        many k-NN queries in one request
 //	POST /range               range query
 //	POST /box                 windowed semantic k-NN
 //	POST /objects             insert an object
@@ -53,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /keyword-search", s.handleKeywordSearch)
 	mux.HandleFunc("POST /range", s.handleRange)
 	mux.HandleFunc("POST /box", s.handleBox)
@@ -156,6 +158,58 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		rs = s.idx.SearchStats(q, req.K, req.Lambda, &st)
 	}
 	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+}
+
+// batchRequest is the body of /search/batch: shared k/lambda/approx and
+// one entry per query (each needing only coordinates plus vec or text).
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+	K       int            `json:"k,omitempty"`
+	Lambda  float64        `json:"lambda"`
+	Approx  bool           `json:"approx,omitempty"`
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+type batchResponse struct {
+	Results [][]resultItem `json:"results"`
+	Visited int64          `json:"visited"`
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.Lambda < 0 || req.Lambda > 1 {
+		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries required")
+		return
+	}
+	queries := make([]cssi.Object, len(req.Queries))
+	for i := range req.Queries {
+		q, err := s.buildQuery(&req.Queries[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		queries[i] = *q
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st cssi.Stats
+	batches := s.idx.BatchSearch(queries, req.K, req.Lambda, req.Approx, req.Workers, &st)
+	resp := batchResponse{Results: make([][]resultItem, len(batches)), Visited: st.VisitedObjects}
+	for i, rs := range batches {
+		resp.Results[i] = s.respond(rs, &st).Results
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {

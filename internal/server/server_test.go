@@ -335,3 +335,82 @@ func TestKeywordSearchEndpoint(t *testing.T) {
 		t.Fatalf("stop-word keywords: status %d", resp.StatusCode)
 	}
 }
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, ds := newTestServer(t)
+	queries := make([]map[string]interface{}, 3)
+	for i := range queries {
+		q := ds.Objects[i*7]
+		queries[i] = map[string]interface{}{"x": q.X, "y": q.Y, "vec": q.Vec}
+	}
+	resp, out := postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": queries, "k": 4, "lambda": 0.5, "workers": 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var results [][]struct {
+		ID   uint32  `json:"id"`
+		Dist float64 `json:"dist"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("got %d result lists for %d queries", len(results), len(queries))
+	}
+	// Each batch entry must match the single-query endpoint exactly.
+	for i, q := range queries {
+		q["k"] = 4
+		q["lambda"] = 0.5
+		single, sout := postJSON(t, ts.URL+"/search", q)
+		if single.StatusCode != http.StatusOK {
+			t.Fatalf("single status %d", single.StatusCode)
+		}
+		var want []struct {
+			ID   uint32  `json:"id"`
+			Dist float64 `json:"dist"`
+		}
+		if err := json.Unmarshal(sout["results"], &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(results[i]) != len(want) {
+			t.Fatalf("query %d: %d vs %d results", i, len(results[i]), len(want))
+		}
+		for j := range want {
+			if results[i][j].ID != want[j].ID || results[i][j].Dist != want[j].Dist {
+				t.Fatalf("query %d result %d: batch %+v vs single %+v", i, j, results[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestBatchEndpointValidation(t *testing.T) {
+	ts, ds := newTestServer(t)
+	// Empty batch rejected.
+	resp, _ := postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{}, "k": 3, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty queries: status %d", resp.StatusCode)
+	}
+	// A bad query inside the batch rejected.
+	resp, _ = postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"x": 0.1, "y": 0.2, "vec": ds.Objects[0].Vec},
+			{"x": 0.1, "y": 0.2},
+		},
+		"k": 3, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad inner query: status %d", resp.StatusCode)
+	}
+	// Bad lambda rejected.
+	resp, _ = postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{{"x": 0.1, "y": 0.2, "vec": ds.Objects[0].Vec}},
+		"k":       3, "lambda": 2.0,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad lambda: status %d", resp.StatusCode)
+	}
+}

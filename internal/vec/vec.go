@@ -2,6 +2,14 @@
 // repository. Vectors are stored as []float32 to halve memory for the
 // high-dimensional semantic embeddings, but every reduction accumulates in
 // float64 so that distance comparisons are stable.
+//
+// The reduction kernels (Dot, SqDist, SqDistBound) are 4-way unrolled
+// with independent accumulators: the four float64 additions per step have
+// no data dependence on each other, so the CPU overlaps them instead of
+// serializing on the ~4-cycle add latency. The unrolling fixes the
+// summation order (lane i mod 4 feeds accumulator i mod 4, combined as
+// (s0+s1)+(s2+s3)), so results are deterministic and identical between
+// SqDist and a non-abandoned SqDistBound.
 package vec
 
 import (
@@ -13,23 +21,95 @@ import (
 // It panics if the lengths differ.
 func Dot(a, b []float32) float64 {
 	checkLen(a, b)
-	var s float64
-	for i, av := range a {
-		s += float64(av) * float64(b[i])
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
 // It panics if the lengths differ.
 func SqDist(a, b []float32) float64 {
 	checkLen(a, b)
-	var s float64
-	for i, av := range a {
-		d := float64(av) - float64(b[i])
-		s += d * d
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// sqDistBoundBlock is the number of unrolled steps (4 lanes each)
+// between early-abandon checkpoints in SqDistBound.
+const sqDistBoundBlock = 4
+
+// SqDistBound is SqDist with early abandonment: once the partial sum
+// exceeds limit, the computation stops and the partial sum is returned.
+// The partial sums are monotonically non-decreasing, so
+//
+//	SqDistBound(a, b, limit) > limit  ⇒  SqDist(a, b) > limit,
+//
+// which is what k-NN search needs to discard a candidate without
+// finishing the kernel. When the result is ≤ limit it is the exact
+// squared distance, bit-identical to SqDist (same lanes, same
+// accumulators, same final combine). It panics if the lengths differ.
+func SqDistBound(a, b []float32, limit float64) float64 {
+	checkLen(a, b)
+	var s0, s1, s2, s3 float64
+	i := 0
+	// Checkpoint every sqDistBoundBlock unrolled steps: often enough to
+	// abandon early, rarely enough that the partial-sum combine does not
+	// slow the full-length case measurably.
+	for i+4*sqDistBoundBlock <= len(a) {
+		for blk := 0; blk < sqDistBoundBlock; blk++ {
+			d0 := float64(a[i]) - float64(b[i])
+			d1 := float64(a[i+1]) - float64(b[i+1])
+			d2 := float64(a[i+2]) - float64(b[i+2])
+			d3 := float64(a[i+3]) - float64(b[i+3])
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+			i += 4
+		}
+		if (s0+s1)+(s2+s3) > limit {
+			return (s0 + s1) + (s2 + s3)
+		}
+	}
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Dist returns the Euclidean distance between a and b.
@@ -39,11 +119,7 @@ func Dist(a, b []float32) float64 {
 
 // Norm returns the Euclidean norm of a.
 func Norm(a []float32) float64 {
-	var s float64
-	for _, av := range a {
-		s += float64(av) * float64(av)
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(Dot(a, a))
 }
 
 // Normalize scales a in place to unit Euclidean norm. A zero vector is
@@ -153,6 +229,33 @@ func MinMax(rows [][]float32) (lo, hi []float32) {
 	for _, r := range rows[1:] {
 		checkLen(lo, r)
 		for i, v := range r {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// MinMaxStrided is MinMax over a contiguous row-major arena holding
+// len(arena)/dim rows of the given dimensionality. It panics if dim is
+// not positive, if the arena is empty, or if its length is not a
+// multiple of dim.
+func MinMaxStrided(arena []float32, dim int) (lo, hi []float32) {
+	if dim <= 0 {
+		panic(fmt.Sprintf("vec: MinMaxStrided with dim %d", dim))
+	}
+	if len(arena) == 0 || len(arena)%dim != 0 {
+		panic(fmt.Sprintf("vec: MinMaxStrided arena length %d not a positive multiple of %d", len(arena), dim))
+	}
+	lo = Clone(arena[:dim])
+	hi = Clone(arena[:dim])
+	for off := dim; off < len(arena); off += dim {
+		row := arena[off : off+dim]
+		for i, v := range row {
 			if v < lo[i] {
 				lo[i] = v
 			}

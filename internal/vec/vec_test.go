@@ -224,3 +224,118 @@ func BenchmarkSqDist100(b *testing.B) {
 		_ = SqDist(x, y)
 	}
 }
+
+// naiveSqDistRef is a single-accumulator reference. Bit-identity with
+// the unrolled kernel cannot hold (summation order differs), so the
+// unrolled kernels define the canonical order; these tests pin the
+// internal consistencies the exactness argument relies on and check the
+// naive reference only up to roundoff.
+func naiveSqDistRef(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// SqDistBound with an infinite limit must be bit-identical to SqDist on
+// every length (the tail/unroll boundary cases included): the exact
+// search's oracle equivalence depends on a non-abandoned bounded kernel
+// producing the same float as the plain one.
+func TestSqDistBoundMatchesSqDistBitwise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for n := 0; n <= 70; n++ {
+		a, b := randVec(rng, n), randVec(rng, n)
+		want := SqDist(a, b)
+		got := SqDistBound(a, b, math.Inf(1))
+		if got != want {
+			t.Fatalf("n=%d: SqDistBound(+Inf) = %v, SqDist = %v", n, got, want)
+		}
+		// A limit that equals the true value must not trigger abandonment
+		// (the contract is partial > limit, strictly).
+		if got := SqDistBound(a, b, want); got != want {
+			t.Fatalf("n=%d: SqDistBound(limit=true value) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// When the kernel abandons, the reported partial must already exceed the
+// limit — the property that makes early abandonment sound.
+func TestSqDistBoundAbandonProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	abandoned := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(128)
+		a, b := randVec(rng, n), randVec(rng, n)
+		full := SqDist(a, b)
+		limit := full * rng.Float64() // limit < full: must abandon or return full
+		got := SqDistBound(a, b, limit)
+		if got > limit {
+			abandoned++
+			continue
+		}
+		t.Fatalf("n=%d: SqDistBound returned %v ≤ limit %v while full %v > limit", n, got, limit, full)
+	}
+	if abandoned == 0 {
+		t.Fatal("no trial abandoned")
+	}
+}
+
+// The unrolled kernels agree with the naive accumulator up to roundoff.
+func TestUnrolledKernelsNearNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(300)
+		a, b := randVec(rng, n), randVec(rng, n)
+		if got, want := SqDist(a, b), naiveSqDistRef(a, b); !almostEq(got, want, 1e-12) {
+			t.Fatalf("n=%d: SqDist=%v naive=%v", n, got, want)
+		}
+		var dot float64
+		for i := range a {
+			dot += float64(a[i]) * float64(b[i])
+		}
+		if got := Dot(a, b); !almostEq(got, dot, 1e-12) {
+			t.Fatalf("n=%d: Dot=%v naive=%v", n, got, dot)
+		}
+	}
+}
+
+// MinMaxStrided over a flat arena equals MinMax over the row views.
+func TestMinMaxStrided(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 2))
+	const dim, rows = 7, 23
+	arena := randVec(rng, dim*rows)
+	views := make([][]float32, rows)
+	for i := range views {
+		views[i] = arena[i*dim : (i+1)*dim]
+	}
+	gotLo, gotHi := MinMaxStrided(arena, dim)
+	wantLo, wantHi := MinMax(views)
+	for i := 0; i < dim; i++ {
+		if gotLo[i] != wantLo[i] || gotHi[i] != wantHi[i] {
+			t.Fatalf("dim %d: strided (%v,%v) vs rows (%v,%v)", i, gotLo[i], gotHi[i], wantLo[i], wantHi[i])
+		}
+	}
+}
+
+func TestMinMaxStridedPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		arena []float32
+		dim   int
+	}{
+		{"zero dim", []float32{1}, 0},
+		{"empty arena", nil, 3},
+		{"ragged", []float32{1, 2, 3}, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			MinMaxStrided(tc.arena, tc.dim)
+		}()
+	}
+}

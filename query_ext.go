@@ -2,8 +2,6 @@ package cssi
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // RangeSearch returns every object within combined distance r of q,
@@ -43,43 +41,13 @@ func (x *Index) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k int, s
 // query-processing direction of the paper's conclusion). Results are
 // returned in query order; parallelism ≤ 0 selects GOMAXPROCS. approx
 // selects CSSIA instead of CSSI. If st is non-nil it receives the summed
-// work counters of all queries.
+// work counters of all queries. Each worker of the pool reuses one
+// pooled search scratch for its whole share, so large batches run
+// allocation-free apart from the result slices.
 func (x *Index) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) [][]Result {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
-	out := make([][]Result, len(queries))
 	if len(queries) == 0 {
-		return out
+		return make([][]Result, 0)
 	}
-	stats := make([]Stats, parallelism)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for qi := range next {
-				if approx {
-					out[qi] = x.SearchApproxStats(&queries[qi], k, lambda, &stats[w])
-				} else {
-					out[qi] = x.SearchStats(&queries[qi], k, lambda, &stats[w])
-				}
-			}
-		}(w)
-	}
-	for qi := range queries {
-		next <- qi
-	}
-	close(next)
-	wg.Wait()
-	if st != nil {
-		for i := range stats {
-			st.Add(&stats[i])
-		}
-	}
-	return out
+	checkQuery(&queries[0], k, lambda)
+	return x.core.SearchBatch(queries, k, lambda, parallelism, approx, st)
 }
