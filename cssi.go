@@ -149,6 +149,7 @@ func (x *Index) Search(q *Object, k int, lambda float64) []Result {
 // accumulates visited-object and pruning statistics.
 func (x *Index) SearchStats(q *Object, k int, lambda float64, st *Stats) []Result {
 	checkQuery(q, k, lambda)
+	x.checkQueryVec(q)
 	return x.core.Search(q, k, lambda, st)
 }
 
@@ -159,12 +160,14 @@ func (x *Index) SearchStats(q *Object, k int, lambda float64, st *Stats) []Resul
 // counters.
 func (x *Index) SearchInto(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
 	checkQuery(q, k, lambda)
+	x.checkQueryVec(q)
 	return x.core.SearchInto(dst, q, k, lambda, st)
 }
 
 // SearchApproxInto is SearchInto for the approximate CSSIA algorithm.
 func (x *Index) SearchApproxInto(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
 	checkQuery(q, k, lambda)
+	x.checkQueryVec(q)
 	return x.core.SearchApproxInto(dst, q, k, lambda, st)
 }
 
@@ -187,6 +190,7 @@ func (x *Index) SearchApprox(q *Object, k int, lambda float64) []Result {
 // SearchApproxStats is SearchApprox with work counters.
 func (x *Index) SearchApproxStats(q *Object, k int, lambda float64, st *Stats) []Result {
 	checkQuery(q, k, lambda)
+	x.checkQueryVec(q)
 	return x.core.SearchApprox(q, k, lambda, st)
 }
 
@@ -199,6 +203,15 @@ func checkQuery(q *Object, k int, lambda float64) {
 	}
 	if lambda < 0 || lambda > 1 {
 		panic(fmt.Sprintf("cssi: lambda %v out of [0,1]", lambda))
+	}
+}
+
+// checkQueryVec panics with a descriptive message when the query vector
+// does not match the index's embedding dimensionality (the distance
+// kernels would otherwise panic deep inside the hot path).
+func (x *Index) checkQueryVec(q *Object) {
+	if len(q.Vec) != x.core.Dim() {
+		panic(fmt.Sprintf("cssi: query vector dim %d, index expects %d", len(q.Vec), x.core.Dim()))
 	}
 }
 
@@ -266,6 +279,10 @@ func (x *Index) DriftRatio() float64 { return x.core.DriftRatio() }
 
 // Len returns the number of live objects.
 func (x *Index) Len() int { return x.core.Len() }
+
+// Dim returns the embedding dimensionality the index was built with —
+// every query vector and inserted object must carry exactly this length.
+func (x *Index) Dim() int { return x.core.Dim() }
 
 // NumClusters returns the number of non-empty hybrid clusters.
 func (x *Index) NumClusters() int { return x.core.NumClusters() }

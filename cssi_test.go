@@ -74,6 +74,16 @@ func TestQueryValidation(t *testing.T) {
 		"k=0":        func() { idx.Search(&ds.Objects[0], 0, 0.5) },
 		"lambda=1.5": func() { idx.Search(&ds.Objects[0], 5, 1.5) },
 		"lambda=-1":  func() { idx.SearchApprox(&ds.Objects[0], 5, -1) },
+		"nil vec": func() {
+			q := ds.Objects[0]
+			q.Vec = nil
+			idx.Search(&q, 5, 0.5)
+		},
+		"wrong-dim vec": func() {
+			q := ds.Objects[0]
+			q.Vec = q.Vec[:len(q.Vec)-1]
+			idx.Search(&q, 5, 0.5)
+		},
 	} {
 		func() {
 			defer func() {

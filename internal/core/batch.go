@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,16 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 	if len(queries) == 0 {
 		return out
 	}
+	// Reject malformed queries before any worker starts: a panic inside a
+	// worker goroutine would not be recoverable by the caller (net/http
+	// recovers handler panics, not goroutine panics — an unrecovered one
+	// kills the process), so every query must be proven safe up front.
+	for i := range queries {
+		if len(queries[i].Vec) != x.dim {
+			panic(fmt.Sprintf("core: batch query %d has vector dim %d, index expects %d",
+				i, len(queries[i].Vec), x.dim))
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -31,11 +42,25 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
 	stats := make([]metric.Stats, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Defense in depth: any residual worker panic is re-raised on
+			// the calling goroutine after the pool drains, where the
+			// caller (or net/http) can recover it.
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			sc := x.getScratch()
 			var local *metric.Stats
 			if st != nil {
@@ -56,6 +81,9 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 		}(w)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	if st != nil {
 		for i := range stats {
 			st.Add(&stats[i])

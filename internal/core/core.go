@@ -139,9 +139,9 @@ type Index struct {
 	// query loops walk these arenas sequentially, so the layout turns
 	// the dominant kernel traffic into linear prefetchable reads instead
 	// of one pointer chase per row.
-	dim      int // n: embedding dimensionality (vecArena stride)
-	m        int // m: projection dimensionality (projArena stride)
-	vecArena []float32
+	dim       int // n: embedding dimensionality (vecArena stride)
+	m         int // m: projection dimensionality (projArena stride)
+	vecArena  []float32
 	projArena []float32
 
 	pcaModel *pca.Model
@@ -453,6 +453,10 @@ func (x *Index) addToHybridWith(idx uint32, ds, dt float64) *hybrid {
 
 // Len returns the number of live (non-deleted) objects.
 func (x *Index) Len() int { return x.live }
+
+// Dim returns the embedding dimensionality the index was built with —
+// the vector length every query and inserted object must carry.
+func (x *Index) Dim() int { return x.dim }
 
 // NumClusters returns the number of non-empty hybrid clusters.
 func (x *Index) NumClusters() int { return len(x.clusters) }

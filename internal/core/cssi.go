@@ -71,6 +71,15 @@ func (x *Index) lazyOrderable() bool {
 // dominates that error by >100×, and costs effectively no pruning
 // power: it only matters for clusters whose bound ties the k-NN bound
 // to within 1e-5.
+//
+// The bound additionally relies on tCentProj[t] being the PCA image of
+// tCent[t]. That holds because centroids are immutable after build —
+// maintenance only adjusts radii (see Insert in maintain.go) — and both
+// representations are recomputed together by Build. CheckInvariants
+// (checkProjBoundSoundness) asserts the pairing and probes that the
+// deflated bound never exceeds the true centroid distance, so a future
+// change to centroid maintenance or to the projection cannot silently
+// turn exact search approximate.
 const (
 	projWeakRelSlack = 1e-6
 	projWeakAbsSlack = 1e-5

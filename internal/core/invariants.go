@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
 
 // CheckInvariants verifies the structural properties the correctness
 // proofs rest on. It is exercised by the test suite after builds and
@@ -15,8 +20,17 @@ import "fmt"
 //     true distances) and monotonically non-increasing in both threshold
 //     coordinates;
 //   - element arrays contain each member exactly once and no deleted
-//     objects.
+//     objects;
+//   - under the Euclidean semantic metric, each projected semantic
+//     centroid still equals the projection of its original-space
+//     centroid, and the deflated projected weak bound of the lazy
+//     cluster ordering never exceeds the true centroid distance
+//     (probed with live objects as queries) — the two facts the
+//     exactness of Search's lazy ordering rests on.
 func (x *Index) CheckInvariants() error {
+	if err := x.checkProjBoundSoundness(); err != nil {
+		return err
+	}
 	const eps = 1e-9
 	seen := make(map[uint32]int)
 	for ci, c := range x.clusters {
@@ -79,6 +93,63 @@ func (x *Index) CheckInvariants() error {
 	}
 	if len(seen) != x.live {
 		return fmt.Errorf("clusters hold %d objects, live count is %d", len(seen), x.live)
+	}
+	return nil
+}
+
+// checkProjBoundSoundness guards the invariant the lazy cluster ordering
+// of Search is exact under: centroids are never recomputed after build
+// (maintenance only moves radii), so tCentProj[t] remains the PCA image
+// of tCent[t], and the deflated projected estimate of fillProjLowerBounds
+// is a true lower bound on the original-space centroid distance. It
+// verifies both directly — first that each projected centroid matches a
+// fresh projection of its original-space centroid, then, using a sample
+// of live objects as probe queries, that the weak bound never exceeds
+// the true distance. A failure here means a centroid was updated in one
+// representation but not the other (or the projection stopped being a
+// contraction), which would silently turn exact search approximate.
+func (x *Index) checkProjBoundSoundness() error {
+	if x.space.SemanticKind != metric.EuclideanSemantic || x.pcaModel == nil || x.m <= 0 {
+		return nil // the lazy ordering is disabled; nothing to guard
+	}
+	reproj := make([]float32, x.m)
+	for t := range x.tCent {
+		if len(x.tMembers[t]) == 0 {
+			continue // never-populated clusters carry meaningless centroids
+		}
+		x.pcaModel.TransformInto(reproj, x.tCent[t])
+		// The stored projected centroid is the mean of member projections;
+		// by linearity it equals the projection of the mean up to float32
+		// rounding, which projWeakAbsSlack dominates by >100×.
+		if d := vec.Dist(reproj, x.tCentProj[t]) / x.space.DtMax; d > projWeakAbsSlack/10 {
+			return fmt.Errorf("semantic centroid %d: projected centroid drifted %v (normalized) from the projection of the original-space centroid", t, d)
+		}
+	}
+	// Probe the bound itself with stored objects as queries (a sample
+	// keeps CheckInvariants O(n) for large indexes).
+	const maxProbes = 128
+	probes := 0
+	inv := (1 - projWeakRelSlack) / x.space.DtMax
+	for i := range x.objects {
+		if x.deleted[i] {
+			continue
+		}
+		if probes++; probes > maxProbes {
+			break
+		}
+		qProj := x.projAt(uint32(i))
+		for t := range x.tCent {
+			if len(x.tMembers[t]) == 0 {
+				continue
+			}
+			weak := vec.Dist(qProj, x.tCentProj[t])*inv - projWeakAbsSlack
+			if weak < 0 {
+				weak = 0
+			}
+			if truth := x.semanticToCent(uint32(i), t); weak > truth {
+				return fmt.Errorf("object %d, semantic centroid %d: projected weak bound %v exceeds true centroid distance %v", i, t, weak, truth)
+			}
+		}
 	}
 	return nil
 }

@@ -51,7 +51,14 @@ func (x *Index) Insert(o dataset.Object) error {
 	x.sMembers[s] = append(x.sMembers[s], idx)
 	x.tMembers[t] = append(x.tMembers[t], idx)
 
-	// Expand radii where the newcomer falls outside (§6.2).
+	// Expand radii where the newcomer falls outside (§6.2). Only radii
+	// ever change after build — the centroids (tCent, tCentProj, sCent*)
+	// are immutable until the next Build/Rebuild. The lazy cluster
+	// ordering of Search depends on that: its projected weak bound is
+	// sound only while tCentProj[t] stays the projection of tCent[t]
+	// (see fillProjLowerBounds), so any future centroid maintenance must
+	// recompute both representations together. CheckInvariants asserts
+	// both the pairing and the bound's soundness.
 	if bestS > x.sRad[s] {
 		x.sRad[s] = bestS
 	}

@@ -32,7 +32,11 @@ type gobHybrid struct {
 // embeddings and projections are stored as the two flat arenas (with
 // their strides) instead of per-object vectors and per-row projection
 // slices: Objects carry nil Vec on the wire and Load reslices them into
-// the decoded vector arena.
+// the decoded vector arena. Version-1 files (per-object Vec plus the
+// legacy Proj field) are still accepted — Load migrates them into
+// arenas; gob ignores stream fields absent from this struct and leaves
+// struct fields absent from the stream at their zero value, so both
+// layouts decode through it.
 type gobIndex struct {
 	Version int
 	Cfg     Config
@@ -49,6 +53,10 @@ type gobIndex struct {
 	Dim, M              int
 	VecArena, ProjArena []float32
 
+	// Proj is the legacy per-row projection layout of version-1 files.
+	// Never written since version 2; read only by the v1 migration.
+	Proj [][]float32
+
 	SCentX, SCentY, SRad []float64
 	SMembers             [][]uint32
 
@@ -62,7 +70,10 @@ type gobIndex struct {
 	UpdatesSinceBuild_ int
 }
 
-const persistVersion = 2
+const (
+	persistVersionV1 = 1 // per-object vectors + [][]float32 projections
+	persistVersion   = 2 // flat vector/projection arenas
+)
 
 // Save writes the index (including its metric-space normalizers) to w.
 func (x *Index) Save(w io.Writer) error {
@@ -115,14 +126,57 @@ func (x *Index) Save(w io.Writer) error {
 	return nil
 }
 
+// migrateV1 converts a decoded version-1 file — per-object vectors and
+// per-row Proj slices, no arenas and no strides — into the version-2
+// arena layout in place, after which the common load path applies
+// unchanged. The float32 values are copied bit-for-bit, so a migrated
+// index answers queries identically to one saved by the old code.
+func migrateV1(g *gobIndex) error {
+	if len(g.Proj) != len(g.Objects) {
+		return fmt.Errorf("v1 file has %d projection rows for %d objects", len(g.Proj), len(g.Objects))
+	}
+	// Strides come from the stored data itself; the PCA model (always
+	// present in v1 files, which were written only by Build) is the
+	// fallback for the degenerate no-object case.
+	if len(g.Objects) > 0 {
+		g.Dim = len(g.Objects[0].Vec)
+		g.M = len(g.Proj[0])
+	} else if g.PCAModel != nil {
+		g.Dim = g.PCAModel.N()
+		g.M = g.PCAModel.M()
+	}
+	g.VecArena = make([]float32, len(g.Objects)*g.Dim)
+	g.ProjArena = make([]float32, len(g.Objects)*g.M)
+	for i := range g.Objects {
+		if len(g.Objects[i].Vec) != g.Dim {
+			return fmt.Errorf("v1 file: object %d has vector dim %d, want %d", i, len(g.Objects[i].Vec), g.Dim)
+		}
+		if len(g.Proj[i]) != g.M {
+			return fmt.Errorf("v1 file: object %d has projection dim %d, want %d", i, len(g.Proj[i]), g.M)
+		}
+		copy(g.VecArena[i*g.Dim:(i+1)*g.Dim], g.Objects[i].Vec)
+		copy(g.ProjArena[i*g.M:(i+1)*g.M], g.Proj[i])
+		g.Objects[i].Vec = nil // repointed at the arena by the common path
+	}
+	g.Proj = nil
+	return nil
+}
+
 // Load restores an index previously written by Save, together with its
-// metric space.
+// metric space. Both the current arena layout (version 2) and the legacy
+// per-object layout (version 1) are accepted.
 func Load(r io.Reader) (*Index, *metric.Space, error) {
 	var g gobIndex
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, nil, fmt.Errorf("core: load: %w", err)
 	}
-	if g.Version != persistVersion {
+	switch g.Version {
+	case persistVersion:
+	case persistVersionV1:
+		if err := migrateV1(&g); err != nil {
+			return nil, nil, fmt.Errorf("core: load: %w", err)
+		}
+	default:
 		return nil, nil, fmt.Errorf("core: load: unsupported version %d", g.Version)
 	}
 	if g.Dim <= 0 || len(g.VecArena) != len(g.Objects)*g.Dim {

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -128,6 +129,11 @@ func (s *Server) buildQuery(req *queryRequest) (*cssi.Object, error) {
 		}
 		vec = v
 	}
+	// Reject wrong-length vectors here so a malformed request becomes a
+	// 400 instead of a panic inside the search hot path.
+	if len(vec) != s.idx.Dim() {
+		return nil, fmt.Errorf("vector dim %d, index expects %d", len(vec), s.idx.Dim())
+	}
 	return &cssi.Object{ID: 1<<32 - 1, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
 }
 
@@ -167,9 +173,17 @@ type batchRequest struct {
 	K       int            `json:"k,omitempty"`
 	Lambda  float64        `json:"lambda"`
 	Approx  bool           `json:"approx,omitempty"`
-	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	// Workers bounds the worker pool (0 = GOMAXPROCS). The server clamps
+	// it to GOMAXPROCS regardless, so a client cannot request goroutine
+	// amplification.
 	Workers int `json:"workers,omitempty"`
 }
+
+// maxBatchQueries caps the number of queries one /search/batch request
+// may carry; larger workloads should be split client-side. Together with
+// the Workers clamp this bounds the per-request goroutine count and
+// keeps a single malicious POST from monopolizing the CPU.
+const maxBatchQueries = 4096
 
 type batchResponse struct {
 	Results [][]resultItem `json:"results"`
@@ -191,6 +205,17 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Queries) == 0 {
 		writeError(w, http.StatusBadRequest, "queries required")
 		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the maximum of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	// Client-supplied parallelism is a hint, never an amplification
+	// vector: clamp to the machine's GOMAXPROCS (<= 0 already selects
+	// GOMAXPROCS downstream).
+	if maxW := runtime.GOMAXPROCS(0); req.Workers > maxW {
+		req.Workers = maxW
 	}
 	queries := make([]cssi.Object, len(req.Queries))
 	for i := range req.Queries {
@@ -327,6 +352,9 @@ func (s *Server) buildObject(req *objectRequest) (cssi.Object, error) {
 			return cssi.Object{}, fmt.Errorf("text has fewer than 3 in-vocabulary words")
 		}
 		vec = v
+	}
+	if len(vec) != s.idx.Dim() {
+		return cssi.Object{}, fmt.Errorf("vector dim %d, index expects %d", len(vec), s.idx.Dim())
 	}
 	return cssi.Object{ID: req.ID, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
 }

@@ -413,4 +413,46 @@ func TestBatchEndpointValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad lambda: status %d", resp.StatusCode)
 	}
+	// A wrong-dimension vector anywhere in the batch is a 400, never a
+	// panic in a search worker (which would kill the server process).
+	resp, _ = postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"x": 0.1, "y": 0.2, "vec": ds.Objects[0].Vec},
+			{"x": 0.3, "y": 0.4, "vec": []float32{1, 2, 3}},
+		},
+		"k": 3, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dim vec: status %d", resp.StatusCode)
+	}
+	// An oversized batch is rejected outright.
+	huge := make([]map[string]interface{}, maxBatchQueries+1)
+	for i := range huge {
+		huge[i] = map[string]interface{}{"x": 0.1, "y": 0.2, "vec": ds.Objects[0].Vec}
+	}
+	resp, _ = postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": huge, "k": 3, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d", resp.StatusCode)
+	}
+	// Absurd client-side worker counts are clamped, not honored: the
+	// request still succeeds with bounded parallelism.
+	resp, _ = postJSON(t, ts.URL+"/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{{"x": 0.1, "y": 0.2, "vec": ds.Objects[0].Vec}},
+		"k":       3, "lambda": 0.5, "workers": 1 << 20,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clamped workers: status %d", resp.StatusCode)
+	}
+}
+
+func TestSearchRejectsWrongDimVector(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/search", map[string]interface{}{
+		"x": 0.1, "y": 0.2, "vec": []float32{1, 2, 3}, "k": 3, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
 }

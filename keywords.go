@@ -36,6 +36,7 @@ func (x *Index) KeywordFilterEnabled() bool { return x.kw != nil }
 // ok=true means nothing matches.
 func (x *Index) SearchWithKeywords(q *Object, k int, lambda float64, keywords ...string) (results []Result, ok bool) {
 	checkQuery(q, k, lambda)
+	x.checkQueryVec(q)
 	if x.kw == nil {
 		panic("cssi: SearchWithKeywords requires EnableKeywordFilter")
 	}

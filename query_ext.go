@@ -15,6 +15,7 @@ func (x *Index) RangeSearch(q *Object, r, lambda float64) []Result {
 // RangeSearchStats is RangeSearch with work counters.
 func (x *Index) RangeSearchStats(q *Object, r, lambda float64, st *Stats) []Result {
 	checkQuery(q, 1, lambda)
+	x.checkQueryVec(q)
 	if r < 0 {
 		panic(fmt.Sprintf("cssi: negative range radius %v", r))
 	}
@@ -31,6 +32,7 @@ func (x *Index) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k int) []Resu
 // SearchInBoxStats is SearchInBox with work counters.
 func (x *Index) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k int, st *Stats) []Result {
 	checkQuery(q, k, 0)
+	x.checkQueryVec(q)
 	if loX > hiX || loY > hiY {
 		panic("cssi: inverted spatial window")
 	}
@@ -48,6 +50,14 @@ func (x *Index) BatchSearch(queries []Object, k int, lambda float64, approx bool
 	if len(queries) == 0 {
 		return make([][]Result, 0)
 	}
+	// Validate every query before fanning out: a malformed vector must
+	// panic here, on the caller's goroutine, never inside a worker.
 	checkQuery(&queries[0], k, lambda)
+	for i := range queries {
+		if len(queries[i].Vec) != x.core.Dim() {
+			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
+				i, len(queries[i].Vec), x.core.Dim()))
+		}
+	}
 	return x.core.SearchBatch(queries, k, lambda, parallelism, approx, st)
 }

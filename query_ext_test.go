@@ -120,3 +120,33 @@ func TestBatchSearchEmpty(t *testing.T) {
 		t.Fatalf("expected empty, got %d", len(got))
 	}
 }
+
+// A malformed vector anywhere in a batch must panic on the caller's
+// goroutine, where a deferred recover (or net/http's handler recovery)
+// catches it. A panic inside a SearchBatch worker goroutine would be
+// unrecoverable and kill the whole process.
+func TestBatchSearchRejectsMalformedQueryUpFront(t *testing.T) {
+	ds := testDataset(t, 120)
+	idx, err := Build(ds, Options{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mangle := range map[string]func(q *Object){
+		"nil vec":       func(q *Object) { q.Vec = nil },
+		"truncated vec": func(q *Object) { q.Vec = q.Vec[:len(q.Vec)-1] },
+	} {
+		queries := make([]Object, 8)
+		for i := range queries {
+			queries[i] = ds.Objects[i]
+		}
+		mangle(&queries[5]) // not queries[0]: the whole batch must be vetted
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected a recoverable panic on the calling goroutine", name)
+				}
+			}()
+			idx.BatchSearch(queries, 3, 0.5, false, 4, nil)
+		}()
+	}
+}
