@@ -1,0 +1,196 @@
+package cssi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The benchmarks below compare the lock-free snapshot wrapper against
+// the RWMutex discipline it replaced (reconstructed here as
+// benchRWMutexIndex). Run the pair with and without the background
+// writer to see what snapshot publication buys: reads never wait for
+// writes, so the *WithWriter variants keep their idle-read cost while
+// the RWMutex variants absorb every batch's lock-hold time into read
+// latency. internal/experiments' "concurrent" experiment measures the
+// same effect as wall-clock throughput (see BENCH_concurrency.json).
+
+// benchRWMutexIndex is the pre-snapshot concurrency wrapper.
+type benchRWMutexIndex struct {
+	mu  sync.RWMutex
+	idx *Index
+}
+
+func (c *benchRWMutexIndex) Search(q *Object, k int, lambda float64) []Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Search(q, k, lambda)
+}
+
+func (c *benchRWMutexIndex) ApplyBatch(ops []Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case OpInsert:
+			err = c.idx.Insert(op.Object)
+		case OpDelete:
+			err = c.idx.Delete(op.ID)
+		default:
+			err = c.idx.Update(op.Object)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchConcurrentSetup(b *testing.B) (*Dataset, []Object) {
+	b.Helper()
+	ds, err := GenerateDataset(DatasetConfig{Kind: TwitterLike, Size: 4000, Dim: 32, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, ds.SampleQueries(64, 11)
+}
+
+func benchBuild(b *testing.B, ds *Dataset) *Index {
+	b.Helper()
+	idx, err := Build(ds, Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// writeBatch builds a net-zero 100-op batch (50 inserts + 50 deletes).
+func writeBatch(ds *Dataset, cycle int) []Op {
+	ops := make([]Op, 0, 100)
+	for j := 0; j < 50; j++ {
+		o := ds.Objects[(cycle*50+j)%ds.Len()]
+		o.ID = uint32(1<<30 + j)
+		ops = append(ops, Op{Kind: OpInsert, Object: o})
+	}
+	for j := 0; j < 50; j++ {
+		ops = append(ops, Op{Kind: OpDelete, ID: uint32(1<<30 + j)})
+	}
+	return ops
+}
+
+// runReadBench measures per-read cost with GOMAXPROCS parallel readers,
+// optionally against a continuously batching writer.
+func runReadBench(b *testing.B, search func(*Object, int, float64) []Result,
+	applyBatch func([]Op) error, ds *Dataset, queries []Object, withWriter bool) {
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	if withWriter {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cycle := 0; !stop.Load(); cycle++ {
+				if err := applyBatch(writeBatch(ds, cycle)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			search(&queries[i%len(queries)], 10, 0.5)
+			i++
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+func BenchmarkConcurrentReadSnapshot(b *testing.B) {
+	ds, queries := benchConcurrentSetup(b)
+	c := Concurrent(benchBuild(b, ds))
+	runReadBench(b, c.Search, c.ApplyBatch, ds, queries, false)
+}
+
+func BenchmarkConcurrentReadSnapshotWithWriter(b *testing.B) {
+	ds, queries := benchConcurrentSetup(b)
+	c := Concurrent(benchBuild(b, ds))
+	runReadBench(b, c.Search, c.ApplyBatch, ds, queries, true)
+}
+
+func BenchmarkConcurrentReadRWMutex(b *testing.B) {
+	ds, queries := benchConcurrentSetup(b)
+	c := &benchRWMutexIndex{idx: benchBuild(b, ds)}
+	runReadBench(b, c.Search, c.ApplyBatch, ds, queries, false)
+}
+
+func BenchmarkConcurrentReadRWMutexWithWriter(b *testing.B) {
+	ds, queries := benchConcurrentSetup(b)
+	c := &benchRWMutexIndex{idx: benchBuild(b, ds)}
+	runReadBench(b, c.Search, c.ApplyBatch, ds, queries, true)
+}
+
+// BenchmarkConcurrentWriteCOW prices a single published write — the COW
+// clone is the cost RCU shifts from every reader onto each writer.
+func BenchmarkConcurrentWriteCOW(b *testing.B) {
+	ds, _ := benchConcurrentSetup(b)
+	c := Concurrent(benchBuild(b, ds))
+	o := ds.Objects[0]
+	o.ID = 1 << 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Delete(o.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentApplyBatch prices the same pair amortized through
+// write coalescing: one clone-and-publish per 100 ops.
+func BenchmarkConcurrentApplyBatch(b *testing.B) {
+	ds, _ := benchConcurrentSetup(b)
+	c := Concurrent(benchBuild(b, ds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ApplyBatch(writeBatch(ds, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentRebuildInBackground measures a full non-blocking
+// rebuild cycle (start, replay, publish) with a reader running.
+func BenchmarkConcurrentRebuildInBackground(b *testing.B) {
+	ds, queries := benchConcurrentSetup(b)
+	c := Concurrent(benchBuild(b, ds))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			c.Search(&queries[i%len(queries)], 10, 0.5)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := c.RebuildInBackground()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}

@@ -2,15 +2,17 @@
 //
 // Usage:
 //
-//	cssibench [-exp fig5,table4|all] [-scale 1.0] [-queries 50] [-seed 1] [-csv]
+//	cssibench [-exp fig5,table4|all] [-scale 1.0] [-queries 50] [-seed 1] [-csv] [-json out.json]
 //
 // Each experiment prints one or more tables; -csv switches to
-// comma-separated output for plotting. -scale multiplies every dataset
-// size (1.0 is laptop scale; the paper's server scale corresponds to
-// roughly 250).
+// comma-separated output for plotting, and -json additionally writes
+// every table of the run into one machine-readable JSON file. -scale
+// multiplies every dataset size (1.0 is laptop scale; the paper's
+// server scale corresponds to roughly 250).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
+		jsonOut = flag.String("json", "", "also write all tables of the run as JSON to this file")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -54,6 +57,7 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	var collected []experiments.Table
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Get(id)
@@ -81,10 +85,32 @@ func main() {
 				}
 			}
 		}
+		collected = append(collected, tables...)
 		if !*csv {
 			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, setup, collected); err != nil {
+			fmt.Fprintf(os.Stderr, "cssibench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSON stores the run's setup and every produced table as one JSON
+// document (the machine-readable counterpart of the rendered tables,
+// e.g. BENCH_concurrency.json in the repo root).
+func writeJSON(path string, setup experiments.Setup, tables []experiments.Table) error {
+	doc := struct {
+		Setup  experiments.Setup   `json:"setup"`
+		Tables []experiments.Table `json:"tables"`
+	}{Setup: setup, Tables: tables}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // writeCSV stores one table as <dir>/<experiment>_<n>.csv.

@@ -1,115 +1,279 @@
 package cssi
 
-import "sync"
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
-// ConcurrentIndex wraps an Index so that searches and maintenance can be
-// mixed from many goroutines: searches take a shared (read) lock,
-// Insert/Delete/Update/Rebuild an exclusive one. A bare Index is already
-// safe for concurrent searches only; use this wrapper when writers run
-// alongside readers (the HTTP server in internal/server uses the same
-// discipline).
+// ConcurrentIndex serves searches and maintenance from many goroutines
+// with RCU-style snapshot publication instead of reader/writer locking:
+//
+//   - Readers are completely lock-free. Every read method atomically
+//     loads the current snapshot (an immutable *Index) and runs against
+//     it; there is no reader count, no shared mutable state, and no
+//     cache line bouncing between reading cores. A snapshot is safe for
+//     any number of concurrent searches because per-query scratch comes
+//     from a sync.Pool.
+//   - Writers serialize on a small mutex, apply their mutation to a
+//     copy-on-write clone of the current snapshot (sharing the vector
+//     arenas, centroid tables and untouched cluster arrays — see
+//     internal/core's CloneForWrite), and publish the clone with one
+//     atomic pointer store. Readers that loaded the old snapshot simply
+//     finish against it; new reads see the new one.
+//   - Rebuild reconstructs off to the side and publishes the result, so
+//     even a full §6.2 rebuild never stalls a reader;
+//     RebuildInBackground additionally keeps writers available during
+//     reconstruction by logging their mutations and replaying them onto
+//     the fresh index before it is published.
+//
+// The price is paid by writers: each mutation copies the snapshot's
+// mutable metadata (deleted bitmap, ID map, cluster directory — O(n)
+// for an n-object index) before publishing. Use ApplyBatch to coalesce
+// many mutations into one clone-and-publish cycle when that cost
+// matters. Reads, the hot path under serving load, pay nothing.
+//
+// A bare Index is already safe for concurrent searches only; use this
+// wrapper when writers run alongside readers (the HTTP server in
+// internal/server is built on it).
 type ConcurrentIndex struct {
-	mu  sync.RWMutex
-	idx *Index
+	cur atomic.Pointer[Index]
+
+	// mu serializes writers: clone → mutate → publish, and the
+	// rebuild-completion replay. Readers never touch it.
+	mu sync.Mutex
+	// rebuildActive marks an in-flight RebuildInBackground; while set,
+	// every published mutation is appended to rebuildLog so it can be
+	// replayed onto the freshly built index before publication. Both
+	// fields are guarded by mu.
+	rebuildActive bool
+	rebuildLog    []Op
 }
 
-// Concurrent wraps idx. The wrapped Index must not be used directly
-// afterwards while writers are active.
+// ErrRebuildInProgress is returned when a rebuild is requested while a
+// background rebuild is still running.
+var ErrRebuildInProgress = errors.New("cssi: rebuild already in progress")
+
+// Concurrent wraps idx. The wrapped Index must not be mutated directly
+// afterwards — all writes must go through the wrapper. (Read-only use
+// of idx itself remains safe: published snapshots are immutable.)
 func Concurrent(idx *Index) *ConcurrentIndex {
-	return &ConcurrentIndex{idx: idx}
+	c := &ConcurrentIndex{}
+	c.cur.Store(idx)
+	return c
 }
 
-// Search is Index.Search under a read lock.
+// Snapshot returns the currently published index. The snapshot is
+// immutable: it serves any number of concurrent read-only calls
+// (Search, SearchBatch, Object, SearchWithKeywords, ...) at one
+// consistent point in time, and it stays valid — and unchanged — for
+// as long as the caller retains it, no matter how many writes or
+// rebuilds are published after. Mutating methods must never be called
+// on a snapshot; use the wrapper's Insert/Delete/Update/ApplyBatch.
+func (c *ConcurrentIndex) Snapshot() *Index { return c.cur.Load() }
+
+// Search is Index.Search against the current snapshot (lock-free).
 func (c *ConcurrentIndex) Search(q *Object, k int, lambda float64) []Result {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.Search(q, k, lambda)
+	return c.cur.Load().Search(q, k, lambda)
 }
 
-// SearchApprox is Index.SearchApprox under a read lock.
+// SearchApprox is Index.SearchApprox against the current snapshot
+// (lock-free).
 func (c *ConcurrentIndex) SearchApprox(q *Object, k int, lambda float64) []Result {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.SearchApprox(q, k, lambda)
+	return c.cur.Load().SearchApprox(q, k, lambda)
 }
 
-// RangeSearch is Index.RangeSearch under a read lock.
+// RangeSearch is Index.RangeSearch against the current snapshot
+// (lock-free).
 func (c *ConcurrentIndex) RangeSearch(q *Object, r, lambda float64) []Result {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.RangeSearch(q, r, lambda)
+	return c.cur.Load().RangeSearch(q, r, lambda)
 }
 
-// SearchInBox is Index.SearchInBox under a read lock.
+// SearchInBox is Index.SearchInBox against the current snapshot
+// (lock-free).
 func (c *ConcurrentIndex) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k int) []Result {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.SearchInBox(q, loX, loY, hiX, hiY, k)
+	return c.cur.Load().SearchInBox(q, loX, loY, hiX, hiY, k)
 }
 
-// SearchBatch is Index.SearchBatch under a read lock: the whole batch
-// runs against one consistent snapshot of the index (writers wait until
-// it completes).
+// SearchBatch is Index.SearchBatch against the current snapshot: the
+// whole batch runs to completion against the one snapshot it loaded,
+// even while writers publish newer ones concurrently.
 func (c *ConcurrentIndex) SearchBatch(queries []Object, k int, lambda float64) [][]Result {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.SearchBatch(queries, k, lambda)
+	return c.cur.Load().SearchBatch(queries, k, lambda)
 }
 
-// BatchSearch is Index.BatchSearch under a read lock.
+// BatchSearch is Index.BatchSearch against the current snapshot.
 func (c *ConcurrentIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) [][]Result {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.BatchSearch(queries, k, lambda, approx, parallelism, st)
+	return c.cur.Load().BatchSearch(queries, k, lambda, approx, parallelism, st)
 }
 
-// Insert is Index.Insert under the write lock.
-func (c *ConcurrentIndex) Insert(o Object) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.idx.Insert(o)
-}
+// Len returns the live object count of the current snapshot.
+func (c *ConcurrentIndex) Len() int { return c.cur.Load().Len() }
 
-// Delete is Index.Delete under the write lock.
-func (c *ConcurrentIndex) Delete(id uint32) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.idx.Delete(id)
-}
-
-// Update is Index.Update under the write lock.
-func (c *ConcurrentIndex) Update(o Object) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.idx.Update(o)
-}
-
-// Rebuild is Index.Rebuild under the write lock.
-func (c *ConcurrentIndex) Rebuild() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.idx.Rebuild()
-}
-
-// Len returns the live object count under a read lock.
-func (c *ConcurrentIndex) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.Len()
-}
-
-// Object looks up a live object under a read lock. The returned pointer
-// must not be retained across writer activity; copy it if needed.
+// Object looks up a live object in the current snapshot, returning a
+// copy (the snapshot's storage is shared with future clones).
 func (c *ConcurrentIndex) Object(id uint32) (Object, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	o, ok := c.idx.Object(id)
+	o, ok := c.cur.Load().Object(id)
 	if !ok {
 		return Object{}, false
 	}
 	return *o, true
 }
 
-// Unwrap returns the underlying Index for read-only use after all
-// writers have stopped.
-func (c *ConcurrentIndex) Unwrap() *Index { return c.idx }
+// Unwrap returns the current snapshot; it is equivalent to Snapshot and
+// retained for compatibility with the RWMutex-era API.
+func (c *ConcurrentIndex) Unwrap() *Index { return c.cur.Load() }
+
+// OpKind identifies one kind of maintenance mutation.
+type OpKind int
+
+const (
+	// OpInsert inserts Op.Object.
+	OpInsert OpKind = iota
+	// OpDelete deletes the object with Op.ID.
+	OpDelete
+	// OpUpdate replaces the stored object carrying Op.Object's ID.
+	OpUpdate
+)
+
+// Op is one maintenance mutation, usable with ApplyBatch to coalesce
+// many writes into a single snapshot publication.
+type Op struct {
+	Kind   OpKind
+	Object Object // OpInsert, OpUpdate
+	ID     uint32 // OpDelete
+}
+
+// applyOp applies one mutation to an unpublished index.
+func applyOp(idx *Index, op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return idx.Insert(op.Object)
+	case OpDelete:
+		return idx.Delete(op.ID)
+	case OpUpdate:
+		return idx.Update(op.Object)
+	default:
+		return fmt.Errorf("cssi: unknown op kind %d", op.Kind)
+	}
+}
+
+// apply clones the current snapshot, applies the ops in order, and
+// publishes the clone — all under the writer mutex. All-or-nothing: if
+// any op fails, nothing is published and the error is returned.
+func (c *ConcurrentIndex) apply(ops ...Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.cur.Load().cloneForWrite()
+	for _, op := range ops {
+		if err := applyOp(next, op); err != nil {
+			return err
+		}
+	}
+	c.cur.Store(next)
+	if c.rebuildActive {
+		c.rebuildLog = append(c.rebuildLog, ops...)
+	}
+	return nil
+}
+
+// Insert adds a new object (paper §6.2) and publishes the result as a
+// new snapshot. In-flight reads finish against the old snapshot.
+func (c *ConcurrentIndex) Insert(o Object) error {
+	return c.apply(Op{Kind: OpInsert, Object: o})
+}
+
+// Delete removes the object with the given ID and publishes the result
+// as a new snapshot.
+func (c *ConcurrentIndex) Delete(id uint32) error {
+	return c.apply(Op{Kind: OpDelete, ID: id})
+}
+
+// Update replaces the stored object carrying o's ID and publishes the
+// result as a new snapshot (delete + insert, atomically visible).
+func (c *ConcurrentIndex) Update(o Object) error {
+	return c.apply(Op{Kind: OpUpdate, Object: o})
+}
+
+// ApplyBatch applies many mutations in order and publishes them as ONE
+// new snapshot, amortizing the copy-on-write cost across the batch and
+// guaranteeing readers never observe a partially applied batch. It is
+// all-or-nothing: on the first failing op the whole batch is discarded,
+// no snapshot is published, and the error is returned.
+func (c *ConcurrentIndex) ApplyBatch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return c.apply(ops...)
+}
+
+// Rebuild reconstructs the index from scratch over the live objects
+// (§6.2) and publishes the result. Unlike the RWMutex-era Rebuild, it
+// never stalls readers: they keep searching the old snapshot for the
+// whole reconstruction. Writers, however, wait on the writer mutex; use
+// RebuildInBackground to keep them available too. Returns
+// ErrRebuildInProgress while a background rebuild is active.
+func (c *ConcurrentIndex) Rebuild() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rebuildActive {
+		return ErrRebuildInProgress
+	}
+	fresh, err := c.cur.Load().rebuildFresh()
+	if err != nil {
+		return err
+	}
+	c.cur.Store(fresh)
+	return nil
+}
+
+// RebuildInBackground reconstructs the index off to the side while both
+// readers AND writers stay available, then publishes the replacement.
+// Mutations that land while the rebuild is running are recorded and
+// deterministically replayed, in order, onto the fresh index before it
+// is published, so no acknowledged write is lost. The returned channel
+// receives the rebuild's outcome exactly once: nil after successful
+// publication, or the build/replay error (in which case the current
+// snapshot — which already contains every acknowledged write — stays
+// published). At most one background rebuild may be in flight;
+// concurrent requests fail with ErrRebuildInProgress.
+func (c *ConcurrentIndex) RebuildInBackground() (<-chan error, error) {
+	c.mu.Lock()
+	if c.rebuildActive {
+		c.mu.Unlock()
+		return nil, ErrRebuildInProgress
+	}
+	c.rebuildActive = true
+	c.rebuildLog = nil
+	base := c.cur.Load()
+	c.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		// Reconstruction runs without any lock: readers serve from the
+		// current snapshot, writers clone-and-publish as usual (their
+		// ops accumulate in rebuildLog).
+		fresh, err := base.rebuildFresh()
+
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		log := c.rebuildLog
+		c.rebuildActive, c.rebuildLog = false, nil
+		for i := 0; err == nil && i < len(log); i++ {
+			// fresh is still private to this goroutine, so the replay
+			// mutates it directly — no COW cycle per op. Replaying the
+			// exact sequence of acknowledged ops onto the rebuild base
+			// (the live set those ops originally applied to) cannot
+			// conflict; a failure here aborts publication.
+			if replayErr := applyOp(fresh, log[i]); replayErr != nil {
+				err = fmt.Errorf("cssi: rebuild replay op %d: %w", i, replayErr)
+			}
+		}
+		if err == nil {
+			c.cur.Store(fresh)
+		}
+		done <- err
+	}()
+	return done, nil
+}

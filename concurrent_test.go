@@ -227,3 +227,305 @@ func TestConcurrentBatchStress(t *testing.T) {
 		}
 	}
 }
+
+// A snapshot taken before a write must keep answering from the old
+// state no matter how many writes publish after it — the pinning
+// guarantee batched readers rely on.
+func TestSnapshotPinsState(t *testing.T) {
+	ds := testDataset(t, 300)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 41}))
+	queries := ds.SampleQueries(8, 3)
+
+	snap := c.Snapshot()
+	wantLen := snap.Len()
+	want := snap.SearchBatch(queries, 5, 0.5)
+
+	// Publish a burst of writes (including deletions of the nearest
+	// neighbours the snapshot returned, which MUST stay visible in it).
+	for _, rs := range want {
+		for _, r := range rs {
+			c.Delete(r.ID) // ignore dup-delete errors across batches
+		}
+	}
+	for i := 0; i < 50; i++ {
+		o := ds.Objects[i]
+		o.ID = uint32(400000 + i)
+		if err := c.Insert(o); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+
+	if snap.Len() != wantLen {
+		t.Fatalf("snapshot Len moved: %d, want %d", snap.Len(), wantLen)
+	}
+	got := snap.SearchBatch(queries, 5, 0.5)
+	for qi := range queries {
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if got[qi][i] != want[qi][i] {
+				t.Fatalf("query %d result %d drifted: %+v -> %+v",
+					qi, i, want[qi][i], got[qi][i])
+			}
+		}
+	}
+	// The live view did move on.
+	if c.Len() == wantLen {
+		t.Fatal("wrapper did not observe the writes")
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatalf("snapshot invariants: %v", err)
+	}
+}
+
+// ApplyBatch is all-or-nothing: one failing op anywhere in the batch
+// means NO op of the batch becomes visible.
+func TestApplyBatchAtomicity(t *testing.T) {
+	ds := testDataset(t, 120)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 42}))
+	before := c.Snapshot()
+
+	o1, o2 := ds.Objects[0], ds.Objects[1]
+	o1.ID, o2.ID = 610000, 610001
+	ops := []Op{
+		{Kind: OpInsert, Object: o1},
+		{Kind: OpDelete, ID: 999999}, // not present -> fails
+		{Kind: OpInsert, Object: o2},
+	}
+	if err := c.ApplyBatch(ops); err == nil {
+		t.Fatal("expected batch failure")
+	}
+	if c.Snapshot() != before {
+		t.Fatal("failed batch published a snapshot")
+	}
+	if _, ok := c.Object(610000); ok {
+		t.Fatal("op before the failure leaked out of the batch")
+	}
+
+	// The successful path publishes everything in ONE snapshot.
+	good := []Op{
+		{Kind: OpInsert, Object: o1},
+		{Kind: OpInsert, Object: o2},
+		{Kind: OpDelete, ID: ds.Objects[2].ID},
+	}
+	if err := c.ApplyBatch(good); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Len() != before.Len()+1 {
+		t.Fatalf("Len = %d, want %d", snap.Len(), before.Len()+1)
+	}
+	if _, ok := c.Object(610000); !ok {
+		t.Fatal("batched insert missing")
+	}
+	if _, ok := c.Object(ds.Objects[2].ID); ok {
+		t.Fatal("batched delete not applied")
+	}
+	if err := c.ApplyBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if c.Snapshot() != snap {
+		t.Fatal("empty batch published a snapshot")
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Writes landing while a background rebuild runs must be replayed onto
+// the fresh index before it is published — no acknowledged write lost,
+// no deleted object resurrected.
+func TestRebuildInBackgroundReplay(t *testing.T) {
+	ds := testDataset(t, 500)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 43}))
+
+	// Pre-rebuild mutations so the rebuild base differs from build time.
+	for i := 0; i < 30; i++ {
+		if err := c.Delete(ds.Objects[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := c.RebuildInBackground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent mutations: these are acknowledged against COW clones of
+	// the old snapshot and logged for replay.
+	var insertedIDs []uint32
+	for i := 0; i < 25; i++ {
+		o := ds.Objects[100+i]
+		o.ID = uint32(620000 + i)
+		if err := c.Insert(o); err != nil {
+			t.Fatalf("mid-rebuild insert: %v", err)
+		}
+		insertedIDs = append(insertedIDs, o.ID)
+	}
+	for i := 30; i < 45; i++ {
+		if err := c.Delete(ds.Objects[i].ID); err != nil {
+			t.Fatalf("mid-rebuild delete: %v", err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	snap := c.Snapshot()
+	if snap.UpdatesSinceBuild() != 15+len(insertedIDs) {
+		t.Fatalf("UpdatesSinceBuild = %d, want %d (exactly the replayed ops)",
+			snap.UpdatesSinceBuild(), 15+len(insertedIDs))
+	}
+	for _, id := range insertedIDs {
+		if _, ok := c.Object(id); !ok {
+			t.Fatalf("mid-rebuild insert %d lost", id)
+		}
+	}
+	for i := 0; i < 45; i++ {
+		if _, ok := c.Object(ds.Objects[i].ID); ok {
+			t.Fatalf("deleted object %d resurrected by rebuild", ds.Objects[i].ID)
+		}
+	}
+	if want := 500 - 45 + len(insertedIDs); snap.Len() != want {
+		t.Fatalf("Len = %d, want %d", snap.Len(), want)
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Only one rebuild may run at a time; requests during one fail fast
+// with ErrRebuildInProgress (white box: the flag is pinned so the check
+// is deterministic).
+func TestRebuildInProgressRejected(t *testing.T) {
+	ds := testDataset(t, 80)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 44}))
+	c.mu.Lock()
+	c.rebuildActive = true
+	c.mu.Unlock()
+	if _, err := c.RebuildInBackground(); err != ErrRebuildInProgress {
+		t.Fatalf("RebuildInBackground: %v", err)
+	}
+	if err := c.Rebuild(); err != ErrRebuildInProgress {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	c.mu.Lock()
+	c.rebuildActive = false
+	c.mu.Unlock()
+	if err := c.Rebuild(); err != nil {
+		t.Fatalf("Rebuild after clear: %v", err)
+	}
+}
+
+// The full RCU stress: lock-free readers (single and batched), COW
+// writers, and non-blocking background rebuilds all at once, with every
+// published snapshot structurally verified. Run with -race.
+func TestConcurrentRebuildStress(t *testing.T) {
+	ds := testDataset(t, 400)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 45}))
+	queries := ds.SampleQueries(12, 9)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: single-query and batched, pinned per call.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := ds.Objects[(g*31+i*7)%ds.Len()]
+				if got := c.Search(&q, 5, 0.5); len(got) != 5 {
+					t.Errorf("search returned %d", len(got))
+					return
+				}
+				if got := c.SearchBatch(queries, 3, 0.5); len(got) != len(queries) {
+					t.Errorf("batch returned %d sets", len(got))
+					return
+				}
+			}
+		}(g)
+	}
+	// Invariant checker: every snapshot it observes must verify. It
+	// runs until the workload goroutines finish (separate WaitGroup —
+	// it is stopped, not waited on, by the main flow).
+	var checkerWG sync.WaitGroup
+	checkerWG.Add(1)
+	go func() {
+		defer checkerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.Snapshot().CheckInvariants(); err != nil {
+				t.Errorf("published snapshot violates invariants: %v", err)
+				return
+			}
+		}
+	}()
+	// Writers: singles and coalesced batches.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				o := ds.Objects[(g*13+i)%ds.Len()]
+				o.ID = uint32(630000 + g*1000 + i)
+				if g == 0 {
+					if err := c.Insert(o); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				} else {
+					o2 := o
+					o2.ID += 500
+					if err := c.ApplyBatch([]Op{
+						{Kind: OpInsert, Object: o},
+						{Kind: OpInsert, Object: o2},
+						{Kind: OpDelete, ID: o.ID},
+					}); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Background rebuilds, repeatedly, while everything else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			done, err := c.RebuildInBackground()
+			if err == ErrRebuildInProgress {
+				continue
+			}
+			if err != nil {
+				t.Errorf("rebuild start: %v", err)
+				return
+			}
+			if err := <-done; err != nil {
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	checkerWG.Wait()
+
+	snap := c.Snapshot()
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	// Coherence: batch against the final snapshot agrees with
+	// sequential search against the same snapshot.
+	final := snap.SearchBatch(queries, 5, 0.5)
+	for qi := range queries {
+		seq := snap.Search(&queries[qi], 5, 0.5)
+		for i := range seq {
+			if final[qi][i].Dist != seq[i].Dist {
+				t.Fatalf("post-stress query %d result %d differs", qi, i)
+			}
+		}
+	}
+}

@@ -267,6 +267,42 @@ func (x *Index) Rebuild() error {
 	return nil
 }
 
+// cloneForWrite returns a write-isolated copy of the whole facade —
+// core index plus keyword filter — for the snapshot-publication path of
+// ConcurrentIndex: mutations applied to the clone are invisible through
+// x, so lock-free readers can keep using x until the clone is published
+// in its place.
+func (x *Index) cloneForWrite() *Index {
+	nx := &Index{core: x.core.CloneForWrite(), space: x.space}
+	if x.kw != nil {
+		nx.kw = x.kw.Clone()
+	}
+	return nx
+}
+
+// rebuildFresh reconstructs the index from scratch over the live
+// objects without touching x (or the metric space x's readers use) and
+// returns the replacement — the building block of non-blocking rebuild.
+// A keyword filter, when enabled, is rebuilt alongside.
+func (x *Index) rebuildFresh() (*Index, error) {
+	freshCore, err := x.core.RebuildFresh()
+	if err != nil {
+		return nil, err
+	}
+	fresh := &Index{core: freshCore, space: freshCore.Space()}
+	if x.kw != nil {
+		fresh.EnableKeywordFilter()
+	}
+	return fresh, nil
+}
+
+// CheckInvariants verifies the structural invariants the correctness
+// proofs rest on (cluster containment, conservative thresholds, radius
+// coverage, projection soundness). Tests use it to assert that every
+// published snapshot is complete and coherent; production code never
+// needs it.
+func (x *Index) CheckInvariants() error { return x.core.CheckInvariants() }
+
 // UpdatesSinceBuild reports how many Insert/Delete operations have been
 // applied since the last (re)build, as a rebuild heuristic for callers.
 func (x *Index) UpdatesSinceBuild() int { return x.core.UpdatesSinceBuild }

@@ -34,8 +34,12 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 				i, len(queries[i].Vec), x.dim))
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Clamp to GOMAXPROCS at the library layer (the HTTP server clamps
+	// too, but library callers get the same guarantee): a batch can
+	// never spawn more runnable goroutines than the scheduler has
+	// processors, no matter what parallelism the caller requests.
+	if maxW := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxW {
+		workers = maxW
 	}
 	if workers > len(queries) {
 		workers = len(queries)

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// Mutating a copy-on-write clone must never change what the parent
+// snapshot returns: that isolation is the entire safety argument of the
+// lock-free publication scheme in the public ConcurrentIndex.
+func TestCloneForWriteIsolation(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 400, Config{Seed: 9})
+	q := f.ds.Objects[17]
+	before := f.idx.Search(&q, 10, 0.5, nil)
+	wantLen := f.idx.Len()
+
+	clone := f.idx.CloneForWrite()
+	// A mix of every mutation kind, hitting many clusters.
+	for i := 0; i < 60; i++ {
+		o := f.ds.Objects[i%f.ds.Len()]
+		o.ID = uint32(500000 + i)
+		if err := clone.Insert(o); err != nil {
+			t.Fatalf("clone insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := clone.Delete(f.ds.Objects[i].ID); err != nil {
+			t.Fatalf("clone delete %d: %v", i, err)
+		}
+	}
+
+	if f.idx.Len() != wantLen {
+		t.Fatalf("parent Len changed: %d, want %d", f.idx.Len(), wantLen)
+	}
+	after := f.idx.Search(&q, 10, 0.5, nil)
+	sameResults(t, "parent search after clone mutation", before, after)
+	if err := f.idx.CheckInvariants(); err != nil {
+		t.Fatalf("parent invariants: %v", err)
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	if clone.Len() != wantLen+20 {
+		t.Fatalf("clone Len = %d, want %d", clone.Len(), wantLen+20)
+	}
+	// Differential check: the clone answers exactly like a fresh build
+	// over its live set would.
+	cq := f.ds.Objects[99]
+	got := clone.Search(&cq, 8, 0.5, nil)
+	fresh, err := clone.RebuildFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Search(&cq, 8, 0.5, nil)
+	sameResults(t, "clone vs rebuilt", want, got)
+}
+
+// Growing the clone past the shared arena's capacity must repoint only
+// the clone's Vec headers; the parent keeps reading its own arena.
+func TestCloneForWriteArenaGrowth(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 100, Config{Seed: 5})
+	q := f.ds.Objects[3]
+	before := f.idx.Search(&q, 5, 0.5, nil)
+
+	clone := f.idx.CloneForWrite()
+	// Insert far more rows than any spare arena capacity to force at
+	// least one arena growth cycle inside the clone.
+	for i := 0; i < 300; i++ {
+		o := f.ds.Objects[i%f.ds.Len()]
+		o.ID = uint32(700000 + i)
+		if err := clone.Insert(o); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	after := f.idx.Search(&q, 5, 0.5, nil)
+	sameResults(t, "parent search after arena growth", before, after)
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	if err := f.idx.CheckInvariants(); err != nil {
+		t.Fatalf("parent invariants: %v", err)
+	}
+}
+
+// Chained clones (snapshot lineage A -> B -> C) must each stay frozen
+// while their successors mutate — the ConcurrentIndex publishes exactly
+// such a chain, one clone per write.
+func TestCloneChain(t *testing.T) {
+	f := build(t, dataset.YelpLike, 200, Config{Seed: 21})
+	q := f.ds.Objects[42]
+	gen := []*Index{f.idx}
+	want := [][]knn.Result{f.idx.Search(&q, 6, 0.5, nil)}
+	for g := 0; g < 4; g++ {
+		next := gen[len(gen)-1].CloneForWrite()
+		o := f.ds.Objects[g]
+		o.ID = uint32(800000 + g)
+		if err := next.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := next.Delete(f.ds.Objects[g].ID); err != nil {
+			t.Fatal(err)
+		}
+		gen = append(gen, next)
+		want = append(want, next.Search(&q, 6, 0.5, nil))
+	}
+	// Every generation still answers exactly as it did when it was the
+	// head of the chain.
+	for g, idx := range gen {
+		sameResults(t, "generation", want[g], idx.Search(&q, 6, 0.5, nil))
+		if err := idx.CheckInvariants(); err != nil {
+			t.Fatalf("generation %d invariants: %v", g, err)
+		}
+	}
+}
+
+// Regression: Insert after deleting EVERY object must fall back to a
+// cluster whose centroid was valid at build time, not blindly to
+// cluster 0 (whose centroid may be meaningless if it never had
+// members). The index must stay searchable throughout.
+func TestInsertAfterTotalDeletion(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 60, Config{Seed: 13})
+	for _, o := range f.ds.Objects {
+		if err := f.idx.Delete(o.ID); err != nil {
+			t.Fatalf("delete %d: %v", o.ID, err)
+		}
+	}
+	if f.idx.Len() != 0 {
+		t.Fatalf("Len = %d after total deletion", f.idx.Len())
+	}
+	// Re-insert everything; the first insert exercises the all-empty
+	// fallback, later ones the normal populated path.
+	for i, o := range f.ds.Objects {
+		o.ID = uint32(900000 + i)
+		if err := f.idx.Insert(o); err != nil {
+			t.Fatalf("re-insert %d: %v", i, err)
+		}
+		// The fallback must have picked a build-time-valid cluster.
+		lastT := f.idx.tAssign[len(f.idx.tAssign)-1]
+		if !f.idx.tValid[lastT] {
+			t.Fatalf("insert %d assigned to invalid semantic cluster %d", i, lastT)
+		}
+	}
+	if err := f.idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := f.ds.Objects[7]
+	rs := f.idx.Search(&q, 5, 0.5, nil)
+	if len(rs) != 5 {
+		t.Fatalf("search after refill returned %d results", len(rs))
+	}
+	// Differential against exact scan over the re-inserted set.
+	fresh, err := f.idx.RebuildFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "refilled vs rebuilt", fresh.Search(&q, 5, 0.5, nil), rs)
+}
+
+// RebuildFresh must leave the receiver untouched (including its metric
+// space, which a plain Build would renormalize in place).
+func TestRebuildFreshIsolation(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 300, Config{Seed: 3})
+	for i := 0; i < 50; i++ {
+		if err := f.idx.Delete(f.ds.Objects[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := f.ds.Objects[222]
+	before := f.idx.Search(&q, 10, 0.5, nil)
+	spaceBefore := *f.idx.space
+
+	fresh, err := f.idx.RebuildFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *f.idx.space != spaceBefore {
+		t.Fatal("RebuildFresh mutated the receiver's metric space")
+	}
+	sameResults(t, "receiver after RebuildFresh", before, f.idx.Search(&q, 10, 0.5, nil))
+	if fresh.Len() != f.idx.Len() {
+		t.Fatalf("fresh Len = %d, want %d", fresh.Len(), f.idx.Len())
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatalf("fresh invariants: %v", err)
+	}
+	if fresh.UpdatesSinceBuild != 0 {
+		t.Fatalf("fresh UpdatesSinceBuild = %d", fresh.UpdatesSinceBuild)
+	}
+}

@@ -158,6 +158,12 @@ type Index struct {
 	tCentProj [][]float32
 	tRadProj  []float64
 	tMembers  [][]uint32
+	// tValid[t] records whether semantic cluster t had members when its
+	// centroid was computed at (re)build time — i.e. whether tCent[t] and
+	// tCentProj[t] are meaningful. Clusters that never received a member
+	// carry zero centroids that must not attract inserts. Immutable
+	// after build (incremental inserts never recompute centroids).
+	tValid []bool
 
 	sAssign, tAssign []int
 
@@ -181,8 +187,13 @@ type Index struct {
 	// scratchPool recycles per-query searchScratch buffers so the query
 	// algorithms allocate nothing in steady state. A pointer (not a
 	// value) because Rebuild replaces the whole Index value and
-	// sync.Pool must not be copied.
+	// sync.Pool must not be copied. Snapshot clones share the pool.
 	scratchPool *sync.Pool
+
+	// cow is non-nil while this Index is a copy-on-write clone being
+	// prepared for snapshot publication (see clone.go); nil on indexes
+	// obtained from Build/Load, whose mutations stay in place.
+	cow *cowState
 }
 
 // Build constructs the index over the dataset (Alg. 1).
@@ -303,6 +314,7 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 	x.tCentProj = make([][]float32, kt)
 	x.tRadProj = make([]float64, kt)
 	x.tMembers = make([][]uint32, kt)
+	x.tValid = make([]bool, kt)
 
 	// Side membership lists.
 	for i := range x.objects {
@@ -317,6 +329,7 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 		ms := x.tMembers[t]
 		cent := make([]float32, x.dim)
 		centP := make([]float32, x.m)
+		x.tValid[t] = len(ms) > 0
 		if len(ms) > 0 {
 			rows := make([][]float32, len(ms))
 			rowsP := make([][]float32, len(ms))
@@ -446,6 +459,9 @@ func (x *Index) addToHybridWith(idx uint32, ds, dt float64) *hybrid {
 		c = &hybrid{s: s, t: t}
 		x.clusterIdx[key] = c
 		x.clusters = append(x.clusters, c)
+		x.markOwnedHybrid(c)
+	} else {
+		c = x.cowHybrid(c)
 	}
 	c.members = append(c.members, member{idx: idx, ds: ds, dt: dt})
 	return c
@@ -467,6 +483,11 @@ func (x *Index) Config() Config { return x.cfg }
 // PCA exposes the fitted projection model (used by the harness to
 // project query vectors for analysis).
 func (x *Index) PCA() *pca.Model { return x.pcaModel }
+
+// Space exposes the metric space the index computes distances in. The
+// snapshot facade reads it because RebuildFresh gives the replacement
+// index its own space copy.
+func (x *Index) Space() *metric.Space { return x.space }
 
 // Object returns the object stored at the given ID, if it is live.
 func (x *Index) Object(id uint32) (*dataset.Object, bool) {

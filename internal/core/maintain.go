@@ -44,7 +44,22 @@ func (x *Index) Insert(o dataset.Object) error {
 		}
 	}
 	if t < 0 {
-		t = 0 // no populated semantic cluster: fall back to the first
+		// Every semantic cluster is currently empty (the whole dataset
+		// was deleted). Fall back to the nearest cluster whose centroid
+		// is valid — one that had members at build time — never to an
+		// arbitrary cluster whose centroid may be a meaningless zero
+		// vector far from any data.
+		for c := 0; c < len(x.tCentProj); c++ {
+			if !x.tValid[c] {
+				continue
+			}
+			if d := x.projToCent(idx, c); t < 0 || d < bestT {
+				t, bestT = c, d
+			}
+		}
+	}
+	if t < 0 {
+		t, bestT = 0, x.projToCent(idx, 0) // unreachable after Build: ≥1 cluster is always valid
 	}
 	x.sAssign = append(x.sAssign, s)
 	x.tAssign = append(x.tAssign, t)
@@ -108,12 +123,12 @@ func (x *Index) Delete(id uint32) error {
 	x.UpdatesSinceBuild++
 
 	s, t := x.sAssign[idx], x.tAssign[idx]
-	x.sMembers[s] = removeIdx(x.sMembers[s], idx)
-	x.tMembers[t] = removeIdx(x.tMembers[t], idx)
+	x.sMembers[s] = x.removeIdxCOW(x.sMembers[s], idx)
+	x.tMembers[t] = x.removeIdxCOW(x.tMembers[t], idx)
 
 	// Remove from the hybrid cluster and rebuild its array.
 	key := [2]int{s, t}
-	c := x.clusterIdx[key]
+	c := x.cowHybrid(x.clusterIdx[key])
 	for i := range c.members {
 		if c.members[i].idx == idx {
 			c.members[i] = c.members[len(c.members)-1]
@@ -177,20 +192,44 @@ func (x *Index) Update(o dataset.Object) error {
 
 // Rebuild reconstructs the index from scratch over the live objects —
 // the remedy §6.2 prescribes after the data distribution has drifted.
+// The rebuild happens in place (x's value is replaced) and refreshes
+// the shared metric space's projected normalizer; it must not run
+// concurrently with readers — the snapshot path uses RebuildFresh.
 func (x *Index) Rebuild() error {
-	liveObjs := make([]dataset.Object, 0, x.live)
-	for i := range x.objects {
-		if !x.deleted[i] {
-			liveObjs = append(liveObjs, x.objects[i])
-		}
-	}
-	ds := &dataset.Dataset{Objects: liveObjs, Dim: x.pcaModel.N()}
+	ds := &dataset.Dataset{Objects: x.collectLive(), Dim: x.pcaModel.N()}
 	fresh, err := Build(ds, x.space, x.cfg)
 	if err != nil {
 		return fmt.Errorf("core: rebuild: %w", err)
 	}
 	*x = *fresh
 	return nil
+}
+
+// RebuildFresh builds a brand-new index over the live objects without
+// mutating x in any way: the non-blocking rebuild path, where readers
+// keep querying x while the replacement is constructed off to the side
+// and published afterwards. The fresh index gets its own copy of the
+// metric space, because Build recomputes the projected-space normalizer
+// (DtProjMax) and concurrent readers of x still depend on the old one.
+func (x *Index) RebuildFresh() (*Index, error) {
+	ds := &dataset.Dataset{Objects: x.collectLive(), Dim: x.pcaModel.N()}
+	spaceCopy := *x.space
+	fresh, err := Build(ds, &spaceCopy, x.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild: %w", err)
+	}
+	return fresh, nil
+}
+
+// collectLive snapshots the live objects in storage order.
+func (x *Index) collectLive() []dataset.Object {
+	liveObjs := make([]dataset.Object, 0, x.live)
+	for i := range x.objects {
+		if !x.deleted[i] {
+			liveObjs = append(liveObjs, x.objects[i])
+		}
+	}
+	return liveObjs
 }
 
 // appendArenaRows copies the vector of the just-appended object into a
@@ -204,6 +243,11 @@ func (x *Index) appendArenaRows(idx uint32) {
 		na := make([]float32, len(x.vecArena), arenaCap(need, cap(x.vecArena)))
 		copy(na, x.vecArena)
 		x.vecArena = na
+		// Repointing rewrites every stored Vec view — an interior write,
+		// so a COW clone must own the objects slice first. (The append
+		// path below needs no ownership: it only writes past the
+		// parent's length.)
+		x.ensureOwnedObjects()
 		for i := uint32(0); i < idx; i++ {
 			x.objects[i].Vec = x.vecAt(i)
 		}

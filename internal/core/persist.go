@@ -65,6 +65,10 @@ type gobIndex struct {
 	TCentProj          [][]float32
 	TRadProj           []float64
 	TMembers           [][]uint32
+	// TValid marks semantic clusters whose centroids were computed from
+	// at least one member (see Index.tValid). Absent from files written
+	// before it existed; Load then derives it from current membership.
+	TValid             []bool
 	SAssign, TAssign   []int
 	Clusters           []gobHybrid
 	UpdatesSinceBuild_ int
@@ -108,6 +112,7 @@ func (x *Index) Save(w io.Writer) error {
 		TCentProj:          x.tCentProj,
 		TRadProj:           x.tRadProj,
 		TMembers:           x.tMembers,
+		TValid:             x.tValid,
 		SAssign:            x.sAssign,
 		TAssign:            x.tAssign,
 		UpdatesSinceBuild_: x.UpdatesSinceBuild,
@@ -210,6 +215,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		tCentProj:         g.TCentProj,
 		tRadProj:          g.TRadProj,
 		tMembers:          g.TMembers,
+		tValid:            g.TValid,
 		sAssign:           g.SAssign,
 		tAssign:           g.TAssign,
 		clusterIdx:        make(map[[2]int]*hybrid, len(g.Clusters)),
@@ -224,6 +230,15 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 	// The drift baseline restarts from the loaded radii.
 	x.builtSRad = append([]float64(nil), x.sRad...)
 	x.builtTRadProj = append([]float64(nil), x.tRadProj...)
+	// Files written before TValid existed: approximate centroid validity
+	// by current membership (only wrong for clusters emptied by deletes,
+	// which then merely stop attracting the all-empty insert fallback).
+	if x.tValid == nil {
+		x.tValid = make([]bool, len(x.tCent))
+		for t := range x.tMembers {
+			x.tValid[t] = len(x.tMembers[t]) > 0
+		}
+	}
 	x.clusters = make([]*hybrid, len(g.Clusters))
 	for i, gc := range g.Clusters {
 		c := &hybrid{s: gc.S, t: gc.T, members: make([]member, len(gc.Members))}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cssi "repro"
+)
+
+func init() {
+	register("concurrent", Concurrency)
+}
+
+// rwmutexIndex is the pre-snapshot concurrency wrapper, kept here as the
+// benchmark baseline: readers take a shared lock, writers an exclusive
+// one, and a Rebuild holds the exclusive lock for its whole duration.
+// The production ConcurrentIndex replaced this with RCU-style snapshot
+// publication; this experiment quantifies what the replacement buys.
+type rwmutexIndex struct {
+	mu  sync.RWMutex
+	idx *cssi.Index
+}
+
+func (c *rwmutexIndex) Search(q *cssi.Object, k int, lambda float64) []cssi.Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Search(q, k, lambda)
+}
+
+// ApplyBatch applies the ops under ONE exclusive lock acquisition — the
+// locking counterpart of the snapshot wrapper's atomic batch: readers
+// must not observe a half-applied batch, so the lock is held for the
+// batch's full duration.
+func (c *rwmutexIndex) ApplyBatch(ops []cssi.Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case cssi.OpInsert:
+			err = c.idx.Insert(op.Object)
+		case cssi.OpDelete:
+			err = c.idx.Delete(op.ID)
+		default:
+			err = c.idx.Update(op.Object)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *rwmutexIndex) Rebuild() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Rebuild()
+}
+
+// concurrentReader abstracts the two wrappers for the measurement loops.
+type concurrentReader interface {
+	Search(q *cssi.Object, k int, lambda float64) []cssi.Result
+}
+
+// Concurrency measures read behavior under concurrent maintenance for
+// the RWMutex baseline vs the lock-free snapshot wrapper, and the
+// worst-case read stall while a full Rebuild runs. The writer applies
+// periodic atomic batches (the serving-workload shape ApplyBatch
+// exists for); under the lock that means readers wait out every batch,
+// under snapshots they keep serving the previous index. On a
+// single-core host the goroutines timeshare, so the headline numbers
+// are read throughput retained while the writer runs and the max read
+// latency — RWMutex readers stop dead behind the exclusive lock,
+// snapshot readers never wait.
+func Concurrency(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	// On a 1-CPU host a tight compute loop can monopolize the only P for
+	// ~10ms between preemption points, so a reader's wall latency mixes
+	// lock waits with scheduler starvation. Raising GOMAXPROCS lets the
+	// OS preempt at its own quantum and interleave the goroutines the
+	// way a serving host would, making lock-blocking (which no amount
+	// of preemption cures) visible as the dominant stall.
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	size := s.size(8000)
+	ds, err := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: size, Dim: s.Dim, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := ds.SampleQueries(s.Queries, s.Seed+77)
+	k, lambda := 10, s.Lambda
+
+	build := func() (*cssi.Index, error) {
+		return cssi.Build(ds, cssi.Options{Seed: s.Seed})
+	}
+
+	throughput := Table{
+		ID:    "concurrent",
+		Title: "Read throughput and latency: RWMutex locking vs lock-free snapshots",
+		Note: "readers loop Search while a saturating writer applies atomic 200-op batches back-to-back; " +
+			"the lock holds readers out for every batch (RWMutex fairness queues them behind pending writers), " +
+			"snapshots publish each batch as one pointer store and readers never wait",
+		Header: []string{"wrapper", "readers", "writer", "queries/s", "max read ms", "ops/s"},
+	}
+	// Sub-scale runs (the test smoke) shrink the per-cell interval; the
+	// recorded scale-1 numbers use the long one for stable medians.
+	interval := 800 * time.Millisecond
+	if s.Scale < 0.5 {
+		interval = 50 * time.Millisecond
+	}
+	for _, readers := range []int{1, 2, 4} {
+		for _, withWriter := range []bool{false, true} {
+			for _, which := range []string{"rwmutex", "snapshot"} {
+				idx, err := build()
+				if err != nil {
+					return nil, err
+				}
+				var reader concurrentReader
+				var applyBatch func([]cssi.Op) error
+				if which == "rwmutex" {
+					w := &rwmutexIndex{idx: idx}
+					reader, applyBatch = w, w.ApplyBatch
+				} else {
+					w := cssi.Concurrent(idx)
+					reader, applyBatch = w, w.ApplyBatch
+				}
+				qps, maxMS, ops := measureThroughput(reader, applyBatch, ds, queries, k, lambda, readers, withWriter, interval)
+				throughput.Rows = append(throughput.Rows, []string{
+					which, itoa(readers), boolCell(withWriter), f1(qps), f2(maxMS), f1(ops),
+				})
+			}
+		}
+	}
+
+	stall := Table{
+		ID:    "concurrent",
+		Title: "Worst-case read stall during a full Rebuild",
+		Note: "max single-query latency observed while Rebuild runs concurrently; " +
+			"RWMutex pins readers behind the exclusive lock for the whole rebuild, snapshots keep serving the old index",
+		Header: []string{"wrapper", "rebuild ms", "max read ms", "reads during rebuild"},
+	}
+	for _, which := range []string{"rwmutex", "snapshot"} {
+		idx, err := build()
+		if err != nil {
+			return nil, err
+		}
+		var reader concurrentReader
+		var rebuild func() error
+		if which == "rwmutex" {
+			w := &rwmutexIndex{idx: idx}
+			reader, rebuild = w, w.Rebuild
+		} else {
+			w := cssi.Concurrent(idx)
+			reader, rebuild = w, w.Rebuild
+		}
+		rebuildMS, maxReadMS, reads := measureRebuildStall(reader, rebuild, &queries[0], k, lambda)
+		stall.Rows = append(stall.Rows, []string{
+			which, f1(rebuildMS), f2(maxReadMS), itoa(reads),
+		})
+	}
+	return []Table{throughput, stall}, nil
+}
+
+// measureThroughput runs `readers` goroutines looping Search (round-robin
+// over the workload) for the interval, optionally alongside one
+// saturating writer goroutine applying atomic 200-op batches (100
+// inserts + 100 deletes, net-zero) back-to-back — the serving shape
+// where the locking discipline matters most, since an RWMutex under
+// sustained writes queues readers behind every pending writer. Returns
+// aggregate reads/s, the worst single-read latency in ms, and the
+// achieved mutation ops/s (reported, not equalized: in-place locked
+// writes are cheaper than COW writes, and the read columns show what
+// that cheapness costs the readers).
+func measureThroughput(reader concurrentReader, applyBatch func([]cssi.Op) error,
+	ds *cssi.Dataset, queries []cssi.Object, k int, lambda float64,
+	readers int, withWriter bool, interval time.Duration) (qps, maxReadMS, opsPerSec float64) {
+
+	var stop atomic.Bool
+	var nReads, nOps, worstNS atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local, worst := int64(0), int64(0)
+			for i := g; !stop.Load(); i++ {
+				t0 := time.Now()
+				reader.Search(&queries[i%len(queries)], k, lambda)
+				if d := time.Since(t0).Nanoseconds(); d > worst {
+					worst = d
+				}
+				local++
+			}
+			nReads.Add(local)
+			for { // lock-free max
+				cur := worstNS.Load()
+				if worst <= cur || worstNS.CompareAndSwap(cur, worst) {
+					break
+				}
+			}
+		}(g)
+	}
+	if withWriter {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			const perBatch = 100
+			local := int64(0)
+			for cycle := 0; !stop.Load(); cycle++ {
+				ops := make([]cssi.Op, 0, 2*perBatch)
+				for j := 0; j < perBatch; j++ {
+					o := ds.Objects[(cycle*perBatch+j)%ds.Len()]
+					o.ID = uint32(1<<30 + j)
+					ops = append(ops, cssi.Op{Kind: cssi.OpInsert, Object: o})
+				}
+				for j := 0; j < perBatch; j++ {
+					ops = append(ops, cssi.Op{Kind: cssi.OpDelete, ID: uint32(1<<30 + j)})
+				}
+				if applyBatch(ops) == nil {
+					local += int64(len(ops))
+				}
+			}
+			nOps.Add(local)
+		}()
+	}
+	start := time.Now()
+	time.Sleep(interval)
+	stop.Store(true)
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	return float64(nReads.Load()) / secs,
+		float64(worstNS.Load()) / 1e6,
+		float64(nOps.Load()) / secs
+}
+
+// measureRebuildStall times individual reads while one Rebuild runs,
+// returning the rebuild's duration, the worst single-read latency
+// observed by a reader goroutine that is already in its read loop when
+// the rebuild starts, and how many reads completed in that window.
+// (The ordering matters on a single-core host: if the rebuild ran
+// first, the scheduler could let it finish before the reader ever
+// attempts a read and the stall would go unmeasured.)
+func measureRebuildStall(reader concurrentReader, rebuild func() error, q *cssi.Object, k int, lambda float64) (rebuildMS, maxReadMS float64, reads int) {
+	var stop atomic.Bool
+	var nReads, worstNS atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			t0 := time.Now()
+			reader.Search(q, k, lambda)
+			if d := time.Since(t0).Nanoseconds(); d > worstNS.Load() {
+				worstNS.Store(d)
+			}
+			nReads.Add(1)
+		}
+	}()
+	// Let the reader reach steady state before rebuilding.
+	for nReads.Load() < 5 {
+		time.Sleep(time.Millisecond)
+	}
+	before := nReads.Load()
+	t0 := time.Now()
+	rebuild()
+	rebuildDur := time.Since(t0)
+	stop.Store(true)
+	<-done
+	return float64(rebuildDur.Microseconds()) / 1000,
+		float64(worstNS.Load()) / 1e6,
+		int(nReads.Load() - before)
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -14,9 +14,28 @@ import (
 
 // Filter is an inverted index from token to the sorted list of object
 // IDs whose text contains it.
+//
+// Mutations are copy-on-write at the posting-list level: Add and Remove
+// install freshly built lists instead of editing in place. Combined
+// with Clone (which copies only the map directory and shares the
+// lists), this lets a snapshot-publishing writer mutate its clone while
+// readers of earlier clones keep scanning the original lists — the same
+// discipline the core index uses for its cluster arrays. The asymptotic
+// cost is unchanged: the old in-place insert/delete already shifted the
+// list's tail, so both paths are O(len) per touched term.
 type Filter struct {
 	postings map[string][]uint32
 	total    int
+}
+
+// Clone returns a filter that shares every posting list with f but owns
+// its directory, so Add/Remove on the clone never affect f.
+func (f *Filter) Clone() *Filter {
+	nf := &Filter{postings: make(map[string][]uint32, len(f.postings)), total: f.total}
+	for tok, list := range f.postings {
+		nf.postings[tok] = list
+	}
+	return nf
 }
 
 // Build tokenizes every (id, text) pair and constructs the postings.
@@ -55,10 +74,11 @@ func (f *Filter) Add(id uint32, docText string) {
 		if pos < len(list) && list[pos] == id {
 			continue
 		}
-		list = append(list, 0)
-		copy(list[pos+1:], list[pos:])
-		list[pos] = id
-		f.postings[tok] = list
+		nl := make([]uint32, len(list)+1)
+		copy(nl, list[:pos])
+		nl[pos] = id
+		copy(nl[pos+1:], list[pos:])
+		f.postings[tok] = nl
 	}
 	f.total++
 }
@@ -69,7 +89,14 @@ func (f *Filter) Remove(id uint32, docText string) {
 		list := f.postings[tok]
 		pos := sort.Search(len(list), func(i int) bool { return list[i] >= id })
 		if pos < len(list) && list[pos] == id {
-			f.postings[tok] = append(list[:pos], list[pos+1:]...)
+			nl := make([]uint32, len(list)-1)
+			copy(nl, list[:pos])
+			copy(nl[pos:], list[pos+1:])
+			if len(nl) == 0 {
+				delete(f.postings, tok)
+			} else {
+				f.postings[tok] = nl
+			}
 		}
 	}
 	if f.total > 0 {

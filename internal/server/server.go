@@ -14,10 +14,15 @@
 //	POST /objects             insert an object
 //	PUT  /objects             update an object
 //	DELETE /objects?id=N      delete an object
+//	POST /rebuild             non-blocking index rebuild (?wait=1 blocks)
 //
 // Queries carry either an explicit embedding vector or free text (encoded
-// with the dataset's embedding model when one is attached). Reads run
-// concurrently; writes are serialized with a RWMutex.
+// with the dataset's embedding model when one is attached). The server is
+// built on ConcurrentIndex's RCU-style snapshot publication: every read
+// request pins one immutable snapshot (lock-free — no reader count, no
+// lock) and runs entirely against it, writes clone-and-publish a new
+// snapshot, and /rebuild reconstructs in the background without stalling
+// either.
 package server
 
 import (
@@ -26,7 +31,6 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
 
 	"repro"
 	"repro/internal/embed"
@@ -34,19 +38,19 @@ import (
 
 // Server wraps an index and its optional embedding model.
 type Server struct {
-	mu    sync.RWMutex
-	idx   *cssi.Index
+	idx   *cssi.ConcurrentIndex
 	model *embed.Model // may be nil: text queries then return an error
 }
 
 // New returns a Server over the given index. model may be nil if clients
 // always send explicit vectors. The index's keyword filter is enabled so
-// the /keyword-search endpoint works out of the box.
+// the /keyword-search endpoint works out of the box. The index is owned
+// by the server afterwards: all mutations must go through its API.
 func New(idx *cssi.Index, model *embed.Model) *Server {
 	if !idx.KeywordFilterEnabled() {
 		idx.EnableKeywordFilter()
 	}
-	return &Server{idx: idx, model: model}
+	return &Server{idx: cssi.Concurrent(idx), model: model}
 }
 
 // Handler returns the HTTP handler tree.
@@ -62,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /objects", s.handleInsert)
 	mux.HandleFunc("PUT /objects", s.handleUpdate)
 	mux.HandleFunc("DELETE /objects", s.handleDelete)
+	mux.HandleFunc("POST /rebuild", s.handleRebuild)
 	return mux
 }
 
@@ -103,18 +108,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.idx.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"objects":           s.idx.Len(),
-		"hybridClusters":    s.idx.NumClusters(),
-		"updatesSinceBuild": s.idx.UpdatesSinceBuild(),
+		"objects":           snap.Len(),
+		"hybridClusters":    snap.NumClusters(),
+		"updatesSinceBuild": snap.UpdatesSinceBuild(),
 	})
 }
 
 // buildQuery turns a request into a query object, encoding text when no
 // vector is given.
-func (s *Server) buildQuery(req *queryRequest) (*cssi.Object, error) {
+func (s *Server) buildQuery(snap *cssi.Index, req *queryRequest) (*cssi.Object, error) {
 	vec := req.Vec
 	if vec == nil {
 		if req.Text == "" {
@@ -131,8 +135,8 @@ func (s *Server) buildQuery(req *queryRequest) (*cssi.Object, error) {
 	}
 	// Reject wrong-length vectors here so a malformed request becomes a
 	// 400 instead of a panic inside the search hot path.
-	if len(vec) != s.idx.Dim() {
-		return nil, fmt.Errorf("vector dim %d, index expects %d", len(vec), s.idx.Dim())
+	if len(vec) != snap.Dim() {
+		return nil, fmt.Errorf("vector dim %d, index expects %d", len(vec), snap.Dim())
 	}
 	return &cssi.Object{ID: 1<<32 - 1, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
 }
@@ -149,21 +153,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
-	q, err := s.buildQuery(&req)
+	// One snapshot per request: the search and the metadata decoration
+	// below see the same immutable index state, with no lock held.
+	snap := s.idx.Snapshot()
+	q, err := s.buildQuery(snap, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var st cssi.Stats
 	var rs []cssi.Result
 	if req.Approx {
-		rs = s.idx.SearchApproxStats(q, req.K, req.Lambda, &st)
+		rs = snap.SearchApproxStats(q, req.K, req.Lambda, &st)
 	} else {
-		rs = s.idx.SearchStats(q, req.K, req.Lambda, &st)
+		rs = snap.SearchStats(q, req.K, req.Lambda, &st)
 	}
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
 }
 
 // batchRequest is the body of /search/batch: shared k/lambda/approx and
@@ -217,22 +222,21 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if maxW := runtime.GOMAXPROCS(0); req.Workers > maxW {
 		req.Workers = maxW
 	}
+	snap := s.idx.Snapshot()
 	queries := make([]cssi.Object, len(req.Queries))
 	for i := range req.Queries {
-		q, err := s.buildQuery(&req.Queries[i])
+		q, err := s.buildQuery(snap, &req.Queries[i])
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 			return
 		}
 		queries[i] = *q
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var st cssi.Stats
-	batches := s.idx.BatchSearch(queries, req.K, req.Lambda, req.Approx, req.Workers, &st)
+	batches := snap.BatchSearch(queries, req.K, req.Lambda, req.Approx, req.Workers, &st)
 	resp := batchResponse{Results: make([][]resultItem, len(batches)), Visited: st.VisitedObjects}
 	for i, rs := range batches {
-		resp.Results[i] = s.respond(rs, &st).Results
+		resp.Results[i] = respond(snap, rs, &st).Results
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -253,20 +257,19 @@ func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "keywords required")
 		return
 	}
-	q, err := s.buildQuery(&req)
+	snap := s.idx.Snapshot()
+	q, err := s.buildQuery(snap, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rs, ok := s.idx.SearchWithKeywords(q, req.K, req.Lambda, req.Keywords...)
+	rs, ok := snap.SearchWithKeywords(q, req.K, req.Lambda, req.Keywords...)
 	if !ok {
 		writeError(w, http.StatusBadRequest, "keywords unusable (stop words only?)")
 		return
 	}
 	var st cssi.Stats
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -282,16 +285,15 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
-	q, err := s.buildQuery(&req)
+	snap := s.idx.Snapshot()
+	q, err := s.buildQuery(snap, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var st cssi.Stats
-	rs := s.idx.RangeSearchStats(q, req.Radius, req.Lambda, &st)
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	rs := snap.RangeSearchStats(q, req.Radius, req.Lambda, &st)
+	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
 }
 
 func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
@@ -306,25 +308,24 @@ func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "inverted window")
 		return
 	}
-	q, err := s.buildQuery(&req)
+	snap := s.idx.Snapshot()
+	q, err := s.buildQuery(snap, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var st cssi.Stats
-	rs := s.idx.SearchInBoxStats(q, req.LoX, req.LoY, req.HiX, req.HiY, req.K, &st)
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	rs := snap.SearchInBoxStats(q, req.LoX, req.LoY, req.HiX, req.HiY, req.K, &st)
+	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
 }
 
-// respond decorates results with object metadata (caller must hold at
-// least the read lock).
-func (s *Server) respond(rs []cssi.Result, st *cssi.Stats) queryResponse {
+// respond decorates results with object metadata from the snapshot the
+// results were computed on, so IDs always resolve consistently.
+func respond(snap *cssi.Index, rs []cssi.Result, st *cssi.Stats) queryResponse {
 	resp := queryResponse{Results: make([]resultItem, len(rs)), Visited: st.VisitedObjects}
 	for i, r := range rs {
 		item := resultItem{ID: r.ID, Dist: r.Dist}
-		if o, ok := s.idx.Object(r.ID); ok {
+		if o, ok := snap.Object(r.ID); ok {
 			item.X, item.Y, item.Text = o.X, o.Y, o.Text
 		}
 		resp.Results[i] = item
@@ -353,8 +354,8 @@ func (s *Server) buildObject(req *objectRequest) (cssi.Object, error) {
 		}
 		vec = v
 	}
-	if len(vec) != s.idx.Dim() {
-		return cssi.Object{}, fmt.Errorf("vector dim %d, index expects %d", len(vec), s.idx.Dim())
+	if dim := s.idx.Snapshot().Dim(); len(vec) != dim {
+		return cssi.Object{}, fmt.Errorf("vector dim %d, index expects %d", len(vec), dim)
 	}
 	return cssi.Object{ID: req.ID, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
 }
@@ -369,9 +370,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
 	err = s.idx.Insert(o)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
@@ -389,9 +388,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
 	err = s.idx.Update(o)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -406,14 +403,36 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing or invalid id")
 		return
 	}
-	s.mu.Lock()
 	err = s.idx.Delete(uint32(id))
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]uint64{"deleted": id})
+}
+
+// handleRebuild starts a background rebuild (non-blocking: readers and
+// writers stay available throughout; mutations landing mid-rebuild are
+// replayed before the fresh index is published). With ?wait=1 the
+// response is deferred until the rebuild completes.
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	done, err := s.idx.RebuildInBackground()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "rebuilding"})
+		return
+	}
+	if err := <-done; err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "rebuilt",
+		"objects": s.idx.Len(),
+	})
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {

@@ -249,6 +249,55 @@ func TestObjectLifecycle(t *testing.T) {
 	}
 }
 
+// POST /rebuild?wait=1 rebuilds in the background and, with wait,
+// reports completion; searches issued before, during, and after must
+// keep succeeding against consistent snapshots.
+func TestRebuildEndpoint(t *testing.T) {
+	ts, ds := newTestServer(t)
+	// Mutate first so the rebuild has deletions to compact away.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/objects?id="+
+		fmt.Sprint(ds.Objects[0].ID), nil)
+	r0, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Body.Close()
+	if r0.StatusCode != http.StatusOK {
+		t.Fatalf("pre-rebuild delete status %d", r0.StatusCode)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/rebuild?wait=1", map[string]interface{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebuild status %d", resp.StatusCode)
+	}
+	var status string
+	if err := json.Unmarshal(body["status"], &status); err != nil || status != "rebuilt" {
+		t.Fatalf("rebuild response %v (err %v)", body, err)
+	}
+	var n int
+	if err := json.Unmarshal(body["objects"], &n); err != nil || n != ds.Len()-1 {
+		t.Fatalf("post-rebuild object count %d, want %d", n, ds.Len()-1)
+	}
+
+	// Searches on the rebuilt index still work.
+	q := ds.Objects[1]
+	resp, _ = postJSON(t, ts.URL+"/search", map[string]interface{}{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": 3, "lambda": 0.5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rebuild search status %d", resp.StatusCode)
+	}
+
+	// Without wait the endpoint acknowledges asynchronously.
+	resp, body = postJSON(t, ts.URL+"/rebuild", map[string]interface{}{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async rebuild status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body["status"], &status); err != nil || status != "rebuilding" {
+		t.Fatalf("async rebuild response %v (err %v)", body, err)
+	}
+}
+
 // Concurrent reads and writes must not race (run with -race).
 func TestConcurrentReadWrite(t *testing.T) {
 	ts, ds := newTestServer(t)

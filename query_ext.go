@@ -41,7 +41,9 @@ func (x *Index) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k int, s
 
 // BatchSearch answers many k-NN queries concurrently (the parallel
 // query-processing direction of the paper's conclusion). Results are
-// returned in query order; parallelism ≤ 0 selects GOMAXPROCS. approx
+// returned in query order; parallelism ≤ 0 selects GOMAXPROCS, and any
+// larger request is clamped to GOMAXPROCS — callers cannot spawn more
+// runnable goroutines than the scheduler has processors. approx
 // selects CSSIA instead of CSSI. If st is non-nil it receives the summed
 // work counters of all queries. Each worker of the pool reuses one
 // pooled search scratch for its whole share, so large batches run
