@@ -150,7 +150,9 @@ func BenchmarkSearchBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				e.idx.SearchBatch(queries, benchK, benchLambda, workers, false, nil)
+				if _, err := e.idx.SearchBatch(queries, benchK, benchLambda, workers, false, nil); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

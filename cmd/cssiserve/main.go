@@ -1,11 +1,18 @@
 // Command cssiserve runs the CSSI/CSSIA index as an HTTP similarity-
 // search service. It either generates a synthetic dataset and builds a
-// fresh index, or loads a previously saved index file.
+// fresh index, or loads a previously saved one.
 //
 //	cssiserve -addr :8080 -kind twitter -size 20000          # fresh
-//	cssiserve -addr :8080 -index saved.idx                   # from disk
+//	cssiserve -addr :8080 -size 20000 -shards 8              # fresh, sharded
+//	cssiserve -addr :8080 -index saved.idx                   # single-index file
+//	cssiserve -addr :8080 -index saved.d/                    # sharded directory
 //
-// See internal/server for the JSON API.
+// With -shards N the index is hash-partitioned across N goroutine-owned
+// shards: reads scatter/gather (exact results identical to unsharded),
+// writes route to one shard and pay only that shard's copy-on-write
+// cost. -index accepts both a single-index file (served as one shard)
+// and a directory written by -save with -shards > 1. See
+// internal/server for the JSON API, including GET /metrics.
 package main
 
 import (
@@ -13,7 +20,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"time"
 
 	"repro"
@@ -28,27 +34,24 @@ func main() {
 		size      = flag.Int("size", 20000, "dataset size when generating")
 		dim       = flag.Int("dim", 100, "embedding dimensionality when generating")
 		seed      = flag.Uint64("seed", 1, "random seed")
-		indexPath = flag.String("index", "", "load a saved index instead of generating")
-		savePath  = flag.String("save", "", "after building, save the index to this file")
+		shards    = flag.Int("shards", 1, "shard count when building (a loaded index keeps its stored shard count)")
+		indexPath = flag.String("index", "", "load a saved index (file or sharded directory) instead of generating")
+		savePath  = flag.String("save", "", "after building, save the index here (a directory when -shards > 1)")
 	)
 	flag.Parse()
 
 	var (
-		idx   *cssi.Index
+		idx   *cssi.ShardedIndex
 		model *embed.Model
 		err   error
 	)
 	if *indexPath != "" {
-		f, err := os.Open(*indexPath)
-		if err != nil {
-			log.Fatalf("cssiserve: %v", err)
-		}
-		idx, err = cssi.LoadIndex(f)
-		f.Close()
+		idx, err = cssi.LoadSharded(*indexPath)
 		if err != nil {
 			log.Fatalf("cssiserve: load: %v", err)
 		}
-		log.Printf("loaded index: %d objects, %d hybrid clusters", idx.Len(), idx.NumClusters())
+		log.Printf("loaded index: %d objects, %d hybrid clusters, %d shard(s)",
+			idx.Len(), idx.NumClusters(), idx.NumShards())
 	} else {
 		var k cssi.DatasetKind
 		switch *kind {
@@ -65,28 +68,26 @@ func main() {
 		}
 		model = ds.Model
 		start := time.Now()
-		idx, err = cssi.Build(ds, cssi.Options{Seed: *seed})
+		idx, err = cssi.BuildSharded(ds, *shards, cssi.Options{Seed: *seed})
 		if err != nil {
 			log.Fatalf("cssiserve: build: %v", err)
 		}
-		log.Printf("built index over %d objects (%d hybrid clusters) in %v",
-			idx.Len(), idx.NumClusters(), time.Since(start).Round(time.Millisecond))
+		log.Printf("built index over %d objects (%d hybrid clusters, %d shard(s)) in %v",
+			idx.Len(), idx.NumClusters(), idx.NumShards(), time.Since(start).Round(time.Millisecond))
 	}
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			log.Fatalf("cssiserve: %v", err)
-		}
-		if err := idx.Save(f); err != nil {
+		// SaveDir writes the manifest + per-shard layout; for one shard
+		// that is still loadable (and LoadSharded also reads legacy
+		// single-index files saved by older builds).
+		if err := idx.SaveDir(*savePath); err != nil {
 			log.Fatalf("cssiserve: save: %v", err)
 		}
-		f.Close()
 		log.Printf("saved index to %s", *savePath)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(idx, model).Handler(),
+		Handler:           server.NewSharded(idx, model).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("cssiserve listening on %s\n", *addr)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ConcurrentIndex serves searches and maintenance from many goroutines
@@ -40,6 +41,11 @@ import (
 type ConcurrentIndex struct {
 	cur atomic.Pointer[Index]
 
+	// publishedNS is the wall-clock (UnixNano) instant of the last
+	// snapshot publication — written together with every cur.Store and
+	// read lock-free by SnapshotAge (the /metrics "snapshot age" gauge).
+	publishedNS atomic.Int64
+
 	// mu serializes writers: clone → mutate → publish, and the
 	// rebuild-completion replay. Readers never touch it.
 	mu sync.Mutex
@@ -55,13 +61,31 @@ type ConcurrentIndex struct {
 // background rebuild is still running.
 var ErrRebuildInProgress = errors.New("cssi: rebuild already in progress")
 
+// ErrInvalidK is returned by the batched read entry points when the
+// requested neighbor count is not positive.
+var ErrInvalidK = errors.New("cssi: k must be >= 1")
+
 // Concurrent wraps idx. The wrapped Index must not be mutated directly
 // afterwards — all writes must go through the wrapper. (Read-only use
 // of idx itself remains safe: published snapshots are immutable.)
 func Concurrent(idx *Index) *ConcurrentIndex {
 	c := &ConcurrentIndex{}
-	c.cur.Store(idx)
+	c.publish(idx)
 	return c
+}
+
+// publish installs idx as the current snapshot and stamps the
+// publication instant. Callers that mutate must hold c.mu; the initial
+// Concurrent call has no readers yet.
+func (c *ConcurrentIndex) publish(idx *Index) {
+	c.cur.Store(idx)
+	c.publishedNS.Store(time.Now().UnixNano())
+}
+
+// SnapshotAge returns how long ago the current snapshot was published —
+// near zero under write traffic, growing on an idle or read-only index.
+func (c *ConcurrentIndex) SnapshotAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.publishedNS.Load())
 }
 
 // Snapshot returns the currently published index. The snapshot is
@@ -98,14 +122,23 @@ func (c *ConcurrentIndex) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k i
 
 // SearchBatch is Index.SearchBatch against the current snapshot: the
 // whole batch runs to completion against the one snapshot it loaded,
-// even while writers publish newer ones concurrently.
-func (c *ConcurrentIndex) SearchBatch(queries []Object, k int, lambda float64) [][]Result {
-	return c.cur.Load().SearchBatch(queries, k, lambda)
+// even while writers publish newer ones concurrently. An empty batch
+// returns an empty result without spinning up workers; k <= 0 returns
+// ErrInvalidK instead of silently producing empty per-query slices.
+func (c *ConcurrentIndex) SearchBatch(queries []Object, k int, lambda float64) ([][]Result, error) {
+	return c.BatchSearch(queries, k, lambda, false, 0, nil)
 }
 
-// BatchSearch is Index.BatchSearch against the current snapshot.
-func (c *ConcurrentIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) [][]Result {
-	return c.cur.Load().BatchSearch(queries, k, lambda, approx, parallelism, st)
+// BatchSearch is Index.BatchSearch against the current snapshot, with
+// the same empty-batch and invalid-k handling as SearchBatch.
+func (c *ConcurrentIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) ([][]Result, error) {
+	if k < 1 {
+		return nil, ErrInvalidK
+	}
+	if len(queries) == 0 {
+		return [][]Result{}, nil
+	}
+	return c.cur.Load().BatchSearch(queries, k, lambda, approx, parallelism, st), nil
 }
 
 // Len returns the live object count of the current snapshot.
@@ -171,7 +204,7 @@ func (c *ConcurrentIndex) apply(ops ...Op) error {
 			return err
 		}
 	}
-	c.cur.Store(next)
+	c.publish(next)
 	if c.rebuildActive {
 		c.rebuildLog = append(c.rebuildLog, ops...)
 	}
@@ -208,6 +241,34 @@ func (c *ConcurrentIndex) ApplyBatch(ops []Op) error {
 	return c.apply(ops...)
 }
 
+// EnableKeywordFilter publishes a snapshot with the inverted keyword
+// index built (see Index.EnableKeywordFilter), after which
+// SearchWithKeywords works on every later snapshot: writes keep the
+// filter in sync, and rebuilds reconstruct it. A no-op when the filter
+// is already enabled.
+func (c *ConcurrentIndex) EnableKeywordFilter() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur.Load().KeywordFilterEnabled() {
+		return
+	}
+	next := c.cur.Load().cloneForWrite()
+	next.EnableKeywordFilter()
+	c.publish(next)
+}
+
+// KeywordFilterEnabled reports whether the current snapshot carries the
+// keyword filter.
+func (c *ConcurrentIndex) KeywordFilterEnabled() bool {
+	return c.cur.Load().KeywordFilterEnabled()
+}
+
+// SearchWithKeywords is Index.SearchWithKeywords against the current
+// snapshot (lock-free).
+func (c *ConcurrentIndex) SearchWithKeywords(q *Object, k int, lambda float64, keywords ...string) ([]Result, bool) {
+	return c.cur.Load().SearchWithKeywords(q, k, lambda, keywords...)
+}
+
 // Rebuild reconstructs the index from scratch over the live objects
 // (§6.2) and publishes the result. Unlike the RWMutex-era Rebuild, it
 // never stalls readers: they keep searching the old snapshot for the
@@ -224,7 +285,7 @@ func (c *ConcurrentIndex) Rebuild() error {
 	if err != nil {
 		return err
 	}
-	c.cur.Store(fresh)
+	c.publish(fresh)
 	return nil
 }
 
@@ -271,7 +332,14 @@ func (c *ConcurrentIndex) RebuildInBackground() (<-chan error, error) {
 			}
 		}
 		if err == nil {
-			c.cur.Store(fresh)
+			// A keyword filter enabled mid-rebuild exists on the current
+			// snapshot but not on fresh (which was rebuilt from the
+			// pre-enable base); build it before publishing so the
+			// capability never silently disappears.
+			if !fresh.KeywordFilterEnabled() && c.cur.Load().KeywordFilterEnabled() {
+				fresh.EnableKeywordFilter()
+			}
+			c.publish(fresh)
 		}
 		done <- err
 	}()

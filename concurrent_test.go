@@ -57,6 +57,42 @@ func TestConcurrentIndexMixedWorkload(t *testing.T) {
 	}
 }
 
+// Batched entry points must validate their inputs before any worker
+// spins up: an empty batch is answered inline, and a non-positive k is
+// an error rather than k silently-empty result sets (or a worker panic).
+func TestBatchSearchInputValidation(t *testing.T) {
+	ds := testDataset(t, 200)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 5}))
+	queries := ds.SampleQueries(4, 2)
+
+	if got, err := c.SearchBatch(nil, 5, 0.5); err != nil || got == nil || len(got) != 0 {
+		t.Fatalf("empty batch: got %v, err %v", got, err)
+	}
+	if got, err := c.BatchSearch([]Object{}, 5, 0.5, true, 2, nil); err != nil || got == nil || len(got) != 0 {
+		t.Fatalf("empty BatchSearch: got %v, err %v", got, err)
+	}
+	for _, k := range []int{0, -3} {
+		if _, err := c.SearchBatch(queries, k, 0.5); err != ErrInvalidK {
+			t.Fatalf("k=%d: err %v, want ErrInvalidK", k, err)
+		}
+		if _, err := c.BatchSearch(queries, k, 0.5, false, 0, nil); err != ErrInvalidK {
+			t.Fatalf("k=%d BatchSearch: err %v, want ErrInvalidK", k, err)
+		}
+	}
+	// The core entry point agrees (no worker pool is started either way).
+	if out, err := c.Snapshot().core.SearchBatch(nil, 3, 0.5, 0, false, nil); err != nil || len(out) != 0 {
+		t.Fatalf("core empty batch: %v, err %v", out, err)
+	}
+	if _, err := c.Snapshot().core.SearchBatch(nil, 0, 0.5, 0, false, nil); err == nil {
+		t.Fatal("core accepted k=0")
+	}
+	// Valid input still works.
+	got, err := c.SearchBatch(queries, 3, 0.5)
+	if err != nil || len(got) != len(queries) {
+		t.Fatalf("valid batch: %d sets, err %v", len(got), err)
+	}
+}
+
 func TestConcurrentObjectCopy(t *testing.T) {
 	ds := testDataset(t, 100)
 	c := Concurrent(mustBuild(t, ds, Options{Seed: 32}))
@@ -155,14 +191,21 @@ func TestConcurrentBatchStress(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
 				if g%2 == 0 {
-					got := c.SearchBatch(queries, 5, 0.5)
+					got, err := c.SearchBatch(queries, 5, 0.5)
+					if err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
 					if len(got) != len(queries) {
 						t.Errorf("batch returned %d sets", len(got))
 						return
 					}
 				} else {
 					var st Stats
-					c.BatchSearch(queries, 5, 0.5, true, 1+i%4, &st)
+					if _, err := c.BatchSearch(queries, 5, 0.5, true, 1+i%4, &st); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
 					if st.VisitedObjects == 0 {
 						t.Error("batch stats not accumulated")
 						return
@@ -217,7 +260,10 @@ func TestConcurrentBatchStress(t *testing.T) {
 	wg.Wait()
 	// The index must still be coherent: a batch against the final state
 	// agrees with sequential search.
-	final := c.SearchBatch(queries, 5, 0.5)
+	final, err := c.SearchBatch(queries, 5, 0.5)
+	if err != nil {
+		t.Fatalf("final batch: %v", err)
+	}
 	for qi := range queries {
 		seq := c.Search(&queries[qi], 5, 0.5)
 		for i := range seq {
@@ -436,8 +482,8 @@ func TestConcurrentRebuildStress(t *testing.T) {
 					t.Errorf("search returned %d", len(got))
 					return
 				}
-				if got := c.SearchBatch(queries, 3, 0.5); len(got) != len(queries) {
-					t.Errorf("batch returned %d sets", len(got))
+				if got, err := c.SearchBatch(queries, 3, 0.5); err != nil || len(got) != len(queries) {
+					t.Errorf("batch returned %d sets (err %v)", len(got), err)
 					return
 				}
 			}

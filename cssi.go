@@ -109,6 +109,22 @@ type Index struct {
 	kw *keyword.Filter
 }
 
+// coreConfig translates the public options into the internal build
+// configuration (shared by Build and the per-shard builds of
+// BuildSharded).
+func (o Options) coreConfig() core.Config {
+	method := pca.Randomized
+	if o.ExactPCA {
+		method = pca.Exact
+	}
+	return core.Config{
+		Ks: o.Ks, Kt: o.Kt, F: o.F, M: o.M,
+		SampleFraction: o.SampleFraction,
+		PCAMethod:      method,
+		Seed:           o.Seed,
+	}
+}
+
 // Build constructs a CSSI/CSSIA index over the dataset (paper Alg. 1).
 func Build(ds *Dataset, opts Options) (*Index, error) {
 	if ds == nil || ds.Len() == 0 {
@@ -122,16 +138,7 @@ func Build(ds *Dataset, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	method := pca.Randomized
-	if opts.ExactPCA {
-		method = pca.Exact
-	}
-	c, err := core.Build(ds, space, core.Config{
-		Ks: opts.Ks, Kt: opts.Kt, F: opts.F, M: opts.M,
-		SampleFraction: opts.SampleFraction,
-		PCAMethod:      method,
-		Seed:           opts.Seed,
-	})
+	c, err := core.Build(ds, space, opts.coreConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -19,10 +19,18 @@ import (
 // never contends on st. Queries are drawn from a shared atomic cursor,
 // which load-balances skewed per-query costs better than static
 // chunking.
-func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, workers int, approx bool, st *metric.Stats) [][]knn.Result {
+//
+// An empty batch returns an empty (non-nil) result without spinning up
+// any worker; k <= 0 is rejected with an error rather than panicking
+// inside a worker (knn.Heap would otherwise reject it k times, once per
+// query, deep in the pool).
+func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, workers int, approx bool, st *metric.Stats) ([][]knn.Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: batch k = %d, want >= 1", k)
+	}
 	out := make([][]knn.Result, len(queries))
 	if len(queries) == 0 {
-		return out
+		return out, nil
 	}
 	// Reject malformed queries before any worker starts: a panic inside a
 	// worker goroutine would not be recoverable by the caller (net/http
@@ -93,5 +101,5 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 			st.Add(&stats[i])
 		}
 	}
-	return out
+	return out, nil
 }

@@ -121,12 +121,34 @@ func (x *Index) Search(q *dataset.Object, k int, lambda float64, st *metric.Stat
 // the index's scratch pool.
 func (x *Index) SearchInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
 	sc := x.getScratch()
-	out := x.searchWith(sc, dst, q, k, lambda, st)
+	out := x.searchWithSeed(sc, dst, nil, q, k, lambda, st)
+	x.putScratch(sc)
+	return out
+}
+
+// SearchSeededInto is SearchInto with the k-NN heap pre-loaded from
+// seed before any cluster is examined. The seed entries must be real
+// candidates whose distances are comparable to this index's (same
+// metric space normalizers) and must not duplicate any object stored
+// here. The returned list is the exact top-k of seed ∪ this index's
+// objects — which is what lets a sequential scan over disjoint
+// partitions chain the call shard to shard, carrying the pruning bound
+// forward: each shard starts with the tightest bound discovered so far
+// instead of re-deriving one from scratch, so the partitioned scan
+// does the same total pruning work as one flat index. dst and seed
+// must not share storage.
+func (x *Index) SearchSeededInto(dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchWithSeed(sc, dst, seed, q, k, lambda, st)
 	x.putScratch(sc)
 	return out
 }
 
 func (x *Index) searchWith(sc *searchScratch, dst []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
+	return x.searchWithSeed(sc, dst, nil, q, k, lambda, st)
+}
+
+func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
 	// The scratch may be reused across queries by a SearchBatch worker;
 	// the cluster order is rebuilt from empty each time.
 	sc.order = sc.order[:0]
@@ -165,6 +187,9 @@ func (x *Index) searchWith(sc *searchScratch, dst []knn.Result, q *dataset.Objec
 
 	h := &sc.heap
 	h.Reset(k)
+	for _, r := range seed {
+		h.Push(r)
+	}
 	for ci := range sc.order {
 		oc := &sc.order[ci]
 		if u, full := h.Bound(); full && oc.lb >= u {

@@ -53,7 +53,10 @@ func TestCoreSearchBatchMatchesSequential(t *testing.T) {
 		}
 		for _, workers := range []int{1, 3, 0} {
 			var st metric.Stats
-			batch := f.idx.SearchBatch(queries, 8, 0.5, workers, approx, &st)
+			batch, err := f.idx.SearchBatch(queries, 8, 0.5, workers, approx, &st)
+			if err != nil {
+				t.Fatalf("approx=%v workers=%d: %v", approx, workers, err)
+			}
 			if len(batch) != len(queries) {
 				t.Fatalf("approx=%v workers=%d: %d result sets", approx, workers, len(batch))
 			}

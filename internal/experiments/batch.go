@@ -58,7 +58,9 @@ func Batch(s Setup) ([]Table, error) {
 		for workers := 1; workers <= maxWorkers; workers *= 2 {
 			var st metric.Stats
 			start := time.Now()
-			e.idx.SearchBatch(queries, s.K, s.Lambda, workers, approx, &st)
+			if _, err := e.idx.SearchBatch(queries, s.K, s.Lambda, workers, approx, &st); err != nil {
+				return nil, err
+			}
 			ms := msSince(start)
 			t.Rows = append(t.Rows, batchRow(name+" batch", workers, ms, base, len(queries), &st))
 		}

@@ -66,15 +66,29 @@ func (h *Heap) Bound() (float64, bool) {
 	return h.items[0].Dist, true
 }
 
+// worse orders candidates by descending quality: larger distance is
+// worse, and on exact distance ties the larger ID is worse. Breaking
+// ties by ID makes the kept set a pure function of the candidate set —
+// independent of arrival order — which is what lets a sharded index
+// chain or merge per-partition heaps and still reproduce the flat
+// index's results bit-for-bit.
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
 // Push offers a candidate. It returns true if the candidate was kept
-// (i.e., the heap was not full or the candidate beat the current worst).
+// (i.e., the heap was not full or the candidate beat the current
+// worst, ties broken by ascending ID).
 func (h *Heap) Push(r Result) bool {
 	if len(h.items) < h.k {
 		h.items = append(h.items, r)
 		h.siftUp(len(h.items) - 1)
 		return true
 	}
-	if r.Dist >= h.items[0].Dist {
+	if !worse(h.items[0], r) {
 		return false
 	}
 	h.items[0] = r
@@ -86,7 +100,7 @@ func (h *Heap) siftUp(i int) {
 	items := h.items
 	for i > 0 {
 		p := (i - 1) / 2
-		if items[p].Dist >= items[i].Dist {
+		if !worse(items[i], items[p]) {
 			break
 		}
 		items[p], items[i] = items[i], items[p]
@@ -103,10 +117,10 @@ func (h *Heap) siftDown(i int) {
 			break
 		}
 		big := l
-		if r := l + 1; r < n && items[r].Dist > items[l].Dist {
+		if r := l + 1; r < n && worse(items[r], items[l]) {
 			big = r
 		}
-		if items[i].Dist >= items[big].Dist {
+		if !worse(items[big], items[i]) {
 			break
 		}
 		items[i], items[big] = items[big], items[i]

@@ -1,0 +1,84 @@
+package knn
+
+// Less reports whether a orders strictly before b under the repository's
+// canonical result order: ascending distance, ties broken by ascending
+// ID. Every sorted result list (Heap.AppendSorted, SortResults, the
+// sharded gather merge) agrees with this comparator.
+func Less(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// MergeSorted k-way-merges the given result lists — each already sorted
+// by (ascending distance, ascending ID), as produced by Heap.AppendSorted
+// — into dst, keeping at most k results (k < 0 keeps everything). The
+// output order is the same canonical order, so merging the per-shard
+// top-k lists of a scatter/gather search reproduces exactly the sorted
+// global top-k, including deterministic ID tie-breaks.
+//
+// The merge runs over a small binary heap of list cursors, costing
+// O(out · log len(lists)) comparisons and allocating only when dst lacks
+// capacity; pass dst[:0] of a retained buffer for allocation-free reuse.
+func MergeSorted(dst []Result, lists [][]Result, k int) []Result {
+	// Cursor heap: cur[i] indexes into lists[order[h]]… represented as a
+	// slice of (list, pos) pairs ordered by the head result.
+	type cursor struct {
+		list int
+		pos  int
+	}
+	heads := make([]cursor, 0, len(lists))
+	head := func(c cursor) Result { return lists[c.list][c.pos] }
+	less := func(a, b cursor) bool {
+		ra, rb := head(a), head(b)
+		if ra.Dist != rb.Dist {
+			return ra.Dist < rb.Dist
+		}
+		if ra.ID != rb.ID {
+			return ra.ID < rb.ID
+		}
+		return a.list < b.list // stable for identical (Dist, ID) pairs
+	}
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(heads) {
+				return
+			}
+			small := l
+			if r := l + 1; r < len(heads) && less(heads[r], heads[l]) {
+				small = r
+			}
+			if !less(heads[small], heads[i]) {
+				return
+			}
+			heads[i], heads[small] = heads[small], heads[i]
+			i = small
+		}
+	}
+	for li := range lists {
+		if len(lists[li]) > 0 {
+			heads = append(heads, cursor{list: li})
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	base := len(dst)
+	for len(heads) > 0 {
+		if k >= 0 && len(dst)-base >= k {
+			break
+		}
+		c := heads[0]
+		dst = append(dst, head(c))
+		if c.pos+1 < len(lists[c.list]) {
+			heads[0].pos++
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		siftDown(0)
+	}
+	return dst
+}

@@ -1,0 +1,77 @@
+package knn
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMergeSortedMatchesGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		nLists := 1 + rng.IntN(8)
+		lists := make([][]Result, nLists)
+		var all []Result
+		id := uint32(0)
+		for li := range lists {
+			n := rng.IntN(12)
+			for j := 0; j < n; j++ {
+				// Quantized distances force plenty of cross-list ties.
+				r := Result{ID: id, Dist: float64(rng.IntN(6)) / 4}
+				id++
+				lists[li] = append(lists[li], r)
+				all = append(all, r)
+			}
+			SortResults(lists[li])
+		}
+		SortResults(all)
+		for _, k := range []int{-1, 0, 1, 3, len(all), len(all) + 5} {
+			got := MergeSorted(nil, lists, k)
+			want := all
+			if k >= 0 && k < len(want) {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d results, want %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d result %d: %+v, want %+v", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSortedAppendsToDst(t *testing.T) {
+	lists := [][]Result{
+		{{ID: 1, Dist: 0.1}, {ID: 3, Dist: 0.3}},
+		{{ID: 2, Dist: 0.2}},
+	}
+	dst := []Result{{ID: 99, Dist: 9}}
+	got := MergeSorted(dst, lists, 2)
+	if len(got) != 3 || got[0].ID != 99 || got[1].ID != 1 || got[2].ID != 2 {
+		t.Fatalf("append-to-dst merge wrong: %+v", got)
+	}
+}
+
+func TestMergeSortedTieBreaksByID(t *testing.T) {
+	lists := [][]Result{
+		{{ID: 7, Dist: 0.5}},
+		{{ID: 3, Dist: 0.5}},
+		{{ID: 5, Dist: 0.5}},
+	}
+	got := MergeSorted(nil, lists, -1)
+	if got[0].ID != 3 || got[1].ID != 5 || got[2].ID != 7 {
+		t.Fatalf("tie-break order wrong: %+v", got)
+	}
+}
+
+func TestLessAgreesWithSortResults(t *testing.T) {
+	rs := []Result{{ID: 2, Dist: 0.5}, {ID: 1, Dist: 0.5}, {ID: 9, Dist: 0.1}}
+	SortResults(rs)
+	for i := 1; i < len(rs); i++ {
+		if Less(rs[i], rs[i-1]) {
+			t.Fatalf("SortResults order disagrees with Less at %d: %+v", i, rs)
+		}
+	}
+}

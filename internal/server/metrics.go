@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// metrics is a minimal, dependency-free Prometheus-style registry for
+// the handful of series the server exposes: per-endpoint request and
+// error counters, one latency histogram over the query endpoints, and
+// per-shard gauges sampled at scrape time. Everything on the request
+// path is a plain atomic increment — no locks, no allocation — so
+// instrumentation cost is invisible next to a search.
+type metrics struct {
+	mu        sync.Mutex // guards the endpoint map's shape (values are atomic)
+	endpoints map[string]*endpointCounters
+
+	latency latencyHistogram
+}
+
+type endpointCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// latencyBuckets are the histogram's upper bounds in seconds, spanning
+// sub-100µs cache-warm searches to second-scale cold batches. The
+// +Inf bucket is implicit (the _count series).
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+const numLatencyBuckets = 14
+
+type latencyHistogram struct {
+	counts  [numLatencyBuckets]atomic.Int64 // per-bucket (non-cumulative) counts
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, updated by CAS
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	// Linear scan: 14 comparisons worst case, branch-predicted, cheaper
+	// than anything clever at this bucket count.
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sec)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointCounters)}
+}
+
+// counters returns (registering on first use) the counter pair for an
+// endpoint label.
+func (m *metrics) counters(endpoint string) *endpointCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.endpoints[endpoint]
+	if !ok {
+		c = &endpointCounters{}
+		m.endpoints[endpoint] = c
+	}
+	return c
+}
+
+// statusRecorder captures the response status so the middleware can
+// count 4xx/5xx responses as errors.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with request/error counting under the
+// given endpoint label; observeLatency additionally records the
+// handler's wall time into the search latency histogram (set it for
+// the query endpoints only — mutations and probes would pollute the
+// search distribution).
+func (m *metrics) instrument(endpoint string, observeLatency bool, h http.HandlerFunc) http.HandlerFunc {
+	c := m.counters(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		if observeLatency {
+			m.latency.observe(time.Since(start))
+		}
+		if rec.status >= 400 {
+			c.errors.Add(1)
+		}
+	}
+}
+
+// handler serves the Prometheus text exposition format (version 0.0.4)
+// with only the standard library. sampler supplies the per-shard
+// gauges, read fresh at every scrape.
+func (m *metrics) handler(sampler func() []cssi.ShardStat) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+
+		b.WriteString("# HELP cssi_http_requests_total HTTP requests received, by endpoint.\n")
+		b.WriteString("# TYPE cssi_http_requests_total counter\n")
+		m.writeEndpointCounters(&b, "cssi_http_requests_total", func(c *endpointCounters) int64 { return c.requests.Load() })
+		b.WriteString("# HELP cssi_http_request_errors_total HTTP responses with status >= 400, by endpoint.\n")
+		b.WriteString("# TYPE cssi_http_request_errors_total counter\n")
+		m.writeEndpointCounters(&b, "cssi_http_request_errors_total", func(c *endpointCounters) int64 { return c.errors.Load() })
+
+		b.WriteString("# HELP cssi_search_latency_seconds Wall time of query endpoint requests.\n")
+		b.WriteString("# TYPE cssi_search_latency_seconds histogram\n")
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += m.latency.counts[i].Load()
+			fmt.Fprintf(&b, "cssi_search_latency_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
+		}
+		total := m.latency.count.Load()
+		fmt.Fprintf(&b, "cssi_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", total)
+		fmt.Fprintf(&b, "cssi_search_latency_seconds_sum %g\n", math.Float64frombits(m.latency.sumBits.Load()))
+		fmt.Fprintf(&b, "cssi_search_latency_seconds_count %d\n", total)
+
+		stats := sampler()
+		b.WriteString("# HELP cssi_shard_objects Live objects per shard.\n")
+		b.WriteString("# TYPE cssi_shard_objects gauge\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "cssi_shard_objects{shard=\"%d\"} %d\n", st.Shard, st.Objects)
+		}
+		b.WriteString("# HELP cssi_shard_snapshot_age_seconds Seconds since the shard last published a snapshot.\n")
+		b.WriteString("# TYPE cssi_shard_snapshot_age_seconds gauge\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "cssi_shard_snapshot_age_seconds{shard=\"%d\"} %g\n", st.Shard, st.SnapshotAge.Seconds())
+		}
+
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(b.String()))
+	}
+}
+
+// writeEndpointCounters emits one series per endpoint in sorted label
+// order (Prometheus does not require it, but deterministic output makes
+// the endpoint scrapeable by tests).
+func (m *metrics) writeEndpointCounters(b *strings.Builder, name string, get func(*endpointCounters) int64) {
+	m.mu.Lock()
+	labels := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		labels = append(labels, ep)
+	}
+	sort.Strings(labels)
+	counters := make([]*endpointCounters, len(labels))
+	for i, ep := range labels {
+		counters[i] = m.endpoints[ep]
+	}
+	m.mu.Unlock()
+	for i, ep := range labels {
+		fmt.Fprintf(b, "%s{endpoint=%q} %d\n", name, ep, get(counters[i]))
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest representation, no trailing zeros).
+func formatBound(ub float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.5f", ub), "0"), ".")
+}

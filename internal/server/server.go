@@ -15,14 +15,16 @@
 //	PUT  /objects             update an object
 //	DELETE /objects?id=N      delete an object
 //	POST /rebuild             non-blocking index rebuild (?wait=1 blocks)
+//	GET  /metrics             Prometheus text-format metrics
 //
 // Queries carry either an explicit embedding vector or free text (encoded
 // with the dataset's embedding model when one is attached). The server is
-// built on ConcurrentIndex's RCU-style snapshot publication: every read
-// request pins one immutable snapshot (lock-free — no reader count, no
-// lock) and runs entirely against it, writes clone-and-publish a new
-// snapshot, and /rebuild reconstructs in the background without stalling
-// either.
+// built on the sharded scatter/gather index: reads fan out to every
+// shard's lock-free snapshot and merge, writes route to exactly one
+// shard's clone-and-publish cycle, and /rebuild reconstructs all shards
+// in parallel in the background without stalling either. A single
+// unsharded index serves through the same path as one shard
+// (cssi.ShardedFrom), with identical exact results either way.
 package server
 
 import (
@@ -36,37 +38,50 @@ import (
 	"repro/internal/embed"
 )
 
-// Server wraps an index and its optional embedding model.
+// Server wraps a sharded index and its optional embedding model.
 type Server struct {
-	idx   *cssi.ConcurrentIndex
+	idx   *cssi.ShardedIndex
 	model *embed.Model // may be nil: text queries then return an error
+	met   *metrics
 }
 
-// New returns a Server over the given index. model may be nil if clients
-// always send explicit vectors. The index's keyword filter is enabled so
-// the /keyword-search endpoint works out of the box. The index is owned
-// by the server afterwards: all mutations must go through its API.
+// New returns a Server over a single unsharded index, served as one
+// shard (fully equivalent for exact queries). model may be nil if
+// clients always send explicit vectors. The index is owned by the
+// server afterwards: all mutations must go through its API.
 func New(idx *cssi.Index, model *embed.Model) *Server {
+	return NewSharded(cssi.ShardedFrom(idx), model)
+}
+
+// NewSharded returns a Server over a sharded index. The keyword filter
+// is enabled on every shard so the /keyword-search endpoint works out
+// of the box. The index is owned by the server afterwards.
+func NewSharded(idx *cssi.ShardedIndex, model *embed.Model) *Server {
 	if !idx.KeywordFilterEnabled() {
 		idx.EnableKeywordFilter()
 	}
-	return &Server{idx: cssi.Concurrent(idx), model: model}
+	return &Server{idx: idx, model: model, met: newMetrics()}
 }
 
-// Handler returns the HTTP handler tree.
+// Handler returns the HTTP handler tree. Every endpoint is wrapped
+// with request/error counting; the query endpoints additionally feed
+// the search latency histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /search", s.handleSearch)
-	mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
-	mux.HandleFunc("POST /keyword-search", s.handleKeywordSearch)
-	mux.HandleFunc("POST /range", s.handleRange)
-	mux.HandleFunc("POST /box", s.handleBox)
-	mux.HandleFunc("POST /objects", s.handleInsert)
-	mux.HandleFunc("PUT /objects", s.handleUpdate)
-	mux.HandleFunc("DELETE /objects", s.handleDelete)
-	mux.HandleFunc("POST /rebuild", s.handleRebuild)
+	query := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, true, h) }
+	plain := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, false, h) }
+	mux.HandleFunc("GET /healthz", plain("healthz", s.handleHealth))
+	mux.HandleFunc("GET /stats", plain("stats", s.handleStats))
+	mux.HandleFunc("POST /search", query("search", s.handleSearch))
+	mux.HandleFunc("POST /search/batch", query("search_batch", s.handleSearchBatch))
+	mux.HandleFunc("POST /keyword-search", query("keyword_search", s.handleKeywordSearch))
+	mux.HandleFunc("POST /range", query("range", s.handleRange))
+	mux.HandleFunc("POST /box", query("box", s.handleBox))
+	mux.HandleFunc("POST /objects", plain("insert", s.handleInsert))
+	mux.HandleFunc("PUT /objects", plain("update", s.handleUpdate))
+	mux.HandleFunc("DELETE /objects", plain("delete", s.handleDelete))
+	mux.HandleFunc("POST /rebuild", plain("rebuild", s.handleRebuild))
+	mux.HandleFunc("GET /metrics", s.met.handler(s.idx.ShardStats))
 	return mux
 }
 
@@ -108,17 +123,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.idx.Snapshot()
+	shardStats := s.idx.ShardStats()
+	shards := make([]map[string]interface{}, len(shardStats))
+	for i, st := range shardStats {
+		shards[i] = map[string]interface{}{
+			"objects":           st.Objects,
+			"hybridClusters":    st.Clusters,
+			"updatesSinceBuild": st.UpdatesSinceBuild,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"objects":           snap.Len(),
-		"hybridClusters":    snap.NumClusters(),
-		"updatesSinceBuild": snap.UpdatesSinceBuild(),
+		"objects":           s.idx.Len(),
+		"hybridClusters":    s.idx.NumClusters(),
+		"updatesSinceBuild": s.idx.UpdatesSinceBuild(),
+		"shards":            len(shardStats),
+		"perShard":          shards,
 	})
 }
 
 // buildQuery turns a request into a query object, encoding text when no
 // vector is given.
-func (s *Server) buildQuery(snap *cssi.Index, req *queryRequest) (*cssi.Object, error) {
+func (s *Server) buildQuery(req *queryRequest) (*cssi.Object, error) {
 	vec := req.Vec
 	if vec == nil {
 		if req.Text == "" {
@@ -135,8 +160,8 @@ func (s *Server) buildQuery(snap *cssi.Index, req *queryRequest) (*cssi.Object, 
 	}
 	// Reject wrong-length vectors here so a malformed request becomes a
 	// 400 instead of a panic inside the search hot path.
-	if len(vec) != snap.Dim() {
-		return nil, fmt.Errorf("vector dim %d, index expects %d", len(vec), snap.Dim())
+	if len(vec) != s.idx.Dim() {
+		return nil, fmt.Errorf("vector dim %d, index expects %d", len(vec), s.idx.Dim())
 	}
 	return &cssi.Object{ID: 1<<32 - 1, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
 }
@@ -153,22 +178,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
-	// One snapshot per request: the search and the metadata decoration
-	// below see the same immutable index state, with no lock held.
-	snap := s.idx.Snapshot()
-	q, err := s.buildQuery(snap, &req)
+	q, err := s.buildQuery(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The scatter pins one immutable snapshot per shard; the metadata
+	// decoration afterwards resolves each result ID on its owning shard.
 	var st cssi.Stats
 	var rs []cssi.Result
 	if req.Approx {
-		rs = snap.SearchApproxStats(q, req.K, req.Lambda, &st)
+		rs = s.idx.SearchApproxStats(q, req.K, req.Lambda, &st)
 	} else {
-		rs = snap.SearchStats(q, req.K, req.Lambda, &st)
+		rs = s.idx.SearchStats(q, req.K, req.Lambda, &st)
 	}
-	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
 }
 
 // batchRequest is the body of /search/batch: shared k/lambda/approx and
@@ -222,10 +246,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if maxW := runtime.GOMAXPROCS(0); req.Workers > maxW {
 		req.Workers = maxW
 	}
-	snap := s.idx.Snapshot()
 	queries := make([]cssi.Object, len(req.Queries))
 	for i := range req.Queries {
-		q, err := s.buildQuery(snap, &req.Queries[i])
+		q, err := s.buildQuery(&req.Queries[i])
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 			return
@@ -233,10 +256,14 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = *q
 	}
 	var st cssi.Stats
-	batches := snap.BatchSearch(queries, req.K, req.Lambda, req.Approx, req.Workers, &st)
+	batches, err := s.idx.BatchSearch(queries, req.K, req.Lambda, req.Approx, req.Workers, &st)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	resp := batchResponse{Results: make([][]resultItem, len(batches)), Visited: st.VisitedObjects}
 	for i, rs := range batches {
-		resp.Results[i] = respond(snap, rs, &st).Results
+		resp.Results[i] = s.respond(rs, &st).Results
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -257,19 +284,18 @@ func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "keywords required")
 		return
 	}
-	snap := s.idx.Snapshot()
-	q, err := s.buildQuery(snap, &req)
+	q, err := s.buildQuery(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	rs, ok := snap.SearchWithKeywords(q, req.K, req.Lambda, req.Keywords...)
+	rs, ok := s.idx.SearchWithKeywords(q, req.K, req.Lambda, req.Keywords...)
 	if !ok {
 		writeError(w, http.StatusBadRequest, "keywords unusable (stop words only?)")
 		return
 	}
 	var st cssi.Stats
-	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -285,15 +311,14 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
-	snap := s.idx.Snapshot()
-	q, err := s.buildQuery(snap, &req)
+	q, err := s.buildQuery(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	var st cssi.Stats
-	rs := snap.RangeSearchStats(q, req.Radius, req.Lambda, &st)
-	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
+	rs := s.idx.RangeSearchStats(q, req.Radius, req.Lambda, &st)
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
 }
 
 func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
@@ -308,24 +333,26 @@ func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "inverted window")
 		return
 	}
-	snap := s.idx.Snapshot()
-	q, err := s.buildQuery(snap, &req)
+	q, err := s.buildQuery(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	var st cssi.Stats
-	rs := snap.SearchInBoxStats(q, req.LoX, req.LoY, req.HiX, req.HiY, req.K, &st)
-	writeJSON(w, http.StatusOK, respond(snap, rs, &st))
+	rs := s.idx.SearchInBoxStats(q, req.LoX, req.LoY, req.HiX, req.HiY, req.K, &st)
+	writeJSON(w, http.StatusOK, s.respond(rs, &st))
 }
 
-// respond decorates results with object metadata from the snapshot the
-// results were computed on, so IDs always resolve consistently.
-func respond(snap *cssi.Index, rs []cssi.Result, st *cssi.Stats) queryResponse {
+// respond decorates results with object metadata, each ID resolved on
+// its owning shard. A result whose object was deleted between the
+// search and the decoration keeps its ID and distance with empty
+// metadata — the same behavior the single-snapshot server had for
+// IDs that missed.
+func (s *Server) respond(rs []cssi.Result, st *cssi.Stats) queryResponse {
 	resp := queryResponse{Results: make([]resultItem, len(rs)), Visited: st.VisitedObjects}
 	for i, r := range rs {
 		item := resultItem{ID: r.ID, Dist: r.Dist}
-		if o, ok := snap.Object(r.ID); ok {
+		if o, ok := s.idx.Object(r.ID); ok {
 			item.X, item.Y, item.Text = o.X, o.Y, o.Text
 		}
 		resp.Results[i] = item
@@ -354,7 +381,7 @@ func (s *Server) buildObject(req *objectRequest) (cssi.Object, error) {
 		}
 		vec = v
 	}
-	if dim := s.idx.Snapshot().Dim(); len(vec) != dim {
+	if dim := s.idx.Dim(); len(vec) != dim {
 		return cssi.Object{}, fmt.Errorf("vector dim %d, index expects %d", len(vec), dim)
 	}
 	return cssi.Object{ID: req.ID, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil

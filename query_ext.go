@@ -61,5 +61,11 @@ func (x *Index) BatchSearch(queries []Object, k int, lambda float64, approx bool
 				i, len(queries[i].Vec), x.core.Dim()))
 		}
 	}
-	return x.core.SearchBatch(queries, k, lambda, parallelism, approx, st)
+	out, err := x.core.SearchBatch(queries, k, lambda, parallelism, approx, st)
+	if err != nil {
+		// Unreachable: checkQuery above already rejected k < 1, the only
+		// input the core entry point refuses.
+		panic(err)
+	}
+	return out
 }

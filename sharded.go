@@ -1,0 +1,717 @@
+package cssi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// ShardedIndex partitions one logical CSSI index across P independent
+// shards, each a snapshot-published ConcurrentIndex owning a disjoint
+// subset of the objects (assignment by a hash of the object ID, so an
+// ID's shard never changes). It exists to cut the copy-on-write cost of
+// the concurrency layer: a single-op write on a ConcurrentIndex clones
+// O(n) snapshot metadata, while on a sharded index it clones only the
+// touched shard — O(n/P) — and writes to different shards do not
+// serialize against each other at all.
+//
+//   - Reads SCATTER: every shard answers against its current snapshot,
+//     and the per-shard top-k lists are k-way merged in the canonical
+//     (ascending distance, ascending ID) order. Because every shard
+//     shares the same distance normalizers (computed once over the full
+//     dataset at BuildSharded time) and CSSI is exact regardless of how
+//     objects are clustered, the merged exact result set is
+//     BIT-IDENTICAL to what an unsharded index returns — including tie
+//     breaks. SearchApprox remains approximate: its error profile
+//     depends on the per-shard clustering, so sharded CSSIA results can
+//     differ from unsharded CSSIA (both within the paper's error model).
+//   - Writes ROUTE: Insert/Delete/Update touch exactly one shard and
+//     pay that shard's O(n/P) clone. P writers on P distinct shards
+//     proceed concurrently.
+//   - A scatter read and a routed write never block each other: reads
+//     are lock-free snapshot loads, and publication is a single atomic
+//     pointer store per shard.
+//
+// Consistency: each read runs against one consistent snapshot PER
+// SHARD, loaded independently at scatter time. A write that was
+// acknowledged before the read started is always visible; a write
+// concurrent with the read is visible iff its shard's snapshot was
+// loaded after publication. There is no cross-shard read transaction —
+// the same semantics a distributed search cluster gives, in-process.
+type ShardedIndex struct {
+	shards []*ConcurrentIndex
+	dim    int
+}
+
+// shardOf maps an object ID to its owning shard: a multiplicative
+// (Fibonacci) hash scrambles the ID so that dense sequential ID ranges
+// — the common case for ingestion — still spread uniformly, then the
+// high 32 bits select the shard. Deterministic across processes, so a
+// persisted sharded index reloads with identical routing.
+func shardOf(id uint32, p int) int {
+	if p == 1 {
+		return 0
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(p))
+}
+
+// BuildSharded partitions ds by object ID across the given number of
+// shards and builds one CSSI index per shard, in parallel. The distance
+// normalizers (DsMax, DtMax) are computed ONCE over the full dataset
+// and shared by every shard — this is what makes sharded exact search
+// bit-identical to unsharded search; per-shard quantities (clustering,
+// PCA model, projected normalizer) are derived from each shard's own
+// objects. Cluster-count options (Ks, Kt, F) apply per shard, so the
+// zero value derives counts from the shard size n/P, mirroring what an
+// unsharded build of that size would choose.
+//
+// Every shard must receive at least one object; with a uniform ID hash
+// this fails only when ds is tiny relative to the shard count — use
+// fewer shards or more data.
+func BuildSharded(ds *Dataset, shards int, opts Options) (*ShardedIndex, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cssi: shard count %d, want >= 1", shards)
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("cssi: empty dataset")
+	}
+	if shards == 1 {
+		idx, err := Build(ds, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ShardedFrom(idx), nil
+	}
+	semKind := metric.EuclideanSemantic
+	if opts.AngularSemantic {
+		semKind = metric.AngularSemantic
+	}
+	// One Space over the FULL dataset: the conservative diameter
+	// estimates every shard must agree on.
+	space, err := metric.NewSpaceWithSemantic(ds, semKind)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*Dataset, shards)
+	for i := range parts {
+		parts[i] = &Dataset{Dim: ds.Dim, Model: ds.Model}
+	}
+	for i := range ds.Objects {
+		p := parts[shardOf(ds.Objects[i].ID, shards)]
+		p.Objects = append(p.Objects, ds.Objects[i])
+	}
+	for i, p := range parts {
+		if p.Len() == 0 {
+			return nil, fmt.Errorf("cssi: shard %d of %d would be empty over %d objects; use fewer shards or more data",
+				i, shards, ds.Len())
+		}
+	}
+	s := &ShardedIndex{shards: make([]*ConcurrentIndex, shards), dim: ds.Dim}
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each shard gets its OWN copy of the space: core.Build sets
+			// the projected-space normalizer (DtProjMax) on it, which is
+			// legitimately per-shard, while the shared DsMax/DtMax values
+			// are carried over unchanged.
+			shardSpace := *space
+			cfg := opts.coreConfig()
+			cfg.Seed = opts.Seed + uint64(i) // distinct, deterministic per-shard seeds
+			c, err := core.Build(parts[i], &shardSpace, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("cssi: building shard %d: %w", i, err)
+				return
+			}
+			s.shards[i] = Concurrent(&Index{core: c, space: &shardSpace})
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ShardedFrom wraps an existing single index as a one-shard
+// ShardedIndex — the adapter that lets sharded-aware callers (the HTTP
+// server, the persistence loader) serve a legacy unsharded index
+// through the scatter/gather API unchanged. The wrapped index must not
+// be mutated directly afterwards.
+func ShardedFrom(idx *Index) *ShardedIndex {
+	return &ShardedIndex{shards: []*ConcurrentIndex{Concurrent(idx)}, dim: idx.Dim()}
+}
+
+// NumShards returns the number of shards P.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard index that owns (or would own) the given
+// object ID.
+func (s *ShardedIndex) ShardFor(id uint32) int { return shardOf(id, len(s.shards)) }
+
+// Shard returns the i-th shard's ConcurrentIndex. Intended for
+// introspection and tests (e.g. driving per-shard writes directly);
+// production writes should go through the routing Insert/Delete/Update
+// so IDs land on their hash-assigned shard.
+func (s *ShardedIndex) Shard(i int) *ConcurrentIndex { return s.shards[i] }
+
+// scatter runs fn once per shard against an independently loaded
+// per-shard snapshot, and returns after all shards finish. fn must
+// confine itself to its shard index's slots in any shared output
+// slices.
+//
+// Fan-out is capped at the machine's CPU count: spawning P goroutines
+// on fewer than P cores buys no parallelism but multiplies the read's
+// scheduler share P-fold, starving concurrent writers, and pays P
+// goroutine launches per call. Below the cap, shards are striped over
+// min(P, NumCPU) workers; on a single-core host the whole scatter runs
+// inline in the caller's goroutine. Results are identical either way —
+// fn writes only to its own shard's slot, and the gather step orders
+// by (distance, ID) regardless of completion order.
+func (s *ShardedIndex) scatter(fn func(shard int, snap *Index)) {
+	p := len(s.shards)
+	workers := s.scatterDegree()
+	if workers <= 1 {
+		for i := range s.shards {
+			fn(i, s.shards[i].Snapshot())
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < p; i += workers {
+				fn(i, s.shards[i].Snapshot())
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// scatterDegree is the number of goroutines a scatter may use:
+// min(P, NumCPU), at least 1. On a single-core host it is always 1 and
+// every scatter runs inline.
+func (s *ShardedIndex) scatterDegree() int {
+	w := runtime.NumCPU()
+	if p := len(s.shards); w > p {
+		w = p
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// gatherStats folds per-shard work counters into the caller's Stats.
+func gatherStats(st *Stats, per []Stats) {
+	if st == nil {
+		return
+	}
+	for i := range per {
+		st.Add(&per[i])
+	}
+}
+
+// Search returns the exact k nearest neighbors of q, scattering the
+// query to every shard and merging the per-shard top-k lists. The
+// result — order included — is bit-identical to an unsharded Search
+// over the same objects.
+func (s *ShardedIndex) Search(q *Object, k int, lambda float64) []Result {
+	return s.SearchStats(q, k, lambda, nil)
+}
+
+// SearchStats is Search with work counters summed across shards.
+//
+// When the scatter degree is 1 (single-core host, or P == 1) the shards
+// are scanned sequentially with the k-NN heap carried from shard to
+// shard (core.SearchSeededInto): shard i starts with the best k
+// candidates from shards 0..i-1, so its pruning bound is as tight as a
+// flat index's at the same point in the scan, and the final heap IS the
+// global top-k — no merge step. Because the shards share one metric
+// space's normalizers, distances are globally comparable and the result
+// is the same exact top-k the parallel scatter+merge produces.
+func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) []Result {
+	s.checkRead(q, k, lambda)
+	if s.scatterDegree() == 1 {
+		var local Stats
+		pst := &local
+		if st == nil {
+			pst = nil
+		}
+		cur := s.shards[0].Snapshot().core.SearchSeededInto(make([]Result, 0, k), nil, q, k, lambda, pst)
+		buf := make([]Result, 0, k)
+		for i := 1; i < len(s.shards); i++ {
+			next := s.shards[i].Snapshot().core.SearchSeededInto(buf[:0], cur, q, k, lambda, pst)
+			buf, cur = cur, next
+		}
+		if st != nil {
+			st.Add(&local)
+		}
+		return cur
+	}
+	lists := make([][]Result, len(s.shards))
+	per := make([]Stats, len(s.shards))
+	s.scatter(func(i int, snap *Index) {
+		lists[i] = snap.core.Search(q, k, lambda, &per[i])
+	})
+	gatherStats(st, per)
+	return knn.MergeSorted(make([]Result, 0, k), lists, k)
+}
+
+// SearchApprox returns approximate (CSSIA) k nearest neighbors. Each
+// shard prunes with its own clustering, so the result can differ from
+// an unsharded index's SearchApprox — it is exactly the merge of the
+// per-shard CSSIA answers, with the same per-shard error model as the
+// paper's.
+func (s *ShardedIndex) SearchApprox(q *Object, k int, lambda float64) []Result {
+	return s.SearchApproxStats(q, k, lambda, nil)
+}
+
+// SearchApproxStats is SearchApprox with work counters summed across
+// shards.
+func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *Stats) []Result {
+	s.checkRead(q, k, lambda)
+	lists := make([][]Result, len(s.shards))
+	per := make([]Stats, len(s.shards))
+	s.scatter(func(i int, snap *Index) {
+		lists[i] = snap.core.SearchApprox(q, k, lambda, &per[i])
+	})
+	gatherStats(st, per)
+	return knn.MergeSorted(make([]Result, 0, k), lists, k)
+}
+
+// RangeSearch returns every object within combined distance r of q,
+// in ascending distance order, merged across shards (bit-identical to
+// the unsharded RangeSearch).
+func (s *ShardedIndex) RangeSearch(q *Object, r, lambda float64) []Result {
+	return s.RangeSearchStats(q, r, lambda, nil)
+}
+
+// RangeSearchStats is RangeSearch with work counters summed across
+// shards.
+func (s *ShardedIndex) RangeSearchStats(q *Object, r, lambda float64, st *Stats) []Result {
+	s.checkRead(q, 1, lambda)
+	if r < 0 {
+		panic(fmt.Sprintf("cssi: negative range radius %v", r))
+	}
+	lists := make([][]Result, len(s.shards))
+	per := make([]Stats, len(s.shards))
+	s.scatter(func(i int, snap *Index) {
+		lists[i] = snap.core.RangeSearch(q, r, lambda, &per[i])
+	})
+	gatherStats(st, per)
+	return knn.MergeSorted(nil, lists, -1)
+}
+
+// SearchInBox returns the k objects inside the spatial window that are
+// semantically nearest to q, merged across shards (bit-identical to the
+// unsharded SearchInBox).
+func (s *ShardedIndex) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k int) []Result {
+	return s.SearchInBoxStats(q, loX, loY, hiX, hiY, k, nil)
+}
+
+// SearchInBoxStats is SearchInBox with work counters summed across
+// shards.
+func (s *ShardedIndex) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k int, st *Stats) []Result {
+	s.checkRead(q, k, 0)
+	if loX > hiX || loY > hiY {
+		panic("cssi: inverted spatial window")
+	}
+	lists := make([][]Result, len(s.shards))
+	per := make([]Stats, len(s.shards))
+	s.scatter(func(i int, snap *Index) {
+		lists[i] = snap.core.SearchInBox(q, loX, loY, hiX, hiY, k, &per[i])
+	})
+	gatherStats(st, per)
+	return knn.MergeSorted(make([]Result, 0, k), lists, k)
+}
+
+// SearchBatch answers many exact k-NN queries with one scatter: every
+// shard runs the whole batch against its snapshot (through the
+// zero-alloc batched core path), then each query's per-shard lists are
+// merged. Same validation contract as ConcurrentIndex.SearchBatch:
+// empty batches return an empty result without touching the shards and
+// k <= 0 returns ErrInvalidK.
+func (s *ShardedIndex) SearchBatch(queries []Object, k int, lambda float64) ([][]Result, error) {
+	return s.BatchSearch(queries, k, lambda, false, 0, nil)
+}
+
+// BatchSearch is SearchBatch with the approximate variant, explicit
+// per-shard parallelism, and work counters.
+func (s *ShardedIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) ([][]Result, error) {
+	if k < 1 {
+		return nil, ErrInvalidK
+	}
+	if len(queries) == 0 {
+		return [][]Result{}, nil
+	}
+	s.checkRead(&queries[0], k, lambda)
+	for i := range queries {
+		if len(queries[i].Vec) != s.dim {
+			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
+				i, len(queries[i].Vec), s.dim))
+		}
+	}
+	// Sequential scatter (single-core host): chain each query through
+	// the shards with the heap carried forward, exactly as SearchStats
+	// does. One query's bound from shards 0..i-1 prunes shard i, so the
+	// partitioned batch costs the same object-level work as a flat one.
+	// The approximate variant keeps the merge path: CSSIA's result is
+	// defined per clustering, and the documented sharded semantics are
+	// "the merge of the per-shard CSSIA answers".
+	if !approx && s.scatterDegree() == 1 {
+		snaps := make([]*Index, len(s.shards))
+		for i, sh := range s.shards {
+			snaps[i] = sh.Snapshot()
+		}
+		var local Stats
+		pst := &local
+		if st == nil {
+			pst = nil
+		}
+		out := make([][]Result, len(queries))
+		cur := make([]Result, 0, k)
+		buf := make([]Result, 0, k)
+		for qi := range queries {
+			cur = snaps[0].core.SearchSeededInto(cur[:0], nil, &queries[qi], k, lambda, pst)
+			for si := 1; si < len(snaps); si++ {
+				next := snaps[si].core.SearchSeededInto(buf[:0], cur, &queries[qi], k, lambda, pst)
+				buf, cur = cur, next
+			}
+			out[qi] = append(make([]Result, 0, len(cur)), cur...)
+		}
+		if st != nil {
+			st.Add(&local)
+		}
+		return out, nil
+	}
+	perShard := make([][][]Result, len(s.shards))
+	per := make([]Stats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	s.scatter(func(i int, snap *Index) {
+		perShard[i], errs[i] = snap.core.SearchBatch(queries, k, lambda, parallelism, approx, &per[i])
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	gatherStats(st, per)
+	out := make([][]Result, len(queries))
+	lists := make([][]Result, len(s.shards))
+	for qi := range queries {
+		for si := range s.shards {
+			lists[si] = perShard[si][qi]
+		}
+		out[qi] = knn.MergeSorted(make([]Result, 0, k), lists, k)
+	}
+	return out, nil
+}
+
+// checkRead validates a read's inputs on the caller's goroutine, before
+// any scatter — a malformed query must panic here, never inside a
+// per-shard worker goroutine (where a panic would kill the process).
+func (s *ShardedIndex) checkRead(q *Object, k int, lambda float64) {
+	checkQuery(q, k, lambda)
+	if len(q.Vec) != s.dim {
+		panic(fmt.Sprintf("cssi: query vector dim %d, index expects %d", len(q.Vec), s.dim))
+	}
+}
+
+// Insert adds a new object, cloning and republishing ONLY the owning
+// shard — an O(n/P) write where the unsharded ConcurrentIndex pays
+// O(n). Writes to different shards proceed concurrently.
+func (s *ShardedIndex) Insert(o Object) error {
+	return s.shards[s.ShardFor(o.ID)].Insert(o)
+}
+
+// Delete removes the object with the given ID from its owning shard.
+// Because an ID always hashes to the same shard, deleting an ID that
+// was never inserted fails with the owning shard's unknown-ID error.
+func (s *ShardedIndex) Delete(id uint32) error {
+	return s.shards[s.ShardFor(id)].Delete(id)
+}
+
+// Update replaces the stored object carrying o's ID on its owning
+// shard (atomically visible there).
+func (s *ShardedIndex) Update(o Object) error {
+	return s.shards[s.ShardFor(o.ID)].Update(o)
+}
+
+// opShard returns the shard an op routes to.
+func (s *ShardedIndex) opShard(op Op) int {
+	if op.Kind == OpDelete {
+		return s.ShardFor(op.ID)
+	}
+	return s.ShardFor(op.Object.ID)
+}
+
+// ApplyBatch groups the ops by owning shard and applies each group as
+// one clone-and-publish cycle on its shard, with the groups running in
+// parallel. Atomicity is PER SHARD, not global: a group that fails
+// leaves its shard untouched and its error reported, while other
+// shards' groups still commit — the cross-shard trade every
+// partitioned store makes. Within a shard, ops keep their relative
+// order from the input slice. Callers needing all-or-nothing semantics
+// across shards should use the unsharded ConcurrentIndex.ApplyBatch.
+func (s *ShardedIndex) ApplyBatch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].ApplyBatch(ops)
+	}
+	groups := make([][]Op, len(s.shards))
+	for _, op := range ops {
+		si := s.opShard(op)
+		groups[si] = append(groups[si], op)
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		if len(groups[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.shards[i].ApplyBatch(groups[i]); err != nil {
+				errs[i] = fmt.Errorf("cssi: shard %d batch: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rebuild reconstructs every shard from scratch, in parallel, each
+// shard publishing its fresh index the moment it finishes (staggered
+// publication — readers never wait, and at no point is any shard
+// unavailable). Shards that fail report their error; the others still
+// publish. A rebuild changes no exact search result, so a scatter that
+// observes a mix of rebuilt and not-yet-rebuilt shards is harmless.
+func (s *ShardedIndex) Rebuild() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.shards[i].Rebuild(); err != nil {
+				errs[i] = fmt.Errorf("cssi: rebuilding shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RebuildInBackground starts a background rebuild on every shard and
+// returns a channel that receives the combined outcome exactly once:
+// nil when every shard rebuilt and published, or the joined errors.
+// Readers AND writers stay available throughout on every shard, and
+// each shard publishes independently as it completes. Shards that are
+// already rebuilding (ErrRebuildInProgress) are reported in the
+// combined outcome; the remaining shards still rebuild. Only if no
+// shard could start is the error returned synchronously.
+func (s *ShardedIndex) RebuildInBackground() (<-chan error, error) {
+	chans := make([]<-chan error, 0, len(s.shards))
+	startErrs := make([]error, 0)
+	for i, sh := range s.shards {
+		ch, err := sh.RebuildInBackground()
+		if err != nil {
+			startErrs = append(startErrs, fmt.Errorf("cssi: shard %d: %w", i, err))
+			continue
+		}
+		chans = append(chans, ch)
+	}
+	if len(chans) == 0 {
+		return nil, errors.Join(startErrs...)
+	}
+	done := make(chan error, 1)
+	go func() {
+		errs := append([]error(nil), startErrs...)
+		for _, ch := range chans {
+			if err := <-ch; err != nil {
+				errs = append(errs, err)
+			}
+		}
+		done <- errors.Join(errs...)
+	}()
+	return done, nil
+}
+
+// EnableKeywordFilter builds the inverted keyword index on every shard
+// (each publishing a new snapshot), enabling SearchWithKeywords.
+func (s *ShardedIndex) EnableKeywordFilter() {
+	for _, sh := range s.shards {
+		sh.EnableKeywordFilter()
+	}
+}
+
+// KeywordFilterEnabled reports whether every shard carries the keyword
+// filter.
+func (s *ShardedIndex) KeywordFilterEnabled() bool {
+	for _, sh := range s.shards {
+		if !sh.KeywordFilterEnabled() {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchWithKeywords scatters a keyword-constrained search and merges
+// the per-shard answers. Requires EnableKeywordFilter on every shard
+// (panics otherwise, like the unsharded API); ok=false indicates the
+// keyword list was unusable.
+func (s *ShardedIndex) SearchWithKeywords(q *Object, k int, lambda float64, keywords ...string) ([]Result, bool) {
+	s.checkRead(q, k, lambda)
+	snaps := make([]*Index, len(s.shards))
+	for i, sh := range s.shards {
+		snaps[i] = sh.Snapshot()
+		if !snaps[i].KeywordFilterEnabled() {
+			panic("cssi: SearchWithKeywords requires EnableKeywordFilter")
+		}
+	}
+	lists := make([][]Result, len(s.shards))
+	oks := make([]bool, len(s.shards))
+	if len(s.shards) == 1 {
+		lists[0], oks[0] = snaps[0].SearchWithKeywords(q, k, lambda, keywords...)
+	} else {
+		var wg sync.WaitGroup
+		for i := range s.shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lists[i], oks[i] = snaps[i].SearchWithKeywords(q, k, lambda, keywords...)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, ok := range oks {
+		// Keyword usability depends only on the keyword list, so every
+		// shard agrees; any false means the list was unusable.
+		if !ok {
+			return nil, false
+		}
+	}
+	return knn.MergeSorted(make([]Result, 0, k), lists, k), true
+}
+
+// Object looks up a live object on its owning shard, returning a copy.
+func (s *ShardedIndex) Object(id uint32) (Object, bool) {
+	return s.shards[s.ShardFor(id)].Object(id)
+}
+
+// Len returns the total number of live objects across shards. The
+// per-shard counts come from independently loaded snapshots (see the
+// consistency note on ShardedIndex).
+func (s *ShardedIndex) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Dim returns the embedding dimensionality shared by every shard.
+func (s *ShardedIndex) Dim() int { return s.dim }
+
+// NumClusters returns the total number of non-empty hybrid clusters
+// across shards.
+func (s *ShardedIndex) NumClusters() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Snapshot().NumClusters()
+	}
+	return n
+}
+
+// UpdatesSinceBuild sums the per-shard Insert/Delete counts since each
+// shard's last (re)build — the same rebuild heuristic as the unsharded
+// API, aggregated.
+func (s *ShardedIndex) UpdatesSinceBuild() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Snapshot().UpdatesSinceBuild()
+	}
+	return n
+}
+
+// ShardStat describes one shard's currently published snapshot.
+type ShardStat struct {
+	// Shard is the shard index in [0, NumShards).
+	Shard int
+	// Objects is the shard's live object count.
+	Objects int
+	// Clusters is the shard's non-empty hybrid cluster count.
+	Clusters int
+	// UpdatesSinceBuild counts the shard's mutations since its last
+	// (re)build.
+	UpdatesSinceBuild int
+	// SnapshotAge is how long ago the shard last published a snapshot.
+	SnapshotAge time.Duration
+}
+
+// ShardStats returns a per-shard snapshot summary — the backing data of
+// the /metrics per-shard gauges and a quick balance check (Objects
+// should be roughly uniform under hash routing).
+func (s *ShardedIndex) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		snap := sh.Snapshot()
+		out[i] = ShardStat{
+			Shard:             i,
+			Objects:           snap.Len(),
+			Clusters:          snap.NumClusters(),
+			UpdatesSinceBuild: snap.UpdatesSinceBuild(),
+			SnapshotAge:       sh.SnapshotAge(),
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies every shard's structural invariants plus the
+// sharding layer's own: each live object resides on the shard its ID
+// hashes to, and all shards agree on the shared distance normalizers
+// and dimensionality. Tests call it while writes and rebuilds are in
+// flight; production code never needs it.
+func (s *ShardedIndex) CheckInvariants() error {
+	if len(s.shards) == 0 {
+		return fmt.Errorf("cssi: sharded index with no shards")
+	}
+	ref := s.shards[0].Snapshot().space
+	for i, sh := range s.shards {
+		snap := sh.Snapshot()
+		if err := snap.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if snap.Dim() != s.dim {
+			return fmt.Errorf("shard %d: dim %d, sharded index expects %d", i, snap.Dim(), s.dim)
+		}
+		sp := snap.space
+		if sp.DsMax != ref.DsMax || sp.DtMax != ref.DtMax || sp.SemanticKind != ref.SemanticKind {
+			return fmt.Errorf("shard %d: normalizers (DsMax=%v, DtMax=%v, kind=%v) differ from shard 0 (%v, %v, %v)",
+				i, sp.DsMax, sp.DtMax, sp.SemanticKind, ref.DsMax, ref.DtMax, ref.SemanticKind)
+		}
+		var misrouted error
+		snap.core.ForEachLive(func(o *Object) {
+			if misrouted == nil && shardOf(o.ID, len(s.shards)) != i {
+				misrouted = fmt.Errorf("shard %d: object %d belongs on shard %d", i, o.ID, shardOf(o.ID, len(s.shards)))
+			}
+		})
+		if misrouted != nil {
+			return misrouted
+		}
+	}
+	return nil
+}
