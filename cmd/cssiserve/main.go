@@ -6,20 +6,28 @@
 //	cssiserve -addr :8080 -size 20000 -shards 8              # fresh, sharded
 //	cssiserve -addr :8080 -index saved.idx                   # single-index file
 //	cssiserve -addr :8080 -index saved.d/                    # sharded directory
+//	cssiserve -addr :8080 -ops-addr :6060                    # + pprof/metrics listener
 //
 // With -shards N the index is hash-partitioned across N goroutine-owned
 // shards: reads scatter/gather (exact results identical to unsharded),
 // writes route to one shard and pay only that shard's copy-on-write
 // cost. -index accepts both a single-index file (served as one shard)
 // and a directory written by -save with -shards > 1. See
-// internal/server for the JSON API, including GET /metrics.
+// internal/server for the JSON API, including GET /metrics and
+// POST /debug/explain.
+//
+// Logs are structured (log/slog, logfmt text): -log-level=debug adds a
+// per-request access log line carrying each request's X-Request-Id.
+// -ops-addr starts a second listener with the pprof profiling
+// endpoints plus /metrics and /healthz, kept off the public port.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -30,6 +38,8 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		opsAddr   = flag.String("ops-addr", "", "optional second listen address for pprof + metrics (disabled when empty)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug enables the per-request access log)")
 		kind      = flag.String("kind", "twitter", "dataset kind when generating: twitter or yelp")
 		size      = flag.Int("size", 20000, "dataset size when generating")
 		dim       = flag.Int("dim", 100, "embedding dimensionality when generating")
@@ -40,6 +50,9 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := newLogger(*logLevel)
+	slog.SetDefault(logger)
+
 	var (
 		idx   *cssi.ShardedIndex
 		model *embed.Model
@@ -48,10 +61,11 @@ func main() {
 	if *indexPath != "" {
 		idx, err = cssi.LoadSharded(*indexPath)
 		if err != nil {
-			log.Fatalf("cssiserve: load: %v", err)
+			fatal(logger, "load failed", "path", *indexPath, "error", err)
 		}
-		log.Printf("loaded index: %d objects, %d hybrid clusters, %d shard(s)",
-			idx.Len(), idx.NumClusters(), idx.NumShards())
+		logger.Info("loaded index",
+			"path", *indexPath, "objects", idx.Len(),
+			"hybridClusters", idx.NumClusters(), "shards", idx.NumShards())
 	} else {
 		var k cssi.DatasetKind
 		switch *kind {
@@ -60,38 +74,81 @@ func main() {
 		case "yelp":
 			k = cssi.YelpLike
 		default:
-			log.Fatalf("cssiserve: unknown kind %q", *kind)
+			fatal(logger, "unknown dataset kind", "kind", *kind)
 		}
 		ds, err := cssi.GenerateDataset(cssi.DatasetConfig{Kind: k, Size: *size, Dim: *dim, Seed: *seed})
 		if err != nil {
-			log.Fatalf("cssiserve: %v", err)
+			fatal(logger, "dataset generation failed", "error", err)
 		}
 		model = ds.Model
 		start := time.Now()
 		idx, err = cssi.BuildSharded(ds, *shards, cssi.Options{Seed: *seed})
 		if err != nil {
-			log.Fatalf("cssiserve: build: %v", err)
+			fatal(logger, "build failed", "error", err)
 		}
-		log.Printf("built index over %d objects (%d hybrid clusters, %d shard(s)) in %v",
-			idx.Len(), idx.NumClusters(), idx.NumShards(), time.Since(start).Round(time.Millisecond))
+		logger.Info("built index",
+			"objects", idx.Len(), "hybridClusters", idx.NumClusters(),
+			"shards", idx.NumShards(), "durationMs", time.Since(start).Milliseconds())
 	}
 	if *savePath != "" {
 		// SaveDir writes the manifest + per-shard layout; for one shard
 		// that is still loadable (and LoadSharded also reads legacy
 		// single-index files saved by older builds).
 		if err := idx.SaveDir(*savePath); err != nil {
-			log.Fatalf("cssiserve: save: %v", err)
+			fatal(logger, "save failed", "path", *savePath, "error", err)
 		}
-		log.Printf("saved index to %s", *savePath)
+		logger.Info("saved index", "path", *savePath)
+	}
+
+	api := server.NewSharded(idx, model)
+	api.SetLogger(logger)
+
+	if *opsAddr != "" {
+		ops := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           api.OpsHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("ops listener starting", "addr", *opsAddr)
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(logger, "ops listener failed", "error", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewSharded(idx, model).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("cssiserve listening on %s\n", *addr)
+	logger.Info("cssiserve listening", "addr", *addr)
 	if err = srv.ListenAndServe(); err != nil {
-		log.Fatalf("cssiserve: %v", err)
+		fatal(logger, "listener failed", "error", err)
 	}
+}
+
+// newLogger builds the process logger: logfmt text on stderr at the
+// requested level.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// fatal logs at Error level and exits nonzero (slog has no Fatal).
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }

@@ -46,6 +46,11 @@ type ConcurrentIndex struct {
 	// read lock-free by SnapshotAge (the /metrics "snapshot age" gauge).
 	publishedNS atomic.Int64
 
+	// publishes counts snapshot publications over the wrapper's lifetime
+	// (initial wrap included) — the /metrics
+	// cssi_shard_snapshot_publications_total series.
+	publishes atomic.Int64
+
 	// mu serializes writers: clone → mutate → publish, and the
 	// rebuild-completion replay. Readers never touch it.
 	mu sync.Mutex
@@ -80,7 +85,14 @@ func Concurrent(idx *Index) *ConcurrentIndex {
 func (c *ConcurrentIndex) publish(idx *Index) {
 	c.cur.Store(idx)
 	c.publishedNS.Store(time.Now().UnixNano())
+	c.publishes.Add(1)
 }
+
+// Publications returns how many snapshots have been published since the
+// wrapper was created, counting the initial wrap — so a freshly wrapped
+// index reports 1 and every Insert/Delete/Update/ApplyBatch/Rebuild
+// adds one. Lock-free.
+func (c *ConcurrentIndex) Publications() int64 { return c.publishes.Load() }
 
 // SnapshotAge returns how long ago the current snapshot was published —
 // near zero under write traffic, growing on an idle or read-only index.
@@ -106,6 +118,13 @@ func (c *ConcurrentIndex) Search(q *Object, k int, lambda float64) []Result {
 // (lock-free).
 func (c *ConcurrentIndex) SearchApprox(q *Object, k int, lambda float64) []Result {
 	return c.cur.Load().SearchApprox(q, k, lambda)
+}
+
+// SearchExplain is Index.SearchExplain against the current snapshot
+// (lock-free): results identical to Search/SearchApprox plus the
+// per-query search-internals trace.
+func (c *ConcurrentIndex) SearchExplain(q *Object, k int, lambda float64, approx bool) ([]Result, ExplainStats) {
+	return c.cur.Load().SearchExplain(q, k, lambda, approx)
 }
 
 // RangeSearch is Index.RangeSearch against the current snapshot

@@ -33,6 +33,7 @@ import (
 	"repro/internal/keyword"
 	"repro/internal/knn"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/pca"
 )
 
@@ -51,6 +52,20 @@ type Result = knn.Result
 // objects skipped by inter-/intra-cluster pruning, and per-space distance
 // calculation counts.
 type Stats = metric.Stats
+
+// ExplainStats is the per-query search-internals trace SearchExplain
+// fills: the Stats work counters plus clusters ordered, early-abandon
+// kernel exits, the final k-NN bound, and per-phase wall time. See
+// internal/obs for the derived read-efficiency and prune-ratio metrics.
+type ExplainStats = obs.SearchStats
+
+// SearchTrace is one explained query across the scatter/gather path:
+// one SearchSpan per shard plus their aggregate, tied together by a
+// request ID.
+type SearchTrace = obs.Trace
+
+// SearchSpan is one shard's slice of an explained query.
+type SearchSpan = obs.ShardSpan
 
 // DatasetKind selects a synthetic generator family.
 type DatasetKind = dataset.Kind
@@ -176,6 +191,20 @@ func (x *Index) SearchApproxInto(dst []Result, q *Object, k int, lambda float64,
 	checkQuery(q, k, lambda)
 	x.checkQueryVec(q)
 	return x.core.SearchApproxInto(dst, q, k, lambda, st)
+}
+
+// SearchExplain answers one k-NN query — exact CSSI when approx is
+// false, approximate CSSIA when true — and returns the per-query
+// search-internals trace alongside the results. The results are
+// bit-identical to Search / SearchApprox: the explain path only reads
+// counters the algorithms already maintain. Collection costs a handful
+// of time.Now calls per query; the normal Search path is untouched.
+func (x *Index) SearchExplain(q *Object, k int, lambda float64, approx bool) ([]Result, ExplainStats) {
+	checkQuery(q, k, lambda)
+	x.checkQueryVec(q)
+	var es ExplainStats
+	res := x.core.SearchExplainInto(nil, q, k, lambda, approx, &es)
+	return res, es
 }
 
 // SearchBatch answers many exact k-NN queries across a bounded worker

@@ -2,6 +2,7 @@ package core
 
 import (
 	"slices"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -152,6 +153,10 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 	// The scratch may be reused across queries by a SearchBatch worker;
 	// the cluster order is rebuilt from empty each time.
 	sc.order = sc.order[:0]
+	var phase time.Time
+	if sc.obs != nil {
+		phase = time.Now()
+	}
 	x.fillSpatialCentroidDists(sc, q)
 
 	// Cluster ordering (Alg. 2 line 4). The original-space semantic
@@ -184,6 +189,11 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 		}
 	}
 	sortOrder(sc.order)
+	if sc.obs != nil {
+		sc.obs.ClustersTotal += int64(len(sc.order))
+		sc.obs.OrderNanos += time.Since(phase).Nanoseconds()
+		phase = time.Now()
+	}
 
 	h := &sc.heap
 	h.Reset(k)
@@ -223,7 +233,10 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 				}
 			}
 		}
-		x.scanCluster(q, lambda, c, sc.dsq[c.s], dtqC, h, st)
+		x.scanCluster(sc, q, lambda, c, sc.dsq[c.s], dtqC, h, st)
+	}
+	if sc.obs != nil {
+		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
 	}
 	return h.AppendSorted(dst)
 }
@@ -231,7 +244,7 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 // scanCluster examines the objects of one hybrid cluster (Alg. 2 lines
 // 8-18), applying intra-cluster pruning (Lemma 4.5) via the conservative
 // array thresholds.
-func (x *Index) scanCluster(q *dataset.Object, lambda float64, c *hybrid, dsqC, dtqC float64, h *knn.Heap, st *metric.Stats) {
+func (x *Index) scanCluster(sc *searchScratch, q *dataset.Object, lambda float64, c *hybrid, dsqC, dtqC float64, h *knn.Heap, st *metric.Stats) {
 	if st != nil {
 		st.ClustersExamined++
 	}
@@ -273,6 +286,9 @@ func (x *Index) scanCluster(q *dataset.Object, lambda float64, c *hybrid, dsqC, 
 			var ok bool
 			dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
 			if !ok {
+				if sc.obs != nil {
+					sc.obs.EarlyAbandons++
+				}
 				continue
 			}
 		} else {

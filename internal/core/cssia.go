@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -98,6 +99,10 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 	// The scratch may be reused across queries by a SearchBatch worker;
 	// the cluster order is rebuilt from empty each time.
 	sc.order = sc.order[:0]
+	var phase time.Time
+	if sc.obs != nil {
+		phase = time.Now()
+	}
 	qProj := sc.qProj
 	x.pcaModel.TransformInto(qProj, q.Vec)
 
@@ -116,6 +121,11 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 		})
 	}
 	sortOrder(sc.order)
+	if sc.obs != nil {
+		sc.obs.ClustersTotal += int64(len(sc.order))
+		sc.obs.OrderNanos += time.Since(phase).Nanoseconds()
+		phase = time.Now()
+	}
 
 	cands := sc.cands[:0]
 	u := math.Inf(1)      // distance to current k-NN in the original space
@@ -175,6 +185,9 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 				var ok bool
 				dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
 				if !ok {
+					if sc.obs != nil {
+						sc.obs.EarlyAbandons++
+					}
 					continue
 				}
 			} else {
@@ -199,6 +212,9 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 		dst = append(dst, knn.Result{ID: c.id, Dist: c.d})
 	}
 	knn.SortResults(dst[n:])
+	if sc.obs != nil {
+		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
+	}
 	sc.cands = cands[:0]
 	return dst
 }

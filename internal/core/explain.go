@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/obs"
+)
+
+// SearchExplainInto answers a k-NN query exactly like SearchInto
+// (approx=false, the CSSI algorithm) or SearchApproxInto (approx=true,
+// CSSIA) while filling es with the per-query search-internals trace:
+// clusters ordered/examined/pruned, objects visited vs pruned,
+// early-abandon kernel exits, per-phase wall time, and the final k-NN
+// bound. The returned results are bit-identical to the uninstrumented
+// call — collection only reads what the algorithms already compute.
+//
+// es must be non-nil; callers that retain one across queries should
+// Reset it first (the counters accumulate). With sufficient dst
+// capacity the call performs zero heap allocations, same as SearchInto.
+func (x *Index) SearchExplainInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, approx bool, es *obs.SearchStats) []knn.Result {
+	sc := x.getScratch()
+	sc.obs = es
+	n := len(dst)
+	if approx {
+		dst = x.searchApproxWith(sc, dst, q, k, lambda, &es.Stats)
+	} else {
+		dst = x.searchWithSeed(sc, dst, nil, q, k, lambda, &es.Stats)
+	}
+	sc.obs = nil
+	x.putScratch(sc)
+	if len(dst) > n {
+		es.KthDistance = dst[len(dst)-1].Dist
+	}
+	return dst
+}
+
+// DeriveClusterCount exposes the paper's cluster-count rule
+// Ks = Kt = √n·f (§7.1, with the laptop-scale calibration of
+// Config.Ks) for callers outside the build path — notably the sharded
+// build, which derives every shard's cluster counts from the GLOBAL
+// object count so per-shard pruning granularity matches the flat
+// index's. f = 0 selects the default multiplier (0.3).
+func DeriveClusterCount(n int, f float64) int {
+	if f == 0 {
+		f = 0.3
+	}
+	return clusterCount(n, f)
+}

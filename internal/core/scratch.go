@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/knn"
+	"repro/internal/obs"
 )
 
 // searchScratch holds every per-query buffer the query algorithms need.
@@ -33,6 +34,11 @@ type searchScratch struct {
 	// max-heap.
 	heap  knn.Heap
 	cands candHeap
+	// obs, when non-nil, receives the search-internals trace of the
+	// current query (explain path only). nil — the normal case — keeps
+	// every instrumentation site an untaken branch: zero extra work,
+	// zero allocations.
+	obs *obs.SearchStats
 }
 
 func newScratchPool() *sync.Pool {
@@ -52,6 +58,7 @@ func (x *Index) getScratch() *searchScratch {
 		sc.order = make([]orderedCluster, 0, len(x.clusters))
 	}
 	sc.order = sc.order[:0]
+	sc.obs = nil
 	return sc
 }
 

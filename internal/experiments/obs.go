@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	cssi "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/obs"
+)
+
+func init() {
+	register("obs", Observability)
+}
+
+// obsTrials is how many alternating off/on timing trials the overhead
+// table runs; each mode reports its fastest trial (min-of-N rejects
+// scheduler noise, the standard microbenchmark discipline).
+const obsTrials = 5
+
+// Observability quantifies the cost of the search-internals
+// instrumentation (internal/obs). Two tables:
+//
+//  1. Collection overhead — the same exact query workload through the
+//     plain SearchInto path (obs pointer nil: every instrumentation
+//     site an untaken branch) and the SearchExplainInto path
+//     (collection on). Reported per mode: µs/query (min of
+//     alternating trials) and heap allocs/query. The disabled path
+//     must stay zero-alloc and the enabled path should cost ≤2% — the
+//     design target of threading a nil-checked pointer through the
+//     pooled scratch instead of wrapping the algorithms.
+//  2. Sharded read efficiency by cluster-count derivation — the
+//     satellite fix this PR lands: deriving a shard's Ks/Kt from the
+//     GLOBAL object count (matching the flat index's granularity)
+//     versus the old per-shard n/P derivation (fewer, fatter clusters
+//     per shard, so the Lemma 4.4/4.5 cuts discard less). Measured
+//     with SearchExplain traces over the same workload; read
+//     efficiency is the fraction of accounted objects pruned (§6).
+func Observability(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	overhead, err := obsOverheadTable(s)
+	if err != nil {
+		return nil, err
+	}
+	sharded, err := obsShardedReadEffTable(s)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{overhead, sharded}, nil
+}
+
+func obsOverheadTable(s Setup) (Table, error) {
+	e, err := buildEnv(s, envConfig{
+		kind: dataset.TwitterLike, size: s.twitterDefault(),
+		queries: s.Queries,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	k, lambda := s.K, s.Lambda
+
+	// runWorkload executes every query once through the selected path,
+	// reusing one result buffer and one SearchStats so steady state is
+	// allocation-free in both modes.
+	dst := make([]knn.Result, 0, k)
+	var es obs.SearchStats
+	runWorkload := func(explain bool) {
+		for qi := range e.queries {
+			q := &e.queries[qi]
+			if explain {
+				dst = e.idx.SearchExplainInto(dst[:0], q, k, lambda, false, &es)
+			} else {
+				dst = e.idx.SearchInto(dst[:0], q, k, lambda, nil)
+			}
+		}
+	}
+	// Warm both paths (scratch pool, caches) before any measurement.
+	runWorkload(false)
+	runWorkload(true)
+
+	nq := float64(len(e.queries))
+	micros := map[bool]float64{false: 0, true: 0}
+	allocs := map[bool]float64{false: 0, true: 0}
+	var ms0, ms1 runtime.MemStats
+	for trial := 0; trial < obsTrials; trial++ {
+		for _, explain := range []bool{false, true} {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			runWorkload(explain)
+			elapsed := float64(time.Since(start).Microseconds()) / nq
+			runtime.ReadMemStats(&ms1)
+			if trial == 0 || elapsed < micros[explain] {
+				micros[explain] = elapsed
+			}
+			perQ := float64(ms1.Mallocs-ms0.Mallocs) / nq
+			if trial == 0 || perQ < allocs[explain] {
+				allocs[explain] = perQ
+			}
+		}
+	}
+
+	overheadPct := 0.0
+	if micros[false] > 0 {
+		overheadPct = 100 * (micros[true] - micros[false]) / micros[false]
+	}
+	t := Table{
+		ID:    "obs",
+		Title: "Search-internals collection overhead (exact CSSI queries)",
+		Note: "collection off = plain SearchInto (nil obs pointer, every instrumentation site an untaken " +
+			"branch); on = SearchExplainInto; min of alternating trials — target ≤2% overhead, 0 allocs off",
+		Header: []string{"collection", "µs/query", "allocs/query", "overhead"},
+		Rows: [][]string{
+			{"off", f1(micros[false]), f2(allocs[false]), "-"},
+			{"on", f1(micros[true]), f2(allocs[true]), fmt.Sprintf("%.2f%%", overheadPct)},
+		},
+	}
+	return t, nil
+}
+
+func obsShardedReadEffTable(s Setup) (Table, error) {
+	size := s.size(20000)
+	ds, err := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: size, Dim: s.Dim, Seed: s.Seed,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	queries := ds.SampleQueries(s.Queries, s.Seed+7)
+	k, lambda := s.K, s.Lambda
+
+	measure := func(idx *cssi.ShardedIndex) (readEff, visitedPerQ float64) {
+		var agg obs.SearchStats
+		for qi := range queries {
+			_, tr := idx.SearchExplain(&queries[qi], k, lambda, false, "")
+			agg.Merge(&tr.Total)
+		}
+		return agg.ReadEfficiency(), float64(agg.VisitedObjects) / float64(len(queries))
+	}
+
+	t := Table{
+		ID:    "obs",
+		Title: "Sharded read efficiency by per-shard cluster-count derivation",
+		Note: "global derives each shard's Ks/Kt from the FULL object count (this PR's default), per-shard " +
+			"from n/P (the old default, emulated with explicit Ks/Kt) — coarser per-shard clusters prune " +
+			"less, so global should hold read efficiency near the flat index's as P grows",
+		Header: []string{"config", "shards", "per-shard Ks=Kt", "read efficiency", "visited/query"},
+	}
+	addRow := func(name string, p, ksKt int, idx *cssi.ShardedIndex) {
+		re, vis := measure(idx)
+		t.Rows = append(t.Rows, []string{name, itoa(p), itoa(ksKt), pct(re), f1(vis)})
+	}
+
+	globalK := core.DeriveClusterCount(size, 0)
+	flat, err := cssi.BuildSharded(ds, 1, cssi.Options{Seed: s.Seed})
+	if err != nil {
+		return Table{}, err
+	}
+	addRow("flat", 1, globalK, flat)
+	for _, p := range []int{4, 8} {
+		perShardK := core.DeriveClusterCount(size/p, 0)
+		old, err := cssi.BuildSharded(ds, p, cssi.Options{Seed: s.Seed, Ks: perShardK, Kt: perShardK})
+		if err != nil {
+			return Table{}, err
+		}
+		addRow("per-shard (old)", p, perShardK, old)
+		neu, err := cssi.BuildSharded(ds, p, cssi.Options{Seed: s.Seed})
+		if err != nil {
+			return Table{}, err
+		}
+		addRow("global (new)", p, globalK, neu)
+	}
+	return t, nil
+}

@@ -130,17 +130,20 @@ func (s *Space) SetProjectedNormalizerArena(arena []float32, dim int) {
 type Stats struct {
 	// SpatialDistCalcs and SemanticDistCalcs count object-level distance
 	// computations in each space (Fig. 16's metric is their sum).
-	SpatialDistCalcs, SemanticDistCalcs int64
+	SpatialDistCalcs  int64 `json:"spatialDistCalcs"`
+	SemanticDistCalcs int64 `json:"semanticDistCalcs"`
 	// VisitedObjects counts objects whose full distance to the query was
 	// evaluated.
-	VisitedObjects int64
+	VisitedObjects int64 `json:"visitedObjects"`
 	// InterPruned counts objects skipped because their whole cluster (or
 	// subtree) was pruned; IntraPruned counts objects skipped inside an
 	// examined cluster.
-	InterPruned, IntraPruned int64
+	InterPruned int64 `json:"interPruned"`
+	IntraPruned int64 `json:"intraPruned"`
 	// ClustersExamined and ClustersPruned count hybrid clusters (or
 	// index nodes) examined vs pruned wholesale.
-	ClustersExamined, ClustersPruned int64
+	ClustersExamined int64 `json:"clustersExamined"`
+	ClustersPruned   int64 `json:"clustersPruned"`
 }
 
 // Add accumulates o into s.

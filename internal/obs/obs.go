@@ -1,0 +1,185 @@
+// Package obs is the search-internals observability layer: a
+// zero-overhead-when-disabled per-query statistics collector the core
+// CSSI/CSSIA loops fill in, and the explain-trace wire types the debug
+// API returns.
+//
+// The design mirrors the paper's evaluation methodology (§6/§7): the
+// numbers that matter for a cluster-pruning index are *read efficiency*
+// — how many objects the pruning let the query skip — and the
+// cluster-level examine/prune split, not just wall time. SearchStats
+// captures exactly those per query; Trace ties one SearchStats per
+// shard together with durations and a request ID for the scatter/gather
+// path.
+//
+// Collection is opt-in per query: the core search scratch carries a
+// *SearchStats that is nil in normal operation, and every
+// instrumentation site is guarded by that nil check, so the production
+// hot path pays a handful of predictable untaken branches and zero
+// allocations. The cssibench "obs" experiment measures the bound
+// (target: ≤2% overhead with collection on, none off).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metric"
+)
+
+// SearchStats is the per-query trace one CSSI/CSSIA search fills in
+// when collection is enabled. It embeds the object-level work counters
+// the evaluation harness already reports (metric.Stats: visited
+// objects, inter-/intra-cluster pruned objects, per-space distance
+// calculations, clusters examined/pruned) and adds the search-internals
+// the paper argues in terms of but the counters alone cannot show.
+type SearchStats struct {
+	metric.Stats
+
+	// ClustersTotal is the number of hybrid clusters in the query's
+	// visit order (ClustersExamined + ClustersPruned ≤ ClustersTotal;
+	// the remainder are clusters never reached because the scan ended
+	// with the heap unfilled).
+	ClustersTotal int64 `json:"clustersTotal"`
+	// EarlyAbandons counts semantic kernels that exited before the full
+	// n-dimensional sum because the partial distance already proved the
+	// candidate beyond the k-NN bound.
+	EarlyAbandons int64 `json:"earlyAbandons"`
+	// KthDistance is the final k-NN bound U: the combined distance of
+	// the worst returned result (0 when the query returned nothing).
+	KthDistance float64 `json:"kthDistance"`
+	// OrderNanos is wall time spent computing centroid distances and
+	// sorting the cluster visit order (Alg. 2 line 4 / Alg. 3 line 5);
+	// ScanNanos is wall time spent scanning cluster arrays.
+	OrderNanos int64 `json:"orderNanos"`
+	ScanNanos  int64 `json:"scanNanos"`
+}
+
+// Merge accumulates o into s, keeping the larger KthDistance (the
+// per-shard bounds are all ≥ the merged global bound, so callers that
+// need the exact global bound set it from the merged result instead).
+func (s *SearchStats) Merge(o *SearchStats) {
+	s.Stats.Add(&o.Stats)
+	s.ClustersTotal += o.ClustersTotal
+	s.EarlyAbandons += o.EarlyAbandons
+	s.OrderNanos += o.OrderNanos
+	s.ScanNanos += o.ScanNanos
+	if o.KthDistance > s.KthDistance {
+		s.KthDistance = o.KthDistance
+	}
+}
+
+// Reset zeroes every counter so a caller-retained SearchStats can be
+// reused across queries without reallocation.
+func (s *SearchStats) Reset() { *s = SearchStats{} }
+
+// ObjectsConsidered is the number of objects the query had to account
+// for: every object either visited (full distance evaluated) or skipped
+// by inter- or intra-cluster pruning.
+func (s *SearchStats) ObjectsConsidered() int64 {
+	return s.VisitedObjects + s.InterPruned + s.IntraPruned
+}
+
+// ReadEfficiency is the paper's §6 headline metric in ratio form: the
+// fraction of accounted objects the pruning let the query SKIP. 1 means
+// everything was pruned, 0 means a full scan. Returns 0 when the query
+// accounted for no objects.
+func (s *SearchStats) ReadEfficiency() float64 {
+	total := s.ObjectsConsidered()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.InterPruned+s.IntraPruned) / float64(total)
+}
+
+// ClustersPrunedRatio is the fraction of ordered clusters pruned
+// wholesale by the lower bound (Lemma 4.4). Returns 0 when no clusters
+// were ordered.
+func (s *SearchStats) ClustersPrunedRatio() float64 {
+	if s.ClustersTotal == 0 {
+		return 0
+	}
+	return float64(s.ClustersPruned) / float64(s.ClustersTotal)
+}
+
+// ShardSpan is one shard's slice of a scatter/gather query: which shard
+// ran, how much of its data the search touched, and how long it took.
+type ShardSpan struct {
+	// Shard is the shard index in [0, NumShards).
+	Shard int `json:"shard"`
+	// Objects is the live object count of the shard snapshot the span
+	// ran against.
+	Objects int `json:"objects"`
+	// Stats is the shard-local search trace.
+	Stats SearchStats `json:"stats"`
+	// ReadEfficiency and ClustersPrunedRatio are Stats' derived ratios,
+	// precomputed so wire consumers need no arithmetic.
+	ReadEfficiency      float64 `json:"readEfficiency"`
+	ClustersPrunedRatio float64 `json:"clustersPrunedRatio"`
+	// DurationNanos is the span's wall time, including snapshot queue
+	// time inside the scatter.
+	DurationNanos int64 `json:"durationNanos"`
+}
+
+// FillDerived computes the precomputed ratio fields from Stats.
+func (sp *ShardSpan) FillDerived() {
+	sp.ReadEfficiency = sp.Stats.ReadEfficiency()
+	sp.ClustersPrunedRatio = sp.Stats.ClustersPrunedRatio()
+}
+
+// Trace is one explained query: the per-shard spans of the
+// scatter/gather path plus their aggregate, tied together by a request
+// ID that also appears in the server's structured logs.
+type Trace struct {
+	// RequestID correlates this trace with the HTTP request logs (the
+	// server propagates X-Request-Id; library callers may pass "").
+	RequestID string `json:"requestId"`
+	// Algo names the search algorithm: "cssi" (exact) or "cssia"
+	// (approximate).
+	Algo string `json:"algo"`
+	// K and Lambda echo the query parameters.
+	K      int     `json:"k"`
+	Lambda float64 `json:"lambda"`
+	// Shards holds one span per shard, in shard order.
+	Shards []ShardSpan `json:"shards"`
+	// Total aggregates the per-shard stats; its KthDistance is the
+	// merged global bound (the distance of the worst returned result).
+	Total SearchStats `json:"total"`
+	// ReadEfficiency and ClustersPrunedRatio are Total's derived
+	// ratios.
+	ReadEfficiency      float64 `json:"readEfficiency"`
+	ClustersPrunedRatio float64 `json:"clustersPrunedRatio"`
+	// DurationNanos is the whole query's wall time including the
+	// scatter fan-out and the gather merge.
+	DurationNanos int64 `json:"durationNanos"`
+}
+
+// Finish aggregates the spans into Total and the derived ratios.
+// kth is the merged global bound (0 when no results).
+func (t *Trace) Finish(kth float64, durationNanos int64) {
+	t.Total.Reset()
+	for i := range t.Shards {
+		t.Shards[i].FillDerived()
+		t.Total.Merge(&t.Shards[i].Stats)
+	}
+	t.Total.KthDistance = kth
+	t.ReadEfficiency = t.Total.ReadEfficiency()
+	t.ClustersPrunedRatio = t.Total.ClustersPrunedRatio()
+	t.DurationNanos = durationNanos
+}
+
+// reqCounter disambiguates request IDs generated in the same process
+// when the entropy source is unavailable.
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a short unique identifier for correlating one
+// query's trace, spans, and log lines: 16 hex chars of entropy, falling
+// back to a process-local counter if the source fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	rtmetrics "runtime/metrics"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,16 +16,25 @@ import (
 )
 
 // metrics is a minimal, dependency-free Prometheus-style registry for
-// the handful of series the server exposes: per-endpoint request and
-// error counters, one latency histogram over the query endpoints, and
-// per-shard gauges sampled at scrape time. Everything on the request
-// path is a plain atomic increment — no locks, no allocation — so
-// instrumentation cost is invisible next to a search.
+// the series the server exposes: per-endpoint request and error
+// counters, latency histograms split by request class (query vs
+// mutation), search-internals histograms (read efficiency and
+// clusters-pruned ratio, the paper's §6 headline metrics in ratio
+// form), rebuild durations, and gauges sampled at scrape time
+// (per-shard state, Go runtime, process uptime). Everything on the
+// request path is a plain atomic increment — no locks, no allocation —
+// so instrumentation cost is invisible next to a search.
 type metrics struct {
 	mu        sync.Mutex // guards the endpoint map's shape (values are atomic)
 	endpoints map[string]*endpointCounters
 
-	latency latencyHistogram
+	latency         histogram // query endpoints' wall time
+	mutationLatency histogram // mutation endpoints' wall time
+	rebuildDuration histogram // background rebuild wall time
+	readEfficiency  histogram // per search request: fraction of objects pruned
+	clustersPruned  histogram // per search request: fraction of clusters pruned
+
+	start time.Time // process-uptime epoch (registry creation)
 }
 
 type endpointCounters struct {
@@ -31,28 +42,58 @@ type endpointCounters struct {
 	errors   atomic.Int64
 }
 
-// latencyBuckets are the histogram's upper bounds in seconds, spanning
-// sub-100µs cache-warm searches to second-scale cold batches. The
-// +Inf bucket is implicit (the _count series).
-var latencyBuckets = [numLatencyBuckets]float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
-}
+// Bucket upper bounds per histogram. The +Inf bucket is implicit (the
+// _count series).
+var (
+	// latencyBuckets span sub-100µs cache-warm searches to second-scale
+	// cold batches.
+	latencyBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+	// mutationBuckets start at 1µs: a routed single-shard write is a
+	// clone-and-publish whose cost scales with the shard size, so the
+	// interesting range sits well below the query endpoints'.
+	mutationBuckets = []float64{
+		1e-06, 5e-06, 2.5e-05, 0.0001, 0.0005, 0.0025,
+		0.01, 0.05, 0.25, 1, 2.5,
+	}
+	// rebuildBuckets cover per-shard K-Means + PCA reconstruction from
+	// toy test indexes to multi-minute production rebuilds.
+	rebuildBuckets = []float64{
+		0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+	// ratioBuckets resolve the upper end finely: a healthy CSSI query
+	// prunes the vast majority of objects, so regressions show up as
+	// mass shifting out of the >0.9 buckets.
+	ratioBuckets = []float64{
+		0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+		0.9, 0.95, 0.99, 0.999, 1,
+	}
+)
 
-const numLatencyBuckets = 14
-
-type latencyHistogram struct {
-	counts  [numLatencyBuckets]atomic.Int64 // per-bucket (non-cumulative) counts
+// histogram is a fixed-bucket atomic histogram. Bucket counts are
+// stored NON-cumulative (each observation increments exactly one
+// bucket) so concurrent observers never contend beyond one cache line;
+// the exposition pass accumulates them into the cumulative form the
+// Prometheus text format requires.
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum, updated by CAS
 }
 
-func (h *latencyHistogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	// Linear scan: 14 comparisons worst case, branch-predicted, cheaper
-	// than anything clever at this bucket count.
-	for i, ub := range latencyBuckets {
-		if sec <= ub {
+func (h *histogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.counts = make([]atomic.Int64, len(bounds))
+}
+
+func (h *histogram) observe(v float64) {
+	// Linear scan: ≤14 comparisons, branch-predicted, cheaper than
+	// anything clever at these bucket counts.
+	for i, ub := range h.bounds {
+		if v <= ub {
 			h.counts[i].Add(1)
 			break
 		}
@@ -60,15 +101,44 @@ func (h *latencyHistogram) observe(d time.Duration) {
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + sec)
+		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
 			return
 		}
 	}
 }
 
+func (h *histogram) observeDuration(d time.Duration) { h.observe(d.Seconds()) }
+
+// write emits the full histogram exposition (HELP, TYPE, cumulative
+// buckets, +Inf, sum, count). An empty histogram still emits every
+// series — scrapers and recording rules must see the metric exist from
+// the first scrape, not only after the first observation.
+func (h *histogram) write(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum)
+	}
+	total := h.count.Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
+}
+
 func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*endpointCounters)}
+	m := &metrics{
+		endpoints: make(map[string]*endpointCounters),
+		start:     time.Now(),
+	}
+	m.latency.init(latencyBuckets)
+	m.mutationLatency.init(mutationBuckets)
+	m.rebuildDuration.init(rebuildBuckets)
+	m.readEfficiency.init(ratioBuckets)
+	m.clustersPruned.init(ratioBuckets)
+	return m
 }
 
 // counters returns (registering on first use) the counter pair for an
@@ -84,6 +154,22 @@ func (m *metrics) counters(endpoint string) *endpointCounters {
 	return c
 }
 
+// observeSearchStats feeds the search-internals histograms from the
+// work counters a query (or query batch) already collected on the
+// normal path — read efficiency is the fraction of accounted objects
+// the pruning skipped, clusters-pruned the fraction of examined-or-
+// pruned clusters dismissed wholesale by the Lemma 4.4 bound.
+func (m *metrics) observeSearchStats(st *cssi.Stats) {
+	objTotal := st.VisitedObjects + st.InterPruned + st.IntraPruned
+	if objTotal > 0 {
+		m.readEfficiency.observe(float64(st.InterPruned+st.IntraPruned) / float64(objTotal))
+	}
+	clTotal := st.ClustersExamined + st.ClustersPruned
+	if clTotal > 0 {
+		m.clustersPruned.observe(float64(st.ClustersPruned) / float64(clTotal))
+	}
+}
+
 // statusRecorder captures the response status so the middleware can
 // count 4xx/5xx responses as errors.
 type statusRecorder struct {
@@ -96,20 +182,32 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// endpointKind classifies an endpoint for latency attribution:
+// kindQuery feeds the search latency histogram, kindMutation the
+// mutation latency histogram, kindPlain neither (probes and scrapes
+// would pollute both distributions).
+type endpointKind int
+
+const (
+	kindPlain endpointKind = iota
+	kindQuery
+	kindMutation
+)
+
 // instrument wraps a handler with request/error counting under the
-// given endpoint label; observeLatency additionally records the
-// handler's wall time into the search latency histogram (set it for
-// the query endpoints only — mutations and probes would pollute the
-// search distribution).
-func (m *metrics) instrument(endpoint string, observeLatency bool, h http.HandlerFunc) http.HandlerFunc {
+// given endpoint label, recording wall time into the kind's histogram.
+func (m *metrics) instrument(endpoint string, kind endpointKind, h http.HandlerFunc) http.HandlerFunc {
 	c := m.counters(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.requests.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		if observeLatency {
-			m.latency.observe(time.Since(start))
+		switch kind {
+		case kindQuery:
+			m.latency.observeDuration(time.Since(start))
+		case kindMutation:
+			m.mutationLatency.observeDuration(time.Since(start))
 		}
 		if rec.status >= 400 {
 			c.errors.Add(1)
@@ -117,10 +215,32 @@ func (m *metrics) instrument(endpoint string, observeLatency bool, h http.Handle
 	}
 }
 
+// runtimeSampleNames are the runtime/metrics series exported as gauges:
+// live goroutines, live heap bytes, and completed GC cycles — the
+// trio that explains "the server got slow" at a glance.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// sampleValue renders one runtime/metrics value as a Prometheus number.
+func sampleValue(v rtmetrics.Value) string {
+	switch v.Kind() {
+	case rtmetrics.KindUint64:
+		return strconv.FormatUint(v.Uint64(), 10)
+	case rtmetrics.KindFloat64:
+		return strconv.FormatFloat(v.Float64(), 'g', -1, 64)
+	default:
+		return "0"
+	}
+}
+
 // handler serves the Prometheus text exposition format (version 0.0.4)
 // with only the standard library. sampler supplies the per-shard
-// gauges, read fresh at every scrape.
-func (m *metrics) handler(sampler func() []cssi.ShardStat) http.HandlerFunc {
+// gauges, read fresh at every scrape; buildVersion labels
+// cssi_build_info.
+func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersion string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var b strings.Builder
 
@@ -131,17 +251,16 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat) http.HandlerFunc {
 		b.WriteString("# TYPE cssi_http_request_errors_total counter\n")
 		m.writeEndpointCounters(&b, "cssi_http_request_errors_total", func(c *endpointCounters) int64 { return c.errors.Load() })
 
-		b.WriteString("# HELP cssi_search_latency_seconds Wall time of query endpoint requests.\n")
-		b.WriteString("# TYPE cssi_search_latency_seconds histogram\n")
-		cum := int64(0)
-		for i, ub := range latencyBuckets {
-			cum += m.latency.counts[i].Load()
-			fmt.Fprintf(&b, "cssi_search_latency_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
-		}
-		total := m.latency.count.Load()
-		fmt.Fprintf(&b, "cssi_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", total)
-		fmt.Fprintf(&b, "cssi_search_latency_seconds_sum %g\n", math.Float64frombits(m.latency.sumBits.Load()))
-		fmt.Fprintf(&b, "cssi_search_latency_seconds_count %d\n", total)
+		m.latency.write(&b, "cssi_search_latency_seconds",
+			"Wall time of query endpoint requests.")
+		m.mutationLatency.write(&b, "cssi_mutation_latency_seconds",
+			"Wall time of mutation endpoint requests (insert/update/delete).")
+		m.rebuildDuration.write(&b, "cssi_rebuild_duration_seconds",
+			"Wall time of background index rebuilds, build through publication.")
+		m.readEfficiency.write(&b, "cssi_search_read_efficiency",
+			"Per search request: fraction of accounted objects skipped by pruning (1 = everything pruned).")
+		m.clustersPruned.write(&b, "cssi_search_clusters_pruned_ratio",
+			"Per search request: fraction of clusters dismissed wholesale by the lower-bound cut.")
 
 		stats := sampler()
 		b.WriteString("# HELP cssi_shard_objects Live objects per shard.\n")
@@ -154,6 +273,33 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat) http.HandlerFunc {
 		for _, st := range stats {
 			fmt.Fprintf(&b, "cssi_shard_snapshot_age_seconds{shard=\"%d\"} %g\n", st.Shard, st.SnapshotAge.Seconds())
 		}
+		b.WriteString("# HELP cssi_shard_snapshot_publications_total Snapshot publications per shard since build (initial publication included).\n")
+		b.WriteString("# TYPE cssi_shard_snapshot_publications_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "cssi_shard_snapshot_publications_total{shard=\"%d\"} %d\n", st.Shard, st.Publications)
+		}
+
+		samples := make([]rtmetrics.Sample, len(runtimeSampleNames))
+		for i, name := range runtimeSampleNames {
+			samples[i].Name = name
+		}
+		rtmetrics.Read(samples)
+		b.WriteString("# HELP cssi_go_goroutines Live goroutines.\n")
+		b.WriteString("# TYPE cssi_go_goroutines gauge\n")
+		fmt.Fprintf(&b, "cssi_go_goroutines %s\n", sampleValue(samples[0].Value))
+		b.WriteString("# HELP cssi_go_heap_objects_bytes Bytes of live heap objects.\n")
+		b.WriteString("# TYPE cssi_go_heap_objects_bytes gauge\n")
+		fmt.Fprintf(&b, "cssi_go_heap_objects_bytes %s\n", sampleValue(samples[1].Value))
+		b.WriteString("# HELP cssi_go_gc_cycles_total Completed GC cycles.\n")
+		b.WriteString("# TYPE cssi_go_gc_cycles_total counter\n")
+		fmt.Fprintf(&b, "cssi_go_gc_cycles_total %s\n", sampleValue(samples[2].Value))
+
+		b.WriteString("# HELP cssi_build_info Build metadata; value is always 1.\n")
+		b.WriteString("# TYPE cssi_build_info gauge\n")
+		fmt.Fprintf(&b, "cssi_build_info{version=%q,goversion=%q} 1\n", buildVersion, goVersion)
+		b.WriteString("# HELP cssi_process_uptime_seconds Seconds since the server's metrics registry was created.\n")
+		b.WriteString("# TYPE cssi_process_uptime_seconds gauge\n")
+		fmt.Fprintf(&b, "cssi_process_uptime_seconds %g\n", time.Since(m.start).Seconds())
 
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
@@ -181,8 +327,11 @@ func (m *metrics) writeEndpointCounters(b *strings.Builder, name string, get fun
 	}
 }
 
-// formatBound renders a bucket bound the way Prometheus clients do
-// (shortest representation, no trailing zeros).
+// formatBound renders a bucket bound the way Prometheus clients do:
+// the shortest representation that round-trips, so 0.0001 stays
+// "0.0001" and 1e-06 stays "1e-06" (the old %.5f formatting truncated
+// any bound below 1e-5 to "0", which collides with a genuine zero
+// bound and breaks scrapers that parse le as a float key).
 func formatBound(ub float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.5f", ub), "0"), ".")
+	return strconv.FormatFloat(ub, 'g', -1, 64)
 }

@@ -1,0 +1,36 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsHandler returns the operational handler tree, intended for a
+// SEPARATE listener from the public API (cssiserve's -ops-addr): the
+// pprof profiling endpoints plus duplicates of /metrics and /healthz,
+// so profiling and scraping work even when the public port is fronted
+// by a proxy that should not expose them.
+//
+//	GET /debug/pprof/            pprof index
+//	GET /debug/pprof/profile     CPU profile (?seconds=N)
+//	GET /debug/pprof/heap        heap profile (via the index)
+//	GET /debug/pprof/cmdline     process command line
+//	GET /debug/pprof/symbol      symbol resolution
+//	GET /debug/pprof/trace       execution trace (?seconds=N)
+//	GET /metrics                 Prometheus metrics (same registry as the API)
+//	GET /healthz                 liveness probe
+//
+// The named profiles (goroutine, heap, allocs, block, mutex,
+// threadcreate) are reachable through the pprof index handler.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	version, goVersion := buildVersionInfo()
+	mux.HandleFunc("GET /metrics", s.met.handler(s.idx.ShardStats, version, goVersion))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}

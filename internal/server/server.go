@@ -15,6 +15,7 @@
 //	PUT  /objects             update an object
 //	DELETE /objects?id=N      delete an object
 //	POST /rebuild             non-blocking index rebuild (?wait=1 blocks)
+//	POST /debug/explain       k-NN query with a per-shard explain trace
 //	GET  /metrics             Prometheus text-format metrics
 //
 // Queries carry either an explicit embedding vector or free text (encoded
@@ -25,17 +26,27 @@
 // in parallel in the background without stalling either. A single
 // unsharded index serves through the same path as one shard
 // (cssi.ShardedFrom), with identical exact results either way.
+//
+// Every request carries a request ID (X-Request-Id, honored inbound,
+// generated otherwise, always echoed in the response); the structured
+// request log and the /debug/explain trace both carry it, so one slow
+// query can be chased from the access log into its per-shard spans.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
+	"time"
 
 	"repro"
 	"repro/internal/embed"
+	"repro/internal/obs"
 )
 
 // Server wraps a sharded index and its optional embedding model.
@@ -43,6 +54,7 @@ type Server struct {
 	idx   *cssi.ShardedIndex
 	model *embed.Model // may be nil: text queries then return an error
 	met   *metrics
+	log   *slog.Logger
 }
 
 // New returns a Server over a single unsharded index, served as one
@@ -60,16 +72,82 @@ func NewSharded(idx *cssi.ShardedIndex, model *embed.Model) *Server {
 	if !idx.KeywordFilterEnabled() {
 		idx.EnableKeywordFilter()
 	}
-	return &Server{idx: idx, model: model, met: newMetrics()}
+	return &Server{idx: idx, model: model, met: newMetrics(), log: slog.Default()}
 }
 
-// Handler returns the HTTP handler tree. Every endpoint is wrapped
-// with request/error counting; the query endpoints additionally feed
-// the search latency histogram.
+// SetLogger replaces the server's structured logger (default
+// slog.Default). Call before Handler; the logger is read by the
+// request middleware on every request.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// ctxKeyRequestID keys the per-request ID in the request context.
+type ctxKeyRequestID struct{}
+
+// requestIDFrom extracts the middleware-assigned request ID, or ""
+// when the handler runs outside the middleware (direct tests).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// buildVersionInfo reads the module version and Go toolchain version
+// for cssi_build_info. The module version is "(devel)" for plain
+// `go build` working-tree builds.
+func buildVersionInfo() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return version, goVersion
+}
+
+// withRequestID is the outermost middleware: it assigns every request
+// an ID (honoring an inbound X-Request-Id so traces correlate across
+// services), echoes it on the response, and emits one Debug-level
+// structured log line per request. Debug level keeps production and
+// test output quiet by default; run cssiserve with -log-level=debug
+// for an access log.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id)))
+		s.log.Debug("http request",
+			"requestId", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"durationUs", time.Since(start).Microseconds(),
+		)
+	})
+}
+
+// Handler returns the HTTP handler tree. Every endpoint — the metrics
+// scrape included — is wrapped with request/error counting; query
+// endpoints additionally feed the search latency histogram and
+// mutation endpoints the mutation latency histogram. The whole tree
+// sits behind the request-ID/logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	query := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, true, h) }
-	plain := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, false, h) }
+	query := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, kindQuery, h) }
+	plain := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, kindPlain, h) }
+	mutation := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return s.met.instrument(name, kindMutation, h)
+	}
 	mux.HandleFunc("GET /healthz", plain("healthz", s.handleHealth))
 	mux.HandleFunc("GET /stats", plain("stats", s.handleStats))
 	mux.HandleFunc("POST /search", query("search", s.handleSearch))
@@ -77,12 +155,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /keyword-search", query("keyword_search", s.handleKeywordSearch))
 	mux.HandleFunc("POST /range", query("range", s.handleRange))
 	mux.HandleFunc("POST /box", query("box", s.handleBox))
-	mux.HandleFunc("POST /objects", plain("insert", s.handleInsert))
-	mux.HandleFunc("PUT /objects", plain("update", s.handleUpdate))
-	mux.HandleFunc("DELETE /objects", plain("delete", s.handleDelete))
+	mux.HandleFunc("POST /debug/explain", query("explain", s.handleExplain))
+	mux.HandleFunc("POST /objects", mutation("insert", s.handleInsert))
+	mux.HandleFunc("PUT /objects", mutation("update", s.handleUpdate))
+	mux.HandleFunc("DELETE /objects", mutation("delete", s.handleDelete))
 	mux.HandleFunc("POST /rebuild", plain("rebuild", s.handleRebuild))
-	mux.HandleFunc("GET /metrics", s.met.handler(s.idx.ShardStats))
-	return mux
+	version, goVersion := buildVersionInfo()
+	mux.HandleFunc("GET /metrics", plain("metrics", s.met.handler(s.idx.ShardStats, version, goVersion)))
+	return s.withRequestID(mux)
 }
 
 // queryRequest is the shared request body of the query endpoints.
@@ -192,7 +272,44 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		rs = s.idx.SearchStats(q, req.K, req.Lambda, &st)
 	}
+	s.met.observeSearchStats(&st)
 	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+}
+
+// explainResponse is the body of /debug/explain: the same k-NN answer
+// /search returns plus the per-shard trace.
+type explainResponse struct {
+	Results []resultItem      `json:"results"`
+	Trace   *cssi.SearchTrace `json:"trace"`
+}
+
+// handleExplain answers one k-NN query exactly like /search (the exact
+// results are bit-identical) and attaches the per-query explain trace:
+// one span per shard with objects scanned vs pruned, prune ratios, and
+// span wall time, stamped with the request's ID.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.Lambda < 0 || req.Lambda > 1 {
+		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rs, trace := s.idx.SearchExplain(q, req.K, req.Lambda, req.Approx, requestIDFrom(r.Context()))
+	s.met.observeSearchStats(&trace.Total.Stats)
+	writeJSON(w, http.StatusOK, explainResponse{
+		Results: s.respond(rs, &trace.Total.Stats).Results,
+		Trace:   trace,
+	})
 }
 
 // batchRequest is the body of /search/batch: shared k/lambda/approx and
@@ -261,6 +378,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.met.observeSearchStats(&st)
 	resp := batchResponse{Results: make([][]resultItem, len(batches)), Visited: st.VisitedObjects}
 	for i, rs := range batches {
 		resp.Results[i] = s.respond(rs, &st).Results
@@ -443,11 +561,28 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // replayed before the fresh index is published). With ?wait=1 the
 // response is deferred until the rebuild completes.
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
-	done, err := s.idx.RebuildInBackground()
+	start := time.Now()
+	inner, err := s.idx.RebuildInBackground()
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}
+	// Observe the rebuild duration whether or not the client waits: the
+	// outcome is forwarded through a fresh channel so the ?wait=1 path
+	// still receives it exactly once.
+	requestID := requestIDFrom(r.Context())
+	done := make(chan error, 1)
+	go func() {
+		err := <-inner
+		s.met.rebuildDuration.observeDuration(time.Since(start))
+		if err != nil {
+			s.log.Error("rebuild failed", "requestId", requestID, "error", err)
+		} else {
+			s.log.Info("rebuild complete", "requestId", requestID,
+				"durationMs", time.Since(start).Milliseconds(), "objects", s.idx.Len())
+		}
+		done <- err
+	}()
 	if r.URL.Query().Get("wait") == "" {
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "rebuilding"})
 		return

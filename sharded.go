@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/knn"
 	"repro/internal/metric"
+	"repro/internal/obs"
 )
 
 // ShardedIndex partitions one logical CSSI index across P independent
@@ -68,9 +69,12 @@ func shardOf(id uint32, p int) int {
 // and shared by every shard — this is what makes sharded exact search
 // bit-identical to unsharded search; per-shard quantities (clustering,
 // PCA model, projected normalizer) are derived from each shard's own
-// objects. Cluster-count options (Ks, Kt, F) apply per shard, so the
-// zero value derives counts from the shard size n/P, mirroring what an
-// unsharded build of that size would choose.
+// objects. When Ks/Kt are zero they are derived from the GLOBAL object
+// count (√n·f over the full dataset, not the shard size n/P): each
+// shard then partitions its objects at the same granularity the flat
+// index would, so per-shard clusters stay comparably tight and the
+// sharded index's read efficiency matches the flat index's instead of
+// degrading with P. Explicit Ks/Kt still apply per shard verbatim.
 //
 // Every shard must receive at least one object; with a uniform ID hash
 // this fails only when ds is tiny relative to the shard count — use
@@ -114,6 +118,10 @@ func BuildSharded(ds *Dataset, shards int, opts Options) (*ShardedIndex, error) 
 		}
 	}
 	s := &ShardedIndex{shards: make([]*ConcurrentIndex, shards), dim: ds.Dim}
+	// Derive defaulted cluster counts from the GLOBAL object count (see
+	// the doc comment): computed once here so every shard — whatever its
+	// exact share of the hash — clusters at the flat index's granularity.
+	globalK := core.DeriveClusterCount(ds.Len(), opts.F)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
@@ -126,6 +134,12 @@ func BuildSharded(ds *Dataset, shards int, opts Options) (*ShardedIndex, error) 
 			// are carried over unchanged.
 			shardSpace := *space
 			cfg := opts.coreConfig()
+			if cfg.Ks == 0 {
+				cfg.Ks = globalK
+			}
+			if cfg.Kt == 0 {
+				cfg.Kt = globalK
+			}
 			cfg.Seed = opts.Seed + uint64(i) // distinct, deterministic per-shard seeds
 			c, err := core.Build(parts[i], &shardSpace, cfg)
 			if err != nil {
@@ -289,6 +303,50 @@ func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *S
 	})
 	gatherStats(st, per)
 	return knn.MergeSorted(make([]Result, 0, k), lists, k)
+}
+
+// SearchExplain answers one k-NN query — exact CSSI when approx is
+// false, CSSIA when true — and returns the per-query trace: one
+// SearchSpan per shard (objects scanned vs pruned, prune ratios, span
+// wall time) plus the cross-shard aggregate, stamped with requestID
+// (pass "" to have one generated). Exact results are bit-identical to
+// Search. The explain path always scatters to every shard — even where
+// SearchStats would chain shards sequentially with a carried bound — so
+// the spans describe each shard's standalone work; the trace is
+// diagnostic, not a measurement of the optimized sequential path.
+func (s *ShardedIndex) SearchExplain(q *Object, k int, lambda float64, approx bool, requestID string) ([]Result, *SearchTrace) {
+	s.checkRead(q, k, lambda)
+	if requestID == "" {
+		requestID = obs.NewRequestID()
+	}
+	algo := "cssi"
+	if approx {
+		algo = "cssia"
+	}
+	t := &SearchTrace{
+		RequestID: requestID,
+		Algo:      algo,
+		K:         k,
+		Lambda:    lambda,
+		Shards:    make([]SearchSpan, len(s.shards)),
+	}
+	start := time.Now()
+	lists := make([][]Result, len(s.shards))
+	s.scatter(func(i int, snap *Index) {
+		sp := &t.Shards[i]
+		sp.Shard = i
+		sp.Objects = snap.Len()
+		spanStart := time.Now()
+		lists[i] = snap.core.SearchExplainInto(nil, q, k, lambda, approx, &sp.Stats)
+		sp.DurationNanos = time.Since(spanStart).Nanoseconds()
+	})
+	res := knn.MergeSorted(make([]Result, 0, k), lists, k)
+	var kth float64
+	if len(res) > 0 {
+		kth = res[len(res)-1].Dist
+	}
+	t.Finish(kth, time.Since(start).Nanoseconds())
+	return res, t
 }
 
 // RangeSearch returns every object within combined distance r of q,
@@ -660,6 +718,9 @@ type ShardStat struct {
 	UpdatesSinceBuild int
 	// SnapshotAge is how long ago the shard last published a snapshot.
 	SnapshotAge time.Duration
+	// Publications counts the shard's snapshot publications since the
+	// sharded index was built (initial publication included).
+	Publications int64
 }
 
 // ShardStats returns a per-shard snapshot summary — the backing data of
@@ -675,6 +736,7 @@ func (s *ShardedIndex) ShardStats() []ShardStat {
 			Clusters:          snap.NumClusters(),
 			UpdatesSinceBuild: snap.UpdatesSinceBuild(),
 			SnapshotAge:       sh.SnapshotAge(),
+			Publications:      sh.Publications(),
 		}
 	}
 	return out
