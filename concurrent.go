@@ -110,21 +110,29 @@ func (c *ConcurrentIndex) SnapshotAge() time.Duration {
 func (c *ConcurrentIndex) Snapshot() *Index { return c.cur.Load() }
 
 // Search is Index.Search against the current snapshot (lock-free).
+//
+// Deprecated: use Do with a SearchRequest.
 func (c *ConcurrentIndex) Search(q *Object, k int, lambda float64) []Result {
-	return c.cur.Load().Search(q, k, lambda)
+	return mustResults(c.Do(SearchRequest{Query: q, K: k, Lambda: lambda}))
 }
 
 // SearchApprox is Index.SearchApprox against the current snapshot
 // (lock-free).
+//
+// Deprecated: use Do with SearchRequest.Approx.
 func (c *ConcurrentIndex) SearchApprox(q *Object, k int, lambda float64) []Result {
-	return c.cur.Load().SearchApprox(q, k, lambda)
+	return mustResults(c.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: true}))
 }
 
 // SearchExplain is Index.SearchExplain against the current snapshot
 // (lock-free): results identical to Search/SearchApprox plus the
 // per-query search-internals trace.
+//
+// Deprecated: use Do with SearchRequest.Explain.
 func (c *ConcurrentIndex) SearchExplain(q *Object, k int, lambda float64, approx bool) ([]Result, ExplainStats) {
-	return c.cur.Load().SearchExplain(q, k, lambda, approx)
+	var es ExplainStats
+	res := mustResults(c.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: approx, Explain: &es}))
+	return res, es
 }
 
 // RangeSearch is Index.RangeSearch against the current snapshot
@@ -139,25 +147,26 @@ func (c *ConcurrentIndex) SearchInBox(q *Object, loX, loY, hiX, hiY float64, k i
 	return c.cur.Load().SearchInBox(q, loX, loY, hiX, hiY, k)
 }
 
-// SearchBatch is Index.SearchBatch against the current snapshot: the
-// whole batch runs to completion against the one snapshot it loaded,
+// SearchBatch answers many exact k-NN queries against one snapshot:
+// the whole batch runs to completion against the snapshot it loaded,
 // even while writers publish newer ones concurrently. An empty batch
 // returns an empty result without spinning up workers; k <= 0 returns
 // ErrInvalidK instead of silently producing empty per-query slices.
+//
+// Deprecated: use DoBatch with a BatchSearchRequest.
 func (c *ConcurrentIndex) SearchBatch(queries []Object, k int, lambda float64) ([][]Result, error) {
-	return c.BatchSearch(queries, k, lambda, false, 0, nil)
+	return c.DoBatch(BatchSearchRequest{Queries: queries, K: k, Lambda: lambda})
 }
 
-// BatchSearch is Index.BatchSearch against the current snapshot, with
-// the same empty-batch and invalid-k handling as SearchBatch.
+// BatchSearch is SearchBatch with the approximate variant, explicit
+// parallelism, and work counters.
+//
+// Deprecated: use DoBatch with a BatchSearchRequest.
 func (c *ConcurrentIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) ([][]Result, error) {
-	if k < 1 {
-		return nil, ErrInvalidK
-	}
-	if len(queries) == 0 {
-		return [][]Result{}, nil
-	}
-	return c.cur.Load().BatchSearch(queries, k, lambda, approx, parallelism, st), nil
+	return c.DoBatch(BatchSearchRequest{
+		Queries: queries, K: k, Lambda: lambda,
+		Approx: approx, Parallelism: parallelism, Stats: st,
+	})
 }
 
 // Len returns the live object count of the current snapshot.
@@ -284,6 +293,8 @@ func (c *ConcurrentIndex) KeywordFilterEnabled() bool {
 
 // SearchWithKeywords is Index.SearchWithKeywords against the current
 // snapshot (lock-free).
+//
+// Deprecated: use Do with SearchRequest.Keywords.
 func (c *ConcurrentIndex) SearchWithKeywords(q *Object, k int, lambda float64, keywords ...string) ([]Result, bool) {
 	return c.cur.Load().SearchWithKeywords(q, k, lambda, keywords...)
 }

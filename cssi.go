@@ -163,16 +163,19 @@ func Build(ds *Dataset, opts Options) (*Index, error) {
 // Search returns the exact k nearest neighbors of q under
 // d = λ·ds + (1−λ)·dt (the CSSI algorithm, provably correct per
 // Lemma 4.7). λ must lie in [0,1].
+//
+// Deprecated: use Do with a SearchRequest; Search is a thin wrapper
+// kept for compatibility.
 func (x *Index) Search(q *Object, k int, lambda float64) []Result {
-	return x.SearchStats(q, k, lambda, nil)
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda}))
 }
 
 // SearchStats is Search with work counters: if st is non-nil it
 // accumulates visited-object and pruning statistics.
+//
+// Deprecated: use Do with SearchRequest.Stats.
 func (x *Index) SearchStats(q *Object, k int, lambda float64, st *Stats) []Result {
-	checkQuery(q, k, lambda)
-	x.checkQueryVec(q)
-	return x.core.Search(q, k, lambda, st)
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Stats: st}))
 }
 
 // SearchInto is Search appending its results to dst (typically dst[:0]
@@ -180,17 +183,17 @@ func (x *Index) SearchStats(q *Object, k int, lambda float64, st *Stats) []Resul
 // steady-state call performs zero heap allocations — per-query scratch
 // comes from an internal pool. If st is non-nil it accumulates work
 // counters.
+//
+// Deprecated: use Do with SearchRequest.Dst.
 func (x *Index) SearchInto(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
-	checkQuery(q, k, lambda)
-	x.checkQueryVec(q)
-	return x.core.SearchInto(dst, q, k, lambda, st)
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Dst: dst, Stats: st}))
 }
 
 // SearchApproxInto is SearchInto for the approximate CSSIA algorithm.
+//
+// Deprecated: use Do with SearchRequest.Approx and SearchRequest.Dst.
 func (x *Index) SearchApproxInto(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
-	checkQuery(q, k, lambda)
-	x.checkQueryVec(q)
-	return x.core.SearchApproxInto(dst, q, k, lambda, st)
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: true, Dst: dst, Stats: st}))
 }
 
 // SearchExplain answers one k-NN query — exact CSSI when approx is
@@ -199,19 +202,30 @@ func (x *Index) SearchApproxInto(dst []Result, q *Object, k int, lambda float64,
 // bit-identical to Search / SearchApprox: the explain path only reads
 // counters the algorithms already maintain. Collection costs a handful
 // of time.Now calls per query; the normal Search path is untouched.
+//
+// Deprecated: use Do with SearchRequest.Explain.
 func (x *Index) SearchExplain(q *Object, k int, lambda float64, approx bool) ([]Result, ExplainStats) {
-	checkQuery(q, k, lambda)
-	x.checkQueryVec(q)
 	var es ExplainStats
-	res := x.core.SearchExplainInto(nil, q, k, lambda, approx, &es)
+	res := mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: approx, Explain: &es}))
 	return res, es
+}
+
+// SearchExplainInto is SearchExplain appending the results to dst and
+// accumulating the trace into es (reuse with es.Reset for a
+// zero-allocation steady state).
+//
+// Deprecated: use Do with SearchRequest.Dst and SearchRequest.Explain.
+func (x *Index) SearchExplainInto(dst []Result, q *Object, k int, lambda float64, approx bool, es *ExplainStats) []Result {
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: approx, Dst: dst, Explain: es}))
 }
 
 // SearchBatch answers many exact k-NN queries across a bounded worker
 // pool (GOMAXPROCS workers), each worker reusing one pooled scratch for
 // its whole share of the batch. Results are in query order. Use
-// BatchSearch for the approximate variant, explicit parallelism, or
+// DoBatch for the approximate variant, explicit parallelism, or
 // work counters.
+//
+// Deprecated: use DoBatch with a BatchSearchRequest.
 func (x *Index) SearchBatch(queries []Object, k int, lambda float64) [][]Result {
 	return x.BatchSearch(queries, k, lambda, false, 0, nil)
 }
@@ -219,15 +233,17 @@ func (x *Index) SearchBatch(queries []Object, k int, lambda float64) [][]Result 
 // SearchApprox returns approximate k nearest neighbors with the CSSIA
 // algorithm — typically 2-3× faster than Search with under 1% result
 // error (paper §5, §7).
+//
+// Deprecated: use Do with SearchRequest.Approx.
 func (x *Index) SearchApprox(q *Object, k int, lambda float64) []Result {
-	return x.SearchApproxStats(q, k, lambda, nil)
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: true}))
 }
 
 // SearchApproxStats is SearchApprox with work counters.
+//
+// Deprecated: use Do with SearchRequest.Approx and SearchRequest.Stats.
 func (x *Index) SearchApproxStats(q *Object, k int, lambda float64, st *Stats) []Result {
-	checkQuery(q, k, lambda)
-	x.checkQueryVec(q)
-	return x.core.SearchApprox(q, k, lambda, st)
+	return mustResults(x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: true, Stats: st}))
 }
 
 func checkQuery(q *Object, k int, lambda float64) {

@@ -29,50 +29,59 @@ type SearchOptions struct {
 // SearchAblated is Search with individual pruning mechanisms switched
 // off. It remains exact for every combination of switches.
 func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
-	// The ablation path keeps the paper-faithful eager shape of Alg. 2
-	// (all centroid distances up front, no lazy ordering or early
-	// abandonment) so the measured pruning deltas isolate the switches
-	// below; it still draws its buffers from the scratch pool.
+	// The ablation path keeps the paper-faithful eager centroid shape of
+	// Alg. 2 (all semantic centroid distances up front, no weak-bound
+	// refinement or early abandonment) so the measured pruning deltas
+	// isolate the switches below; it still draws its buffers from the
+	// scratch pool. With ordering enabled the visit order comes from the
+	// same best-first frontier as Search (entries already refined, so
+	// pops never re-push).
 	sc := x.getScratch()
 	defer x.putScratch(sc)
 	x.fillSpatialCentroidDists(sc, q)
 	x.fillSemanticCentroidDists(sc, q)
 	for _, c := range x.clusters {
 		sc.order = append(sc.order, orderedCluster{
-			lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
-			c:  c,
+			lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
+			c:       c,
+			refined: true,
 		})
-	}
-	order := sc.order
-	if !opts.DisableClusterOrder {
-		sortOrder(order)
 	}
 
 	h := &sc.heap
 	h.Reset(k)
-	for ci := range order {
-		oc := &order[ci]
-		if !opts.DisableInterCluster {
-			if u, full := h.Bound(); full && oc.lb >= u {
-				if opts.DisableClusterOrder {
-					// Without the sort the cut-off is unsound; fall back
-					// to a per-cluster filter.
+	if opts.DisableClusterOrder {
+		// Storage order: the cut-off is unsound without ordering, so
+		// inter-cluster pruning degrades to a per-cluster filter.
+		for ci := range sc.order {
+			oc := &sc.order[ci]
+			if !opts.DisableInterCluster {
+				if u, full := h.Bound(); full && oc.lb >= u {
 					if st != nil {
 						st.ClustersPruned++
 						st.InterPruned += int64(len(oc.c.elems))
 					}
 					continue
 				}
-				if st != nil {
-					for _, rest := range order[ci:] {
-						st.ClustersPruned++
-						st.InterPruned += int64(len(rest.c.elems))
-					}
-				}
+			}
+			x.scanClusterAblated(q, lambda, oc.c, sc.dsq[oc.c.s], sc.dtq[oc.c.t], h, st, opts.DisableIntraCluster)
+		}
+		return h.AppendSorted(nil)
+	}
+	f := (*clusterFrontier)(&sc.order)
+	f.heapify()
+	for len(*f) > 0 {
+		if !opts.DisableInterCluster {
+			if u, full := h.Bound(); full && (*f)[0].lb >= u {
+				f.pruneRemaining(st)
 				break
 			}
 		}
-		x.scanClusterAblated(q, lambda, oc.c, sc.dsq[oc.c.s], sc.dtq[oc.c.t], h, st, opts.DisableIntraCluster)
+		e := f.pop()
+		if st != nil {
+			st.ClustersOrdered++
+		}
+		x.scanClusterAblated(q, lambda, e.c, sc.dsq[e.c.s], sc.dtq[e.c.t], h, st, opts.DisableIntraCluster)
 	}
 	return h.AppendSorted(nil)
 }

@@ -11,15 +11,21 @@ import (
 )
 
 // orderedCluster pairs a hybrid cluster with its query-specific lower
-// bound for the sort in Alg. 2 line 4 / Alg. 3 line 5.
+// bound, the key of the best-first frontier (Alg. 2 line 4 / Alg. 3
+// line 5). refined reports whether lb is the true lower bound L(q,C)
+// (Eq. 4) or the cheap weak under-estimate from the projected space;
+// the frontier refines weak entries only when they are popped.
 type orderedCluster struct {
-	lb float64
-	c  *hybrid
+	lb      float64
+	c       *hybrid
+	refined bool
 }
 
-// sortOrder sorts clusters by ascending lower bound. slices.SortFunc
-// (not sort.Slice) so the comparator is monomorphized and the sort does
-// not allocate.
+// sortOrder sorts clusters by ascending lower bound: the eager
+// ordering the lazy clusterFrontier replaced. It is retained as the
+// reference implementation for the lazy-vs-eager equality tests.
+// slices.SortFunc (not sort.Slice) so the comparator is monomorphized
+// and the sort does not allocate.
 func sortOrder(order []orderedCluster) {
 	slices.SortFunc(order, func(a, b orderedCluster) int {
 		switch {
@@ -159,17 +165,22 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 	}
 	x.fillSpatialCentroidDists(sc, q)
 
-	// Cluster ordering (Alg. 2 line 4). The original-space semantic
-	// centroid distances dominate the centroid-level cost (Kt
-	// n-dimensional kernels), yet a query that fills its heap early never
-	// consults most of them. Under the Euclidean metric the ordering
-	// therefore uses a weak lower bound from the m-dimensional projected
-	// space and the true dtq is computed lazily — only for clusters the
-	// scan actually reaches — and memoized per semantic side-cluster.
-	// Exactness is preserved: the weak bound never exceeds the true
-	// L(q,C) (lowerBound is non-decreasing in dtq), so the sorted cut-off
-	// of Lemma 4.4 stays sound, and each reached cluster is re-checked
-	// against its true bound before scanning.
+	// Cluster ordering (Alg. 2 line 4), lazy on two axes. First, the
+	// ordering key: the original-space semantic centroid distances
+	// dominate the centroid-level cost (Kt n-dimensional kernels), yet a
+	// query that fills its heap early never consults most of them, so
+	// under the Euclidean metric entries carry a weak lower bound from
+	// the m-dimensional projected space and the true dtq is computed
+	// only for clusters the scan actually reaches, memoized per semantic
+	// side-cluster. Second, the ordering itself: instead of eagerly
+	// sorting all Ks×Kt clusters, a best-first min-heap is heapified in
+	// O(K) and clusters are popped on demand — a query cut off after
+	// examining E clusters pays O(K + E log K) ordering work, not
+	// O(K log K). Exactness is preserved: the weak bound never exceeds
+	// the true L(q,C) (lowerBound is non-decreasing in dtq), so a popped
+	// entry whose refined bound still does not exceed the next head is
+	// provably the minimum true bound and the cut-off of Lemma 4.4 stays
+	// sound (see clusterFrontier).
 	lazy := x.lazyOrderable()
 	if lazy {
 		x.fillProjLowerBounds(sc, q)
@@ -183,14 +194,16 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 		x.fillSemanticCentroidDists(sc, q)
 		for _, c := range x.clusters {
 			sc.order = append(sc.order, orderedCluster{
-				lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
-				c:  c,
+				lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
+				c:       c,
+				refined: true,
 			})
 		}
 	}
-	sortOrder(sc.order)
+	f := (*clusterFrontier)(&sc.order)
+	f.heapify()
 	if sc.obs != nil {
-		sc.obs.ClustersTotal += int64(len(sc.order))
+		sc.obs.ClustersTotal += int64(len(*f))
 		sc.obs.OrderNanos += time.Since(phase).Nanoseconds()
 		phase = time.Now()
 	}
@@ -200,37 +213,46 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 	for _, r := range seed {
 		h.Push(r)
 	}
-	for ci := range sc.order {
-		oc := &sc.order[ci]
-		if u, full := h.Bound(); full && oc.lb >= u {
-			// Pruning property 1 (Lemma 4.4): every remaining cluster
-			// has an even larger lower bound.
-			if st != nil {
-				for _, rest := range sc.order[ci:] {
-					st.ClustersPruned++
-					st.InterPruned += int64(len(rest.c.elems))
-				}
-			}
+	for len(*f) > 0 {
+		if u, full := h.Bound(); full && (*f)[0].lb >= u {
+			// Pruning property 1 (Lemma 4.4): every remaining entry's key
+			// is ≥ the head's, and keys only under-estimate true bounds.
+			f.pruneRemaining(st)
 			break
 		}
-		c := oc.c
+		e := f.pop()
+		if st != nil {
+			st.ClustersOrdered++
+		}
+		c := e.c
 		dtqC := sc.dtq[c.t]
 		if !sc.dtqKnown[c.t] {
 			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
 			sc.dtq[c.t] = dtqC
 			sc.dtqKnown[c.t] = true
 		}
-		if lazy {
-			// The weak bound admitted this cluster; re-check with the true
-			// dtq (Lemma 4.4 as a per-cluster filter).
-			if u, full := h.Bound(); full {
-				if lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], dtqC, x.tRad[c.t]) >= u {
-					if st != nil {
-						st.ClustersPruned++
-						st.InterPruned += int64(len(c.elems))
-					}
-					continue
+		if !e.refined {
+			// The weak bound admitted this cluster; refine to the true
+			// L(q,C). If it worsens past the next head the cluster is not
+			// necessarily next — re-push it with its true bound (at most
+			// once per cluster). Otherwise it provably holds the minimum
+			// remaining true bound and is consumed now.
+			trueLB := lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], dtqC, x.tRad[c.t])
+			if len(*f) > 0 && trueLB > (*f)[0].lb {
+				e.lb, e.refined = trueLB, true
+				f.push(e)
+				continue
+			}
+			if u, full := h.Bound(); full && trueLB >= u {
+				// The minimum remaining true bound already reaches U:
+				// this cluster and everything still in the frontier are
+				// pruned (Lemma 4.4).
+				if st != nil {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(c.elems))
 				}
+				f.pruneRemaining(st)
+				break
 			}
 		}
 		x.scanCluster(sc, q, lambda, c, sc.dsq[c.s], dtqC, h, st)

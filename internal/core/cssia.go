@@ -114,15 +114,21 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 		sc.dtqProj[t] = x.space.SemanticProjVec(qProj, x.tCentProj[t])
 	}
 
+	// CSSIA's inter-cluster bounds live entirely in the projected space
+	// (§5.3), so frontier entries are already final — refined from the
+	// start, never re-pushed; the heap only supplies the lazy best-first
+	// consumption order.
 	for _, c := range x.clusters {
 		sc.order = append(sc.order, orderedCluster{
-			lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRadProj[c.t]),
-			c:  c,
+			lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRadProj[c.t]),
+			c:       c,
+			refined: true,
 		})
 	}
-	sortOrder(sc.order)
+	f := (*clusterFrontier)(&sc.order)
+	f.heapify()
 	if sc.obs != nil {
-		sc.obs.ClustersTotal += int64(len(sc.order))
+		sc.obs.ClustersTotal += int64(len(*f))
 		sc.obs.OrderNanos += time.Since(phase).Nanoseconds()
 		phase = time.Now()
 	}
@@ -136,19 +142,17 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 		sc.dtqKnown[t] = false
 	}
 
-	for ci := range sc.order {
-		oc := &sc.order[ci]
-		if len(cands) >= k && oc.lb >= uPrime {
+	for len(*f) > 0 {
+		if len(cands) >= k && (*f)[0].lb >= uPrime {
 			// Revised pruning property 1 (§5.3) in the projected space.
-			if st != nil {
-				for _, rest := range sc.order[ci:] {
-					st.ClustersPruned++
-					st.InterPruned += int64(len(rest.c.elems))
-				}
-			}
+			f.pruneRemaining(st)
 			break
 		}
-		c := oc.c
+		e := f.pop()
+		if st != nil {
+			st.ClustersOrdered++
+		}
+		c := e.c
 		if st != nil {
 			st.ClustersExamined++
 		}

@@ -13,49 +13,90 @@ import (
 // only from accepted objects. Rejected objects never have their
 // distances computed.
 //
+// Cluster ordering uses the same lazy best-first frontier as Search:
+// entries carry the weak projected-space bound when available and are
+// refined to the true L(q,C) on pop (see clusterFrontier), so the
+// ordering cost tracks the clusters the filtered scan actually reaches.
+//
 // Work accounting: rejected objects are not charged to any counter, so
 // the visited+inter+intra identity of the unfiltered algorithms does not
-// apply here.
+// apply here; inter-cluster cut-offs charge ClustersPruned only.
 func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow func(id uint32) bool, st *metric.Stats) []knn.Result {
 	sc := x.getScratch()
 	defer x.putScratch(sc)
 	x.fillSpatialCentroidDists(sc, q)
-	x.fillSemanticCentroidDists(sc, q)
-	for _, c := range x.clusters {
-		sc.order = append(sc.order, orderedCluster{
-			lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
-			c:  c,
-		})
+	lazy := x.lazyOrderable()
+	if lazy {
+		x.fillProjLowerBounds(sc, q)
+		for _, c := range x.clusters {
+			sc.order = append(sc.order, orderedCluster{
+				lb: lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRad[c.t]),
+				c:  c,
+			})
+		}
+	} else {
+		x.fillSemanticCentroidDists(sc, q)
+		for _, c := range x.clusters {
+			sc.order = append(sc.order, orderedCluster{
+				lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
+				c:       c,
+				refined: true,
+			})
+		}
 	}
-	sortOrder(sc.order)
+	f := (*clusterFrontier)(&sc.order)
+	f.heapify()
 
 	h := &sc.heap
 	h.Reset(k)
-	for ci := range sc.order {
-		oc := &sc.order[ci]
-		if u, full := h.Bound(); full && oc.lb >= u {
+	for len(*f) > 0 {
+		if u, full := h.Bound(); full && (*f)[0].lb >= u {
 			if st != nil {
-				st.ClustersPruned += int64(len(sc.order) - ci)
+				st.ClustersPruned += int64(len(*f))
 			}
 			break
 		}
-		c := oc.c
+		e := f.pop()
+		if st != nil {
+			st.ClustersOrdered++
+		}
+		c := e.c
+		dtqC := sc.dtq[c.t]
+		if !sc.dtqKnown[c.t] {
+			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtq[c.t] = dtqC
+			sc.dtqKnown[c.t] = true
+		}
+		if !e.refined {
+			trueLB := lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], dtqC, x.tRad[c.t])
+			if len(*f) > 0 && trueLB > (*f)[0].lb {
+				e.lb, e.refined = trueLB, true
+				f.push(e)
+				continue
+			}
+			if u, full := h.Bound(); full && trueLB >= u {
+				if st != nil {
+					st.ClustersPruned += int64(len(*f) + 1)
+				}
+				break
+			}
+		}
 		if st != nil {
 			st.ClustersExamined++
 		}
-		enclosed := sc.dsq[c.s] < x.sRad[c.s] && sc.dtq[c.t] < x.tRad[c.t]
-		dqC := lambda*sc.dsq[c.s] + (1-lambda)*sc.dtq[c.t]
+		enclosed := sc.dsq[c.s] < x.sRad[c.s] && dtqC < x.tRad[c.t]
+		dqC := lambda*sc.dsq[c.s] + (1-lambda)*dtqC
 		for ei := range c.elems {
-			e := &c.elems[ei]
+			el := &c.elems[ei]
 			if !enclosed {
 				if u, full := h.Bound(); full {
-					bound := lambda*e.ds + (1-lambda)*e.dt
+					bound := lambda*el.ds + (1-lambda)*el.dt
 					if dqC-bound > u {
 						break // Lemma 4.5, valid for the filtered subset too
 					}
 				}
 			}
-			o := &x.objects[e.idx]
+			o := &x.objects[el.idx]
 			if !allow(o.ID) {
 				continue
 			}

@@ -1,0 +1,100 @@
+package core
+
+import "repro/internal/metric"
+
+// clusterFrontier is a binary min-heap of orderedCluster keyed by lb —
+// the lazy best-first replacement for the eager sortOrder of Alg. 2
+// line 4 / Alg. 3 line 5. The query loop only ever consumes clusters in
+// ascending lower-bound order until the k-NN bound cuts the rest off
+// (Lemma 4.4), so a full O(K log K) sort over all Ks×Kt hybrid clusters
+// does ordering work proportional to the index size; the heap does
+// O(K) to establish the invariant (bottom-up heapify) and then
+// O(log K) per cluster actually reached, making ordering cost
+// proportional to what the bound lets the query visit.
+//
+// Laziness composes with the weak projected-space bound: entries may be
+// pushed with a cheap weak bound (refined=false) and refined to the
+// true bound only when popped. The invariant that keeps the best-first
+// order admissible is weak(C) ≤ true(C) for every cluster C: a popped
+// weak bound that refines to a true bound still ≤ the next head is
+// provably the global minimum true bound (every remaining entry's key
+// already exceeds it, and keys only under-estimate), so the cluster can
+// be consumed immediately; otherwise it is re-pushed with its true
+// bound and refined at most once.
+//
+// The backing array is the pooled searchScratch.order slice, so the
+// heap allocates nothing in steady state. The sift operations are
+// hand-written (no container/heap) to avoid interface boxing, matching
+// candHeap.
+type clusterFrontier []orderedCluster
+
+// heapify establishes the min-heap invariant bottom-up in O(len(f)).
+func (f clusterFrontier) heapify() {
+	for i := len(f)/2 - 1; i >= 0; i-- {
+		f.siftDown(i)
+	}
+}
+
+func (f clusterFrontier) siftDown(i int) {
+	n := len(f)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && f[r].lb < f[l].lb {
+			small = r
+		}
+		if f[i].lb <= f[small].lb {
+			return
+		}
+		f[i], f[small] = f[small], f[i]
+		i = small
+	}
+}
+
+// pop removes and returns the entry with the smallest lower bound.
+// The caller must ensure the frontier is non-empty.
+func (f *clusterFrontier) pop() orderedCluster {
+	h := *f
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	h.siftDown(0)
+	*f = h
+	return top
+}
+
+// push inserts e, restoring the heap invariant in O(log len(f)). The
+// backing array retains its capacity across pops, so a refine-re-push
+// never reallocates.
+func (f *clusterFrontier) push(e orderedCluster) {
+	h := append(*f, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].lb <= h[i].lb {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*f = h
+}
+
+// pruneRemaining charges every entry still in the frontier to the
+// inter-cluster pruning counters: called when the head's lower bound
+// reaches the k-NN bound U, at which point every remaining entry —
+// refined or not, since weak bounds only under-estimate — provably
+// cannot contain a result (Lemma 4.4).
+func (f clusterFrontier) pruneRemaining(st *metric.Stats) {
+	if st == nil {
+		return
+	}
+	for i := range f {
+		st.ClustersPruned++
+		st.InterPruned += int64(len(f[i].c.elems))
+	}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+)
+
+// searchEager is the pre-frontier reference implementation of exact
+// CSSI: every centroid distance computed up front, clusters sorted
+// eagerly by TRUE lower bound, then scanned linearly with the Lemma 4.4
+// cut-off. It lives in test code only — the production path is the lazy
+// best-first frontier, and this reference pins its results.
+func searchEager(x *Index, seed []knn.Result, q *dataset.Object, k int, lambda float64) []knn.Result {
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	sc.order = sc.order[:0]
+	x.fillSpatialCentroidDists(sc, q)
+	x.fillSemanticCentroidDists(sc, q)
+	for _, c := range x.clusters {
+		sc.order = append(sc.order, orderedCluster{
+			lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtq[c.t], x.tRad[c.t]),
+			c:       c,
+			refined: true,
+		})
+	}
+	sortOrder(sc.order)
+	h := &sc.heap
+	h.Reset(k)
+	for _, r := range seed {
+		h.Push(r)
+	}
+	for _, e := range sc.order {
+		if u, full := h.Bound(); full && e.lb >= u {
+			break
+		}
+		x.scanCluster(sc, q, lambda, e.c, sc.dsq[e.c.s], sc.dtq[e.c.t], h, nil)
+	}
+	return h.AppendSorted(nil)
+}
+
+// searchApproxEager is the pre-frontier reference implementation of
+// CSSIA: projected bounds for every cluster up front, eager sort, then
+// the identical scan body run linearly.
+func searchApproxEager(x *Index, q *dataset.Object, k int, lambda float64) []knn.Result {
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	sc.order = sc.order[:0]
+	qProj := sc.qProj
+	x.pcaModel.TransformInto(qProj, q.Vec)
+	x.fillSpatialCentroidDists(sc, q)
+	for t := range sc.dtqProj {
+		sc.dtqProj[t] = x.space.SemanticProjVec(qProj, x.tCentProj[t])
+	}
+	for _, c := range x.clusters {
+		sc.order = append(sc.order, orderedCluster{
+			lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRadProj[c.t]),
+			c:       c,
+			refined: true,
+		})
+	}
+	sortOrder(sc.order)
+	cands := sc.cands[:0]
+	defer func() { sc.cands = cands[:0] }()
+	u, uPrime := math.Inf(1), math.Inf(1)
+	for t := range sc.dtqKnown {
+		sc.dtqKnown[t] = false
+	}
+	for _, oc := range sc.order {
+		if len(cands) >= k && oc.lb >= uPrime {
+			break
+		}
+		c := oc.c
+		if !sc.dtqKnown[c.t] {
+			sc.dtq[c.t] = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtqKnown[c.t] = true
+		}
+		dtqC := sc.dtq[c.t]
+		enclosed := sc.dsq[c.s] < x.sRad[c.s] && dtqC < x.tRad[c.t]
+		dqC := lambda*sc.dsq[c.s] + (1-lambda)*dtqC
+		for ei := range c.elems {
+			e := &c.elems[ei]
+			if !enclosed && len(cands) >= k {
+				bound := lambda*e.ds + (1-lambda)*e.dt
+				if dqC-bound > u {
+					break
+				}
+			}
+			o := &x.objects[e.idx]
+			ds := x.space.Spatial(nil, q.X, q.Y, o.X, o.Y)
+			var dt float64
+			if len(cands) >= k && lambda < 1 {
+				dtBound := (u - lambda*ds) / (1 - lambda)
+				var ok bool
+				dt, ok = x.space.SemanticBound(nil, q.Vec, o.Vec, dtBound)
+				if !ok {
+					continue
+				}
+			} else {
+				dt = x.space.Semantic(nil, q.Vec, o.Vec)
+			}
+			d := metric.Combine(lambda, ds, dt)
+			if d < u || len(cands) < k {
+				dpr := metric.Combine(lambda, ds, x.space.SemanticProjVec(qProj, x.projAt(e.idx)))
+				cands.push(cand{id: o.ID, d: d, dpr: dpr})
+				if len(cands) > k {
+					cands.popMax()
+				}
+				if len(cands) == k {
+					u = cands[0].d
+					uPrime = cands.maxDPr()
+				}
+			}
+		}
+	}
+	out := make([]knn.Result, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, knn.Result{ID: c.id, Dist: c.d})
+	}
+	knn.SortResults(out)
+	return out
+}
+
+// TestFrontierPopOrderMatchesSort pins the frontier's heap discipline:
+// popping a heapified frontier yields the bounds in the exact order the
+// eager sort produced (the best-first order lazily).
+func TestFrontierPopOrderMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(120)
+		entries := make([]orderedCluster, n)
+		sorted := make([]float64, n)
+		for i := range entries {
+			lb := rng.Float64()
+			if rng.IntN(5) == 0 {
+				lb = 0 // force ties, the common enclosed-cluster case
+			}
+			entries[i] = orderedCluster{lb: lb}
+			sorted[i] = lb
+		}
+		ref := append([]orderedCluster(nil), entries...)
+		sortOrder(ref)
+		f := (*clusterFrontier)(&entries)
+		f.heapify()
+		for i := 0; len(*f) > 0; i++ {
+			got := f.pop()
+			if got.lb != ref[i].lb {
+				t.Fatalf("trial %d: pop %d has lb %v, eager sort has %v", trial, i, got.lb, ref[i].lb)
+			}
+		}
+	}
+}
+
+// TestLazyVsEagerExact drives the lazy frontier search against the
+// eager reference over random lambda and k, asserting bit-identical
+// results (distances AND IDs — the heap's (dist, ID) tie-break makes
+// the exact top-k a pure function of the candidate set).
+func TestLazyVsEagerExact(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 1200, Config{Seed: 90})
+	if !f.idx.lazyOrderable() {
+		t.Fatal("fixture should take the lazy weak-bound path")
+	}
+	rng := rand.New(rand.NewPCG(90, 1))
+	for trial := 0; trial < 40; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		k := 1 + rng.IntN(25)
+		lambda := rng.Float64()
+		want := searchEager(f.idx, nil, &q, k, lambda)
+		got := f.idx.Search(&q, k, lambda, nil)
+		requireIdentical(t, "exact", trial, want, got)
+	}
+}
+
+// TestLazyVsEagerExactAfterDeletes repeats the equality check after a
+// random ~25% of the objects are deleted, so shrunken clusters and
+// stale radii flow through both implementations.
+func TestLazyVsEagerExactAfterDeletes(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 1000, Config{Seed: 91})
+	rng := rand.New(rand.NewPCG(91, 1))
+	for i := range f.ds.Objects {
+		if rng.Float64() < 0.25 {
+			if err := f.idx.Delete(f.ds.Objects[i].ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		k := 1 + rng.IntN(20)
+		lambda := rng.Float64()
+		want := searchEager(f.idx, nil, &q, k, lambda)
+		got := f.idx.Search(&q, k, lambda, nil)
+		requireIdentical(t, "exact+deletes", trial, want, got)
+	}
+}
+
+// TestLazyVsEagerEagerBoundPath covers the non-lazy ordering path (no
+// usable projection → entries enter the frontier already refined): an
+// angular-semantic space disables the weak bound, but the frontier
+// machinery still runs.
+func TestLazyVsEagerEagerBoundPath(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 800, Dim: 32, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metric.NewSpaceWithSemantic(ds, metric.AngularSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds, sp, Config{Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.lazyOrderable() {
+		t.Fatal("angular fixture should NOT take the lazy weak-bound path")
+	}
+	rng := rand.New(rand.NewPCG(92, 1))
+	for trial := 0; trial < 25; trial++ {
+		q := ds.Objects[rng.IntN(ds.Len())]
+		k := 1 + rng.IntN(15)
+		lambda := rng.Float64()
+		want := searchEager(idx, nil, &q, k, lambda)
+		got := idx.Search(&q, k, lambda, nil)
+		requireIdentical(t, "angular", trial, want, got)
+	}
+}
+
+// TestLazyVsEagerSeededChained exercises the sharded single-worker
+// path: the dataset is split into disjoint partitions sharing one
+// metric space's normalizers (exactly as BuildSharded arranges), the
+// k-NN heap is chained partition to partition with SearchSeededInto,
+// and the chained result must equal both the flat index's answer and
+// an eager-reference chain over the same partitions.
+func TestLazyVsEagerSeededChained(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GenConfig{Kind: dataset.TwitterLike, Size: 1100, Dim: 32, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := metric.NewSpace(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Build(ds, space, Config{Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parts = 3
+	partDS := make([]*dataset.Dataset, parts)
+	for i := range partDS {
+		partDS[i] = &dataset.Dataset{Dim: ds.Dim}
+	}
+	for i := range ds.Objects {
+		p := partDS[int(ds.Objects[i].ID)%parts]
+		p.Objects = append(p.Objects, ds.Objects[i])
+	}
+	idxs := make([]*Index, parts)
+	for i, p := range partDS {
+		// Per-part space copy: Build sets the per-part projected
+		// normalizer on it while the shared DsMax/DtMax carry over —
+		// mirroring BuildSharded.
+		partSpace := *space
+		idxs[i], err = Build(p, &partSpace, Config{Seed: 93 + uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewPCG(93, 1))
+	for trial := 0; trial < 25; trial++ {
+		q := ds.Objects[rng.IntN(ds.Len())]
+		k := 1 + rng.IntN(20)
+		lambda := rng.Float64()
+		var lazy, eager []knn.Result
+		for _, x := range idxs {
+			lazy = x.SearchSeededInto(nil, lazy, &q, k, lambda, nil)
+			eager = searchEager(x, eager, &q, k, lambda)
+		}
+		want := flat.Search(&q, k, lambda, nil)
+		requireIdentical(t, "chained lazy vs flat", trial, want, lazy)
+		requireIdentical(t, "chained lazy vs chained eager", trial, eager, lazy)
+	}
+}
+
+// TestLazyVsEagerApprox drives the frontier-based CSSIA against the
+// eager-sorted reference. CSSIA's bounds are final from the start, so
+// the frontier consumes clusters in exactly the eager order and the
+// approximate answer — normally order-sensitive — must also match.
+func TestLazyVsEagerApprox(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 1200, Config{Seed: 94})
+	rng := rand.New(rand.NewPCG(94, 1))
+	for trial := 0; trial < 40; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		k := 1 + rng.IntN(25)
+		lambda := rng.Float64()
+		want := searchApproxEager(f.idx, &q, k, lambda)
+		got := f.idx.SearchApprox(&q, k, lambda, nil)
+		requireIdentical(t, "approx", trial, want, got)
+	}
+}
+
+// TestLazyFilteredRangeBoxAfterDeletes covers the remaining frontier
+// consumers — filtered, range, and box search — against brute-force
+// references on an index with random deletions.
+func TestLazyFilteredRangeBoxAfterDeletes(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 900, Config{Seed: 95})
+	rng := rand.New(rand.NewPCG(95, 1))
+	deleted := make(map[uint32]bool)
+	for i := range f.ds.Objects {
+		if rng.Float64() < 0.2 {
+			id := f.ds.Objects[i].ID
+			if err := f.idx.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			deleted[id] = true
+		}
+	}
+	live := func(id uint32) bool { return !deleted[id] }
+	for trial := 0; trial < 15; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		lambda := rng.Float64()
+		k := 1 + rng.IntN(15)
+
+		keep := make(map[uint32]bool)
+		for i := range f.ds.Objects {
+			if rng.Float64() < 0.4 {
+				keep[f.ds.Objects[i].ID] = true
+			}
+		}
+		allow := func(id uint32) bool { return keep[id] }
+		wantF := filteredBrute(f, &q, k, lambda, func(id uint32) bool { return live(id) && allow(id) })
+		gotF := f.idx.SearchFiltered(&q, k, lambda, allow, nil)
+		requireIdentical(t, "filtered", trial, wantF, gotF)
+
+		r := 0.1 + 0.3*rng.Float64()
+		wantR := rangeBruteLive(f, &q, r, lambda, live)
+		gotR := f.idx.RangeSearch(&q, r, lambda, nil)
+		requireIdentical(t, "range", trial, wantR, gotR)
+
+		loX, loY := rng.Float64(), rng.Float64()
+		hiX, hiY := loX+rng.Float64(), loY+rng.Float64()
+		wantB := boxBruteLive(f, &q, loX, loY, hiX, hiY, k, live)
+		gotB := f.idx.SearchInBox(&q, loX, loY, hiX, hiY, k, nil)
+		requireIdentical(t, "box", trial, wantB, gotB)
+	}
+}
+
+// rangeBruteLive is the reference range query over live objects.
+func rangeBruteLive(f *fixture, q *dataset.Object, r, lambda float64, live func(uint32) bool) []knn.Result {
+	var out []knn.Result
+	for i := range f.ds.Objects {
+		o := &f.ds.Objects[i]
+		if !live(o.ID) {
+			continue
+		}
+		if d := f.sp.Distance(nil, lambda, q, o); d <= r {
+			out = append(out, knn.Result{ID: o.ID, Dist: d})
+		}
+	}
+	knn.SortResults(out)
+	return out
+}
+
+// boxBruteLive is the reference windowed semantic k-NN over live
+// objects (lambda 0: pure semantic ranking inside the window).
+func boxBruteLive(f *fixture, q *dataset.Object, loX, loY, hiX, hiY float64, k int, live func(uint32) bool) []knn.Result {
+	h := knn.NewHeap(k)
+	for i := range f.ds.Objects {
+		o := &f.ds.Objects[i]
+		if !live(o.ID) || o.X < loX || o.X > hiX || o.Y < loY || o.Y > hiY {
+			continue
+		}
+		h.Push(knn.Result{ID: o.ID, Dist: f.sp.Semantic(nil, q.Vec, o.Vec)})
+	}
+	return h.Sorted()
+}
+
+// requireIdentical asserts two result lists are bit-identical: same
+// length, same IDs, same distances, same order.
+func requireIdentical(t *testing.T, ctx string, trial int, want, got []knn.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s trial %d: got %d results, want %d", ctx, trial, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s trial %d result %d: got {%d %v}, want {%d %v}",
+				ctx, trial, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}

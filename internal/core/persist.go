@@ -60,11 +60,11 @@ type gobIndex struct {
 	SCentX, SCentY, SRad []float64
 	SMembers             [][]uint32
 
-	TCent              [][]float32
-	TRad               []float64
-	TCentProj          [][]float32
-	TRadProj           []float64
-	TMembers           [][]uint32
+	TCent     [][]float32
+	TRad      []float64
+	TCentProj [][]float32
+	TRadProj  []float64
+	TMembers  [][]uint32
 	// TValid marks semantic clusters whose centroids were computed from
 	// at least one member (see Index.tValid). Absent from files written
 	// before it existed; Load then derives it from current membership.

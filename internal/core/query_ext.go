@@ -35,6 +35,12 @@ func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Sta
 	} else {
 		x.fillSemanticCentroidDists(sc, q)
 	}
+	// Range search needs no cluster ordering (and hence no frontier):
+	// the pruning bound is the fixed radius r, not an adaptive k-NN
+	// bound that tightens as results accumulate, so the per-cluster
+	// lower-bound filter below already prunes exactly the clusters a
+	// sorted cut-off would — sorting could only save the remaining cheap
+	// float comparisons at the cost of ordering all clusters.
 	var out []knn.Result
 	for _, c := range x.clusters {
 		var weak float64
@@ -143,9 +149,10 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 		x.fillSemanticCentroidDists(sc, q)
 	}
 	// Order clusters by their semantic lower bound so the cut-off of
-	// Lemma 4.4 (with the pure-semantic metric) applies. Under the lazy
-	// path the ordering uses the weak projected bound (max(0, w−R^t) ≤
-	// max(0, dtq−R^t)); the true dtq is computed per reached cluster.
+	// Lemma 4.4 (with the pure-semantic metric) applies, via the same
+	// lazy best-first frontier as Search. Under the lazy path entries
+	// carry the weak projected bound (max(0, w−R^t) ≤ max(0, dtq−R^t))
+	// and are refined to the true semantic bound on pop.
 	for _, c := range x.clusters {
 		// Spatial filter: the cluster ball (center, radius in normalized
 		// units) must reach the window.
@@ -167,37 +174,46 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 		if lb < 0 {
 			lb = 0
 		}
-		sc.order = append(sc.order, orderedCluster{lb: lb, c: c})
+		sc.order = append(sc.order, orderedCluster{lb: lb, c: c, refined: !lazy})
 	}
-	sortOrder(sc.order)
+	f := (*clusterFrontier)(&sc.order)
+	f.heapify()
 
 	h := &sc.heap
 	h.Reset(k)
-	for ci := range sc.order {
-		oc := &sc.order[ci]
-		if u, full := h.Bound(); full && oc.lb >= u {
-			if st != nil {
-				for _, rest := range sc.order[ci:] {
-					st.ClustersPruned++
-					st.InterPruned += int64(len(rest.c.elems))
-				}
-			}
+	for len(*f) > 0 {
+		if u, full := h.Bound(); full && (*f)[0].lb >= u {
+			f.pruneRemaining(st)
 			break
 		}
-		c := oc.c
+		e := f.pop()
+		if st != nil {
+			st.ClustersOrdered++
+		}
+		c := e.c
 		dtqC := sc.dtq[c.t]
 		if !sc.dtqKnown[c.t] {
 			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
 			sc.dtq[c.t] = dtqC
 			sc.dtqKnown[c.t] = true
 		}
-		if lazy {
-			if u, full := h.Bound(); full && dtqC-x.tRad[c.t] >= u {
+		if !e.refined {
+			trueLB := dtqC - x.tRad[c.t]
+			if trueLB < 0 {
+				trueLB = 0
+			}
+			if len(*f) > 0 && trueLB > (*f)[0].lb {
+				e.lb, e.refined = trueLB, true
+				f.push(e)
+				continue
+			}
+			if u, full := h.Bound(); full && trueLB >= u {
 				if st != nil {
 					st.ClustersPruned++
 					st.InterPruned += int64(len(c.elems))
 				}
-				continue
+				f.pruneRemaining(st)
+				break
 			}
 		}
 		if st != nil {

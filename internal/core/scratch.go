@@ -28,7 +28,8 @@ type searchScratch struct {
 	dtqProj []float64
 	// qProj is the PCA projection of the query vector (length m).
 	qProj []float32
-	// order is the cluster visit order of Alg. 2 line 4 / Alg. 3 line 5.
+	// order is the backing array of the best-first cluster frontier
+	// (Alg. 2 line 4 / Alg. 3 line 5 made lazy; see clusterFrontier).
 	order []orderedCluster
 	// heap collects the k best results; cands is CSSIA's candidate
 	// max-heap.

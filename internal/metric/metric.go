@@ -144,6 +144,13 @@ type Stats struct {
 	// index nodes) examined vs pruned wholesale.
 	ClustersExamined int64 `json:"clustersExamined"`
 	ClustersPruned   int64 `json:"clustersPruned"`
+	// ClustersOrdered counts clusters whose position in the visit order
+	// was actually materialized — pops from the lazy best-first frontier
+	// (a weak entry re-pushed with its refined bound is popped, and
+	// counted, twice). The eager sort this replaced ordered every
+	// cluster; on a pruned query ClustersOrdered stays far below
+	// ClustersExamined+ClustersPruned, which is the ordering-phase win.
+	ClustersOrdered int64 `json:"clustersOrdered"`
 }
 
 // Add accumulates o into s.
@@ -155,6 +162,7 @@ func (s *Stats) Add(o *Stats) {
 	s.IntraPruned += o.IntraPruned
 	s.ClustersExamined += o.ClustersExamined
 	s.ClustersPruned += o.ClustersPruned
+	s.ClustersOrdered += o.ClustersOrdered
 }
 
 // DistCalcs returns the total number of per-space distance calculations.

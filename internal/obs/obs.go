@@ -49,9 +49,11 @@ type SearchStats struct {
 	// KthDistance is the final k-NN bound U: the combined distance of
 	// the worst returned result (0 when the query returned nothing).
 	KthDistance float64 `json:"kthDistance"`
-	// OrderNanos is wall time spent computing centroid distances and
-	// sorting the cluster visit order (Alg. 2 line 4 / Alg. 3 line 5);
-	// ScanNanos is wall time spent scanning cluster arrays.
+	// OrderNanos is wall time of the up-front ordering phase: computing
+	// the centroid-level bounds and heapifying the best-first cluster
+	// frontier (Alg. 2 line 4 / Alg. 3 line 5). The incremental pops the
+	// lazy frontier performs are interleaved with scanning and accrue to
+	// ScanNanos, the wall time of the consumption loop.
 	OrderNanos int64 `json:"orderNanos"`
 	ScanNanos  int64 `json:"scanNanos"`
 }

@@ -33,6 +33,7 @@ type metrics struct {
 	rebuildDuration histogram // background rebuild wall time
 	readEfficiency  histogram // per search request: fraction of objects pruned
 	clustersPruned  histogram // per search request: fraction of clusters pruned
+	clustersOrdered histogram // per search request: ordering-phase pops / clusters considered
 
 	start time.Time // process-uptime epoch (registry creation)
 }
@@ -138,6 +139,7 @@ func newMetrics() *metrics {
 	m.rebuildDuration.init(rebuildBuckets)
 	m.readEfficiency.init(ratioBuckets)
 	m.clustersPruned.init(ratioBuckets)
+	m.clustersOrdered.init(ratioBuckets)
 	return m
 }
 
@@ -167,6 +169,12 @@ func (m *metrics) observeSearchStats(st *cssi.Stats) {
 	clTotal := st.ClustersExamined + st.ClustersPruned
 	if clTotal > 0 {
 		m.clustersPruned.observe(float64(st.ClustersPruned) / float64(clTotal))
+		// Ordering-phase read efficiency: heap pops over clusters
+		// considered. A re-pushed cluster pops twice, so the ratio can
+		// legitimately exceed 1 — those observations land in the +Inf
+		// bucket. Well below 1 means the k-NN bound cut the ordering
+		// phase off long before every cluster was even ordered.
+		m.clustersOrdered.observe(float64(st.ClustersOrdered) / float64(clTotal))
 	}
 }
 
@@ -261,6 +269,8 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 			"Per search request: fraction of accounted objects skipped by pruning (1 = everything pruned).")
 		m.clustersPruned.write(&b, "cssi_search_clusters_pruned_ratio",
 			"Per search request: fraction of clusters dismissed wholesale by the lower-bound cut.")
+		m.clustersOrdered.write(&b, "cssi_search_clusters_ordered_ratio",
+			"Per search request: lazy ordering-phase heap pops over clusters considered (re-pushed clusters pop twice, so >1 lands in +Inf).")
 
 		stats := sampler()
 		b.WriteString("# HELP cssi_shard_objects Live objects per shard.\n")

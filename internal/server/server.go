@@ -18,6 +18,14 @@
 //	POST /debug/explain       k-NN query with a per-shard explain trace
 //	GET  /metrics             Prometheus text-format metrics
 //
+// Every endpoint is also served under the versioned /v1/ prefix
+// (/v1/search, /v1/search/batch, ...) — the stable API surface; the
+// unversioned paths above are permanent aliases with byte-identical
+// bodies. Every non-2xx response (the router's own 404/405 included)
+// carries one JSON error envelope:
+//
+//	{"error": {"code": "bad_request", "message": "...", "request_id": "..."}}
+//
 // Queries carry either an explicit embedding vector or free text (encoded
 // with the dataset's embedding model when one is attached). The server is
 // built on the sharded scatter/gather index: reads fan out to every
@@ -42,6 +50,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -136,11 +145,17 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 	})
 }
 
-// Handler returns the HTTP handler tree. Every endpoint — the metrics
-// scrape included — is wrapped with request/error counting; query
-// endpoints additionally feed the search latency histogram and
-// mutation endpoints the mutation latency histogram. The whole tree
-// sits behind the request-ID/logging middleware.
+// Handler returns the HTTP handler tree. Every route is registered
+// twice — under the versioned /v1/ prefix (the stable API surface) and
+// at its historical unversioned path (a permanent alias for existing
+// clients). Both registrations share one instrumented handler, so the
+// success bodies are byte-identical and the per-endpoint counters
+// aggregate across both spellings. Every endpoint — the metrics scrape
+// included — is wrapped with request/error counting; query endpoints
+// additionally feed the search latency histogram and mutation
+// endpoints the mutation latency histogram. The whole tree sits behind
+// the error-envelope middleware (so the router's own 404/405 responses
+// come out in the JSON envelope) and the request-ID/logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	query := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, kindQuery, h) }
@@ -148,21 +163,28 @@ func (s *Server) Handler() http.Handler {
 	mutation := func(name string, h http.HandlerFunc) http.HandlerFunc {
 		return s.met.instrument(name, kindMutation, h)
 	}
-	mux.HandleFunc("GET /healthz", plain("healthz", s.handleHealth))
-	mux.HandleFunc("GET /stats", plain("stats", s.handleStats))
-	mux.HandleFunc("POST /search", query("search", s.handleSearch))
-	mux.HandleFunc("POST /search/batch", query("search_batch", s.handleSearchBatch))
-	mux.HandleFunc("POST /keyword-search", query("keyword_search", s.handleKeywordSearch))
-	mux.HandleFunc("POST /range", query("range", s.handleRange))
-	mux.HandleFunc("POST /box", query("box", s.handleBox))
-	mux.HandleFunc("POST /debug/explain", query("explain", s.handleExplain))
-	mux.HandleFunc("POST /objects", mutation("insert", s.handleInsert))
-	mux.HandleFunc("PUT /objects", mutation("update", s.handleUpdate))
-	mux.HandleFunc("DELETE /objects", mutation("delete", s.handleDelete))
-	mux.HandleFunc("POST /rebuild", plain("rebuild", s.handleRebuild))
+	// both registers one handler at its legacy unversioned route and the
+	// matching /v1 route. pattern is "METHOD /path".
+	both := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+	both("GET /healthz", plain("healthz", s.handleHealth))
+	both("GET /stats", plain("stats", s.handleStats))
+	both("POST /search", query("search", s.handleSearch))
+	both("POST /search/batch", query("search_batch", s.handleSearchBatch))
+	both("POST /keyword-search", query("keyword_search", s.handleKeywordSearch))
+	both("POST /range", query("range", s.handleRange))
+	both("POST /box", query("box", s.handleBox))
+	both("POST /debug/explain", query("explain", s.handleExplain))
+	both("POST /objects", mutation("insert", s.handleInsert))
+	both("PUT /objects", mutation("update", s.handleUpdate))
+	both("DELETE /objects", mutation("delete", s.handleDelete))
+	both("POST /rebuild", plain("rebuild", s.handleRebuild))
 	version, goVersion := buildVersionInfo()
-	mux.HandleFunc("GET /metrics", plain("metrics", s.met.handler(s.idx.ShardStats, version, goVersion)))
-	return s.withRequestID(mux)
+	both("GET /metrics", plain("metrics", s.met.handler(s.idx.ShardStats, version, goVersion)))
+	return s.withRequestID(withErrorEnvelope(mux))
 }
 
 // queryRequest is the shared request body of the query endpoints.
@@ -255,22 +277,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	if req.Lambda < 0 || req.Lambda > 1 {
-		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		writeError(w, r, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	// The scatter pins one immutable snapshot per shard; the metadata
 	// decoration afterwards resolves each result ID on its owning shard.
 	var st cssi.Stats
-	var rs []cssi.Result
-	if req.Approx {
-		rs = s.idx.SearchApproxStats(q, req.K, req.Lambda, &st)
-	} else {
-		rs = s.idx.SearchStats(q, req.K, req.Lambda, &st)
+	rs, err := s.idx.Do(cssi.SearchRequest{Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx, Stats: &st})
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
 	}
 	s.met.observeSearchStats(&st)
 	writeJSON(w, http.StatusOK, s.respond(rs, &st))
@@ -296,19 +317,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	if req.Lambda < 0 || req.Lambda > 1 {
-		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		writeError(w, r, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rs, trace := s.idx.SearchExplain(q, req.K, req.Lambda, req.Approx, requestIDFrom(r.Context()))
+	var trace cssi.SearchTrace
+	rs, err := s.idx.Do(cssi.SearchRequest{
+		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
+		Trace: &trace, RequestID: requestIDFrom(r.Context()),
+	})
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
 	s.met.observeSearchStats(&trace.Total.Stats)
 	writeJSON(w, http.StatusOK, explainResponse{
 		Results: s.respond(rs, &trace.Total.Stats).Results,
-		Trace:   trace,
+		Trace:   &trace,
 	})
 }
 
@@ -345,15 +374,15 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	if req.Lambda < 0 || req.Lambda > 1 {
-		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		writeError(w, r, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "queries required")
+		writeError(w, r, http.StatusBadRequest, "queries required")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d queries exceeds the maximum of %d", len(req.Queries), maxBatchQueries))
 		return
 	}
@@ -367,15 +396,18 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Queries {
 		q, err := s.buildQuery(&req.Queries[i])
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 			return
 		}
 		queries[i] = *q
 	}
 	var st cssi.Stats
-	batches, err := s.idx.BatchSearch(queries, req.K, req.Lambda, req.Approx, req.Workers, &st)
+	batches, err := s.idx.DoBatch(cssi.BatchSearchRequest{
+		Queries: queries, K: req.K, Lambda: req.Lambda,
+		Approx: req.Approx, Parallelism: req.Workers, Stats: &st,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.met.observeSearchStats(&st)
@@ -395,21 +427,21 @@ func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	if req.Lambda < 0 || req.Lambda > 1 {
-		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		writeError(w, r, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
 	if len(req.Keywords) == 0 {
-		writeError(w, http.StatusBadRequest, "keywords required")
+		writeError(w, r, http.StatusBadRequest, "keywords required")
 		return
 	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rs, ok := s.idx.SearchWithKeywords(q, req.K, req.Lambda, req.Keywords...)
-	if !ok {
-		writeError(w, http.StatusBadRequest, "keywords unusable (stop words only?)")
+	rs, err := s.idx.Do(cssi.SearchRequest{Query: q, K: req.K, Lambda: req.Lambda, Keywords: req.Keywords})
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "keywords unusable (stop words only?)")
 		return
 	}
 	var st cssi.Stats
@@ -422,16 +454,16 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Radius < 0 {
-		writeError(w, http.StatusBadRequest, "radius must be >= 0")
+		writeError(w, r, http.StatusBadRequest, "radius must be >= 0")
 		return
 	}
 	if req.Lambda < 0 || req.Lambda > 1 {
-		writeError(w, http.StatusBadRequest, "lambda must be in [0,1]")
+		writeError(w, r, http.StatusBadRequest, "lambda must be in [0,1]")
 		return
 	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	var st cssi.Stats
@@ -448,12 +480,12 @@ func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	if req.LoX > req.HiX || req.LoY > req.HiY {
-		writeError(w, http.StatusBadRequest, "inverted window")
+		writeError(w, r, http.StatusBadRequest, "inverted window")
 		return
 	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	var st cssi.Stats
@@ -512,12 +544,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	o, err := s.buildObject(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	err = s.idx.Insert(o)
 	if err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+		writeError(w, r, http.StatusConflict, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]uint32{"id": o.ID})
@@ -530,12 +562,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	o, err := s.buildObject(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	err = s.idx.Update(o)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, r, http.StatusNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]uint32{"id": o.ID})
@@ -545,12 +577,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	idStr := r.URL.Query().Get("id")
 	id, err := strconv.ParseUint(idStr, 10, 32)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "missing or invalid id")
+		writeError(w, r, http.StatusBadRequest, "missing or invalid id")
 		return
 	}
 	err = s.idx.Delete(uint32(id))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, r, http.StatusNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]uint64{"deleted": id})
@@ -564,7 +596,7 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	inner, err := s.idx.RebuildInBackground()
 	if err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+		writeError(w, r, http.StatusConflict, err.Error())
 		return
 	}
 	// Observe the rebuild duration whether or not the client waits: the
@@ -588,7 +620,7 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := <-done; err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -601,7 +633,7 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return false
 	}
 	return true
@@ -613,6 +645,94 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// errorBody is the one JSON error envelope every non-2xx response
+// carries — handler-raised and router-raised (404/405) alike — so
+// clients parse a single shape: {"error":{"code","message","request_id"}}.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	// Code is a stable machine-readable slug derived from the HTTP
+	// status (bad_request, not_found, method_not_allowed, conflict,
+	// internal, ...).
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+	// RequestID echoes the request's X-Request-Id so the failure can be
+	// chased into the structured log.
+	RequestID string `json:"request_id"`
+}
+
+// errorCode maps an HTTP status to its envelope code slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return strings.ToLower(strings.ReplaceAll(http.StatusText(status), " ", "_"))
+	}
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	id := ""
+	if r != nil {
+		id = requestIDFrom(r.Context())
+	}
+	writeJSON(w, status, errorBody{Error: errorDetail{
+		Code:      errorCode(status),
+		Message:   msg,
+		RequestID: id,
+	}})
+}
+
+// envelopeWriter rewrites the router's own plain-text error responses
+// (404 unknown route, 405 method mismatch — written by ServeMux, not by
+// any handler) into the JSON error envelope. Handler-raised errors pass
+// through untouched: they already carry the envelope and are recognized
+// by their application/json content type.
+type envelopeWriter struct {
+	http.ResponseWriter
+	r           *http.Request
+	intercepted bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.intercepted = true
+		msg := "no such route: " + w.r.URL.Path
+		if status == http.StatusMethodNotAllowed {
+			msg = w.r.Method + " not allowed on " + w.r.URL.Path
+		}
+		w.Header().Del("Content-Type")
+		w.Header().Del("X-Content-Type-Options")
+		writeError(w.ResponseWriter, w.r, status, msg)
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		// Swallow the router's plain-text body; the envelope is written.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withErrorEnvelope wraps the router so its built-in 404/405 responses
+// come out in the JSON error envelope like every handler error.
+func withErrorEnvelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w, r: r}, r)
+	})
 }

@@ -34,9 +34,31 @@ func (x *Index) KeywordFilterEnabled() bool { return x.kw != nil }
 // EnableKeywordFilter was not called. ok=false indicates the keyword
 // list was unusable (empty, or all stop words); an empty result with
 // ok=true means nothing matches.
+//
+// Deprecated: use Do with SearchRequest.Keywords (ok=false becomes
+// ErrUnusableKeywords).
 func (x *Index) SearchWithKeywords(q *Object, k int, lambda float64, keywords ...string) (results []Result, ok bool) {
-	checkQuery(q, k, lambda)
-	x.checkQueryVec(q)
+	if len(keywords) == 0 {
+		// An empty SearchRequest.Keywords means "unconstrained"; the
+		// legacy contract for an empty list is ok=false. Validate as
+		// before, then report it unusable.
+		checkQuery(q, k, lambda)
+		x.checkQueryVec(q)
+		if x.kw == nil {
+			panic("cssi: SearchWithKeywords requires EnableKeywordFilter")
+		}
+		return nil, false
+	}
+	res, err := x.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Keywords: keywords})
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// searchWithKeywords is the keyword-constrained search behind
+// Do/SearchWithKeywords; inputs are already validated.
+func (x *Index) searchWithKeywords(q *Object, k int, lambda float64, keywords []string) (results []Result, ok bool) {
 	if x.kw == nil {
 		panic("cssi: SearchWithKeywords requires EnableKeywordFilter")
 	}

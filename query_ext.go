@@ -48,23 +48,21 @@ func (x *Index) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k int, s
 // work counters of all queries. Each worker of the pool reuses one
 // pooled search scratch for its whole share, so large batches run
 // allocation-free apart from the result slices.
+//
+// Deprecated: use DoBatch with a BatchSearchRequest.
 func (x *Index) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) [][]Result {
 	if len(queries) == 0 {
+		// The legacy contract returns an empty result for an empty batch
+		// before ANY validation (DoBatch rejects k < 1 first).
 		return make([][]Result, 0)
 	}
-	// Validate every query before fanning out: a malformed vector must
-	// panic here, on the caller's goroutine, never inside a worker.
+	// Preserve the legacy panic on k < 1 — DoBatch reports it as
+	// ErrInvalidK, but this wrapper's signature has no error to return.
 	checkQuery(&queries[0], k, lambda)
-	for i := range queries {
-		if len(queries[i].Vec) != x.core.Dim() {
-			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
-				i, len(queries[i].Vec), x.core.Dim()))
-		}
-	}
-	out, err := x.core.SearchBatch(queries, k, lambda, parallelism, approx, st)
+	out, err := x.DoBatch(BatchSearchRequest{Queries: queries, K: k, Lambda: lambda, Approx: approx, Parallelism: parallelism, Stats: st})
 	if err != nil {
 		// Unreachable: checkQuery above already rejected k < 1, the only
-		// input the core entry point refuses.
+		// request DoBatch refuses with an error.
 		panic(err)
 	}
 	return out

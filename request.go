@@ -1,0 +1,248 @@
+package cssi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SearchRequest describes one k-NN query against any index flavor —
+// *Index, *ConcurrentIndex, or *ShardedIndex — through the single Do
+// entry point. The zero value of every optional field means "off", so
+// the minimal request is SearchRequest{Query: q, K: k, Lambda: λ}.
+//
+// Do subsumes the legacy Search* variants (Search, SearchStats,
+// SearchInto, SearchApprox*, SearchExplain, SearchWithKeywords): each
+// knob that used to be its own method is one field here, and the knobs
+// compose — e.g. Approx+Dst+Stats is one request instead of a missing
+// method. Two combinations are rejected with ErrUnsupportedRequest
+// because no sound implementation exists: Keywords with Approx (the
+// keyword path is exact by construction) and Keywords with
+// Explain/Trace (the brute-force arm of the keyword path bypasses the
+// instrumented cluster scan).
+type SearchRequest struct {
+	// Query is the query object; only X, Y and Vec are consulted. Must
+	// be non-nil with a vector of the index's dimensionality (panics
+	// otherwise, matching the legacy entry points' contract for
+	// programmer errors).
+	Query *Object
+	// K is the number of neighbors (must be >= 1).
+	K int
+	// Lambda weighs the spatial vs semantic distance, in [0,1].
+	Lambda float64
+	// Approx selects the approximate CSSIA algorithm instead of exact
+	// CSSI.
+	Approx bool
+	// Keywords, when non-empty, restricts results to objects whose text
+	// contains every keyword (boolean AND, stop words ignored).
+	// Requires EnableKeywordFilter (panics otherwise, like
+	// SearchWithKeywords); an unusable keyword list (empty after
+	// normalization, or all stop words) fails with ErrUnusableKeywords.
+	Keywords []string
+	// Dst, when non-nil, receives the results appended (typically
+	// dst[:0] of a buffer retained across queries — the zero-allocation
+	// steady state of the legacy SearchInto).
+	Dst []Result
+	// Stats, when non-nil, accumulates the query's work counters.
+	Stats *Stats
+	// Explain, when non-nil, accumulates the per-query search-internals
+	// trace (reuse across queries with ExplainStats.Reset). On a
+	// ShardedIndex the cross-shard aggregate is merged in; pair with
+	// Trace for the per-shard spans.
+	Explain *ExplainStats
+	// Trace, when non-nil, is filled with the per-shard explain trace.
+	// Only a ShardedIndex has shards to trace: on *Index and
+	// *ConcurrentIndex a Trace request fails with
+	// ErrUnsupportedRequest (wrap the index with ShardedFrom to trace
+	// it as a single shard).
+	Trace *SearchTrace
+	// RequestID stamps the Trace (a fresh ID is generated when empty).
+	// Ignored unless Trace is set.
+	RequestID string
+}
+
+// BatchSearchRequest describes one batched k-NN workload for DoBatch:
+// many queries sharing K/Lambda/Approx, answered across a bounded
+// worker pool. It is the single batched entry point behind the legacy
+// SearchBatch/BatchSearch pairs.
+type BatchSearchRequest struct {
+	// Queries are the query objects (each needing X, Y, Vec).
+	Queries []Object
+	// K is the per-query neighbor count (DoBatch returns ErrInvalidK
+	// when < 1).
+	K int
+	// Lambda weighs the spatial vs semantic distance, in [0,1].
+	Lambda float64
+	// Approx selects CSSIA instead of exact CSSI.
+	Approx bool
+	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS and
+	// larger values are clamped to GOMAXPROCS.
+	Parallelism int
+	// Stats, when non-nil, accumulates the summed work counters of the
+	// whole batch.
+	Stats *Stats
+}
+
+// ErrUnusableKeywords is returned by Do when a keyword-constrained
+// request's keyword list normalizes to nothing (empty, or all stop
+// words) — the error-value form of the legacy SearchWithKeywords
+// ok=false.
+var ErrUnusableKeywords = errors.New("cssi: keyword list unusable (empty or all stop words)")
+
+// ErrUnsupportedRequest is returned by Do for field combinations with
+// no sound implementation (see SearchRequest). Test with errors.Is.
+var ErrUnsupportedRequest = errors.New("cssi: unsupported search request")
+
+// mustResults unwraps a Do call built from a legacy wrapper whose
+// request carries no fallible fields (no Keywords, no Trace on a
+// flat index), keeping the wrappers' no-error signatures honest.
+func mustResults(res []Result, err error) []Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// checkKeywordRequest rejects the keyword-incompatible field
+// combinations shared by every index flavor's Do.
+func checkKeywordRequest(req *SearchRequest) error {
+	if req.Approx {
+		return fmt.Errorf("%w: Keywords cannot combine with Approx (the keyword path is exact)", ErrUnsupportedRequest)
+	}
+	if req.Explain != nil || req.Trace != nil {
+		return fmt.Errorf("%w: Keywords cannot combine with Explain or Trace", ErrUnsupportedRequest)
+	}
+	return nil
+}
+
+// Do answers one k-NN query described by req — the single search entry
+// point every legacy Search* variant now delegates to. Programmer
+// errors (nil query, K < 1, Lambda outside [0,1], wrong vector
+// dimensionality, Keywords without EnableKeywordFilter) panic exactly
+// as the legacy entry points did; conditions a correct caller can hit
+// at runtime return an error (ErrUnusableKeywords,
+// ErrUnsupportedRequest).
+func (x *Index) Do(req SearchRequest) ([]Result, error) {
+	checkQuery(req.Query, req.K, req.Lambda)
+	x.checkQueryVec(req.Query)
+	if len(req.Keywords) > 0 {
+		if err := checkKeywordRequest(&req); err != nil {
+			return nil, err
+		}
+		res, ok := x.searchWithKeywords(req.Query, req.K, req.Lambda, req.Keywords)
+		if !ok {
+			return nil, ErrUnusableKeywords
+		}
+		if req.Dst != nil {
+			return append(req.Dst, res...), nil
+		}
+		return res, nil
+	}
+	if req.Trace != nil {
+		return nil, fmt.Errorf("%w: Trace requires a ShardedIndex (wrap with ShardedFrom)", ErrUnsupportedRequest)
+	}
+	if req.Explain != nil {
+		res := x.core.SearchExplainInto(req.Dst, req.Query, req.K, req.Lambda, req.Approx, req.Explain)
+		if req.Stats != nil {
+			req.Stats.Add(&req.Explain.Stats)
+		}
+		return res, nil
+	}
+	if req.Approx {
+		return x.core.SearchApproxInto(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+	}
+	return x.core.SearchInto(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+}
+
+// DoBatch answers the batched workload described by req — the single
+// batched entry point behind the legacy SearchBatch/BatchSearch pairs.
+// K < 1 returns ErrInvalidK; an empty batch returns an empty result
+// without spinning up workers; malformed queries (bad Lambda, wrong
+// vector dimensionality) panic on the caller's goroutine before any
+// fan-out, as the legacy entry points did.
+func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
+	if req.K < 1 {
+		return nil, ErrInvalidK
+	}
+	if len(req.Queries) == 0 {
+		return [][]Result{}, nil
+	}
+	checkQuery(&req.Queries[0], req.K, req.Lambda)
+	for i := range req.Queries {
+		if len(req.Queries[i].Vec) != x.core.Dim() {
+			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
+				i, len(req.Queries[i].Vec), x.core.Dim()))
+		}
+	}
+	out, err := x.core.SearchBatch(req.Queries, req.K, req.Lambda, req.Parallelism, req.Approx, req.Stats)
+	if err != nil {
+		// Unreachable: K < 1, the only input the core entry point
+		// refuses, was rejected above.
+		panic(err)
+	}
+	return out, nil
+}
+
+// Do answers one k-NN query against the current snapshot (lock-free);
+// see Index.Do for the request contract.
+func (c *ConcurrentIndex) Do(req SearchRequest) ([]Result, error) {
+	return c.cur.Load().Do(req)
+}
+
+// DoBatch answers a batched workload against the current snapshot: the
+// whole batch runs to completion against the one snapshot it loaded,
+// even while writers publish newer ones concurrently. See Index.DoBatch
+// for the request contract.
+func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
+	return c.cur.Load().DoBatch(req)
+}
+
+// Do answers one k-NN query across the shards — scatter/gather (or the
+// bound-carrying sequential chain where that is faster) for plain
+// requests, the per-shard explain scatter when Explain or Trace is set,
+// and the keyword scatter for keyword-constrained requests. See
+// Index.Do for the request contract; exact results are bit-identical
+// to a flat index over the same objects.
+func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
+	if len(req.Keywords) > 0 {
+		s.checkRead(req.Query, req.K, req.Lambda)
+		if err := checkKeywordRequest(&req); err != nil {
+			return nil, err
+		}
+		res, ok := s.searchKeywords(req.Query, req.K, req.Lambda, req.Keywords)
+		if !ok {
+			return nil, ErrUnusableKeywords
+		}
+		if req.Dst != nil {
+			return append(req.Dst, res...), nil
+		}
+		return res, nil
+	}
+	if req.Explain != nil || req.Trace != nil {
+		res, tr := s.searchExplain(req.Query, req.K, req.Lambda, req.Approx, req.RequestID)
+		if req.Trace != nil {
+			*req.Trace = *tr
+		}
+		if req.Explain != nil {
+			req.Explain.Merge(&tr.Total)
+			req.Explain.KthDistance = tr.Total.KthDistance
+		}
+		if req.Stats != nil {
+			req.Stats.Add(&tr.Total.Stats)
+		}
+		if req.Dst != nil {
+			return append(req.Dst, res...), nil
+		}
+		return res, nil
+	}
+	if req.Approx {
+		return s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+	}
+	return s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+}
+
+// DoBatch answers a batched workload with one scatter (or the chained
+// sequential path on a single-core host); see Index.DoBatch for the
+// request contract.
+func (s *ShardedIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
+	return s.doBatch(req)
+}

@@ -1,0 +1,239 @@
+package cssi
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// searchAPI adapts the three index flavors to one shape so the
+// Do-equivalence property test runs identically against each.
+type searchAPI struct {
+	name        string
+	do          func(SearchRequest) ([]Result, error)
+	doBatch     func(BatchSearchRequest) ([][]Result, error)
+	search      func(q *Object, k int, lambda float64) []Result
+	searchStats func(q *Object, k int, lambda float64, st *Stats) []Result
+	approx      func(q *Object, k int, lambda float64) []Result
+	batch       func(queries []Object, k int, lambda float64, approx bool, par int, st *Stats) ([][]Result, error)
+	keywords    func(q *Object, k int, lambda float64, kws ...string) ([]Result, bool)
+}
+
+// requestFixtures builds one flat, one concurrent, and two sharded
+// (P=1, P=4) indexes over the same dataset, keyword filter enabled.
+func requestFixtures(t *testing.T, ds *Dataset) []searchAPI {
+	t.Helper()
+	flat, err := Build(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.EnableKeywordFilter()
+	concIdx, err := Build(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concIdx.EnableKeywordFilter()
+	conc := Concurrent(concIdx)
+	apis := []searchAPI{
+		{
+			name:        "flat",
+			do:          flat.Do,
+			doBatch:     flat.DoBatch,
+			search:      flat.Search,
+			searchStats: flat.SearchStats,
+			approx:      flat.SearchApprox,
+			batch: func(qs []Object, k int, l float64, ap bool, par int, st *Stats) ([][]Result, error) {
+				return flat.BatchSearch(qs, k, l, ap, par, st), nil
+			},
+			keywords: flat.SearchWithKeywords,
+		},
+		{
+			name:    "concurrent",
+			do:      conc.Do,
+			doBatch: conc.DoBatch,
+			search:  conc.Search,
+			searchStats: func(q *Object, k int, l float64, st *Stats) []Result {
+				return conc.Snapshot().SearchStats(q, k, l, st)
+			},
+			approx:   conc.SearchApprox,
+			batch:    conc.BatchSearch,
+			keywords: conc.SearchWithKeywords,
+		},
+	}
+	for _, p := range []int{1, 4} {
+		s := mustBuildSharded(t, ds, p, Options{Seed: 5})
+		s.EnableKeywordFilter()
+		apis = append(apis, searchAPI{
+			name:        "sharded",
+			do:          s.Do,
+			doBatch:     s.DoBatch,
+			search:      s.Search,
+			searchStats: s.SearchStats,
+			approx:      s.SearchApprox,
+			batch:       s.BatchSearch,
+			keywords:    s.SearchWithKeywords,
+		})
+		apis[len(apis)-1].name = "sharded-P" + string(rune('0'+p))
+	}
+	return apis
+}
+
+// TestDoMatchesLegacyWrappers is the API-equivalence property test:
+// every deprecated Search* wrapper must produce bit-identical results
+// (and identical work counters) to the SearchRequest it documents as
+// its replacement, on every index flavor.
+func TestDoMatchesLegacyWrappers(t *testing.T) {
+	ds := testDataset(t, 900)
+	kw := firstKeyword(t, ds)
+	rng := rand.New(rand.NewPCG(42, 1))
+	for _, api := range requestFixtures(t, ds) {
+		t.Run(api.name, func(t *testing.T) {
+			for trial := 0; trial < 12; trial++ {
+				q := ds.Objects[rng.IntN(ds.Len())]
+				k := 1 + rng.IntN(20)
+				lambda := rng.Float64()
+
+				want := api.search(&q, k, lambda)
+				got, err := api.do(SearchRequest{Query: &q, K: k, Lambda: lambda})
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, "Search vs Do", want, got)
+
+				var stLegacy, stDo Stats
+				want = api.searchStats(&q, k, lambda, &stLegacy)
+				got, err = api.do(SearchRequest{Query: &q, K: k, Lambda: lambda, Stats: &stDo})
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, "SearchStats vs Do", want, got)
+				if stLegacy != stDo {
+					t.Fatalf("stats diverge: legacy %+v, Do %+v", stLegacy, stDo)
+				}
+
+				want = api.approx(&q, k, lambda)
+				got, err = api.do(SearchRequest{Query: &q, K: k, Lambda: lambda, Approx: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, "SearchApprox vs Do", want, got)
+
+				// Dst semantics: results appended to the caller's buffer.
+				buf := make([]Result, 0, k)
+				got, err = api.do(SearchRequest{Query: &q, K: k, Lambda: lambda, Dst: buf[:0]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, "Dst vs Search", api.search(&q, k, lambda), got)
+
+				wantKW, ok := api.keywords(&q, k, lambda, kw)
+				gotKW, err := api.do(SearchRequest{Query: &q, K: k, Lambda: lambda, Keywords: []string{kw}})
+				if !ok {
+					t.Fatalf("keyword %q unusable", kw)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, "SearchWithKeywords vs Do", wantKW, gotKW)
+			}
+
+			queries := ds.SampleQueries(15, 9)
+			for _, approx := range []bool{false, true} {
+				var stLegacy, stDo Stats
+				want, err := api.batch(queries, 7, 0.4, approx, 2, &stLegacy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := api.doBatch(BatchSearchRequest{Queries: queries, K: 7, Lambda: 0.4, Approx: approx, Parallelism: 2, Stats: &stDo})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("batch: %d result lists, want %d", len(got), len(want))
+				}
+				for i := range want {
+					equalResults(t, "BatchSearch vs DoBatch", want[i], got[i])
+				}
+				if stLegacy != stDo {
+					t.Fatalf("batch stats diverge: legacy %+v, Do %+v", stLegacy, stDo)
+				}
+			}
+		})
+	}
+}
+
+// TestDoExplainMatchesLegacy checks the Explain/Trace plumbing: the
+// flat index's SearchExplain and the sharded index's trace-returning
+// SearchExplain must both match their Do spellings.
+func TestDoExplainMatchesLegacy(t *testing.T) {
+	ds := testDataset(t, 700)
+	idx, err := Build(ds, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Objects[3]
+	for _, approx := range []bool{false, true} {
+		wantRes, wantES := idx.SearchExplain(&q, 9, 0.5, approx)
+		var es ExplainStats
+		gotRes, err := idx.Do(SearchRequest{Query: &q, K: 9, Lambda: 0.5, Approx: approx, Explain: &es})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, "SearchExplain vs Do", wantRes, gotRes)
+		if es.Stats != wantES.Stats {
+			t.Fatalf("explain stats diverge: legacy %+v, Do %+v", wantES.Stats, es.Stats)
+		}
+	}
+
+	s := mustBuildSharded(t, ds, 3, Options{Seed: 6})
+	wantRes, wantTr := s.SearchExplain(&q, 9, 0.5, false, "req-test")
+	var tr SearchTrace
+	var es ExplainStats
+	gotRes, err := s.Do(SearchRequest{Query: &q, K: 9, Lambda: 0.5, Trace: &tr, Explain: &es, RequestID: "req-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "sharded SearchExplain vs Do", wantRes, gotRes)
+	if len(tr.Shards) != len(wantTr.Shards) {
+		t.Fatalf("trace spans: %d, want %d", len(tr.Shards), len(wantTr.Shards))
+	}
+	if tr.RequestID != "req-test" || wantTr.RequestID != "req-test" {
+		t.Fatalf("request IDs not honored: %q / %q", tr.RequestID, wantTr.RequestID)
+	}
+	if tr.Total.Stats != wantTr.Total.Stats {
+		t.Fatalf("trace totals diverge: legacy %+v, Do %+v", wantTr.Total.Stats, tr.Total.Stats)
+	}
+	if es.Stats != tr.Total.Stats {
+		t.Fatalf("Explain did not absorb the trace total: %+v vs %+v", es.Stats, tr.Total.Stats)
+	}
+}
+
+// TestDoErrorTaxonomy pins the runtime error contract of Do: the
+// conditions a correct caller can hit return typed errors instead of
+// panicking.
+func TestDoErrorTaxonomy(t *testing.T) {
+	ds := testDataset(t, 300)
+	idx, err := Build(ds, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.EnableKeywordFilter()
+	q := ds.Objects[0]
+	kw := firstKeyword(t, ds)
+
+	if _, err := idx.Do(SearchRequest{Query: &q, K: 5, Lambda: 0.5, Trace: &SearchTrace{}}); !errors.Is(err, ErrUnsupportedRequest) {
+		t.Fatalf("Trace on flat index: err = %v, want ErrUnsupportedRequest", err)
+	}
+	if _, err := idx.Do(SearchRequest{Query: &q, K: 5, Lambda: 0.5, Keywords: []string{kw}, Approx: true}); !errors.Is(err, ErrUnsupportedRequest) {
+		t.Fatalf("Keywords+Approx: err = %v, want ErrUnsupportedRequest", err)
+	}
+	if _, err := idx.Do(SearchRequest{Query: &q, K: 5, Lambda: 0.5, Keywords: []string{kw}, Explain: &ExplainStats{}}); !errors.Is(err, ErrUnsupportedRequest) {
+		t.Fatalf("Keywords+Explain: err = %v, want ErrUnsupportedRequest", err)
+	}
+	if _, err := idx.Do(SearchRequest{Query: &q, K: 5, Lambda: 0.5, Keywords: []string{"of"}}); !errors.Is(err, ErrUnusableKeywords) {
+		t.Fatalf("stop-word keywords: err = %v, want ErrUnusableKeywords", err)
+	}
+	if _, err := idx.DoBatch(BatchSearchRequest{Queries: []Object{q}, K: 0, Lambda: 0.5}); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("K=0 batch: err = %v, want ErrInvalidK", err)
+	}
+}

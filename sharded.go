@@ -241,11 +241,21 @@ func gatherStats(st *Stats, per []Stats) {
 // query to every shard and merging the per-shard top-k lists. The
 // result — order included — is bit-identical to an unsharded Search
 // over the same objects.
+//
+// Deprecated: use Do with a SearchRequest.
 func (s *ShardedIndex) Search(q *Object, k int, lambda float64) []Result {
-	return s.SearchStats(q, k, lambda, nil)
+	return mustResults(s.Do(SearchRequest{Query: q, K: k, Lambda: lambda}))
 }
 
 // SearchStats is Search with work counters summed across shards.
+//
+// Deprecated: use Do with SearchRequest.Stats.
+func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) []Result {
+	return mustResults(s.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Stats: st}))
+}
+
+// searchExact is the exact scatter/gather search behind Do, appending
+// the merged top-k to dst.
 //
 // When the scatter degree is 1 (single-core host, or P == 1) the shards
 // are scanned sequentially with the k-NN heap carried from shard to
@@ -255,7 +265,7 @@ func (s *ShardedIndex) Search(q *Object, k int, lambda float64) []Result {
 // global top-k — no merge step. Because the shards share one metric
 // space's normalizers, distances are globally comparable and the result
 // is the same exact top-k the parallel scatter+merge produces.
-func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) []Result {
+func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
 	s.checkRead(q, k, lambda)
 	if s.scatterDegree() == 1 {
 		var local Stats
@@ -272,6 +282,9 @@ func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) 
 		if st != nil {
 			st.Add(&local)
 		}
+		if dst != nil {
+			return append(dst, cur...)
+		}
 		return cur
 	}
 	lists := make([][]Result, len(s.shards))
@@ -280,7 +293,10 @@ func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) 
 		lists[i] = snap.core.Search(q, k, lambda, &per[i])
 	})
 	gatherStats(st, per)
-	return knn.MergeSorted(make([]Result, 0, k), lists, k)
+	if dst == nil {
+		dst = make([]Result, 0, k)
+	}
+	return knn.MergeSorted(dst, lists, k)
 }
 
 // SearchApprox returns approximate (CSSIA) k nearest neighbors. Each
@@ -288,13 +304,23 @@ func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) 
 // an unsharded index's SearchApprox — it is exactly the merge of the
 // per-shard CSSIA answers, with the same per-shard error model as the
 // paper's.
+//
+// Deprecated: use Do with SearchRequest.Approx.
 func (s *ShardedIndex) SearchApprox(q *Object, k int, lambda float64) []Result {
-	return s.SearchApproxStats(q, k, lambda, nil)
+	return mustResults(s.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: true}))
 }
 
 // SearchApproxStats is SearchApprox with work counters summed across
 // shards.
+//
+// Deprecated: use Do with SearchRequest.Approx and SearchRequest.Stats.
 func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *Stats) []Result {
+	return mustResults(s.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: true, Stats: st}))
+}
+
+// searchApprox is the approximate scatter/gather search behind Do,
+// appending the merged top-k to dst.
+func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
 	s.checkRead(q, k, lambda)
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
@@ -302,7 +328,10 @@ func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *S
 		lists[i] = snap.core.SearchApprox(q, k, lambda, &per[i])
 	})
 	gatherStats(st, per)
-	return knn.MergeSorted(make([]Result, 0, k), lists, k)
+	if dst == nil {
+		dst = make([]Result, 0, k)
+	}
+	return knn.MergeSorted(dst, lists, k)
 }
 
 // SearchExplain answers one k-NN query — exact CSSI when approx is
@@ -314,7 +343,18 @@ func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *S
 // SearchStats would chain shards sequentially with a carried bound — so
 // the spans describe each shard's standalone work; the trace is
 // diagnostic, not a measurement of the optimized sequential path.
+//
+// Deprecated: use Do with SearchRequest.Trace (and SearchRequest.Explain
+// for the cross-shard aggregate).
 func (s *ShardedIndex) SearchExplain(q *Object, k int, lambda float64, approx bool, requestID string) ([]Result, *SearchTrace) {
+	var tr SearchTrace
+	res := mustResults(s.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Approx: approx, Trace: &tr, RequestID: requestID}))
+	return res, &tr
+}
+
+// searchExplain is the per-shard-instrumented scatter behind Do's
+// Explain/Trace path.
+func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, approx bool, requestID string) ([]Result, *SearchTrace) {
 	s.checkRead(q, k, lambda)
 	if requestID == "" {
 		requestID = obs.NewRequestID()
@@ -401,13 +441,24 @@ func (s *ShardedIndex) SearchInBoxStats(q *Object, loX, loY, hiX, hiY float64, k
 // merged. Same validation contract as ConcurrentIndex.SearchBatch:
 // empty batches return an empty result without touching the shards and
 // k <= 0 returns ErrInvalidK.
+//
+// Deprecated: use DoBatch with a BatchSearchRequest.
 func (s *ShardedIndex) SearchBatch(queries []Object, k int, lambda float64) ([][]Result, error) {
-	return s.BatchSearch(queries, k, lambda, false, 0, nil)
+	return s.DoBatch(BatchSearchRequest{Queries: queries, K: k, Lambda: lambda})
 }
 
 // BatchSearch is SearchBatch with the approximate variant, explicit
 // per-shard parallelism, and work counters.
+//
+// Deprecated: use DoBatch with a BatchSearchRequest.
 func (s *ShardedIndex) BatchSearch(queries []Object, k int, lambda float64, approx bool, parallelism int, st *Stats) ([][]Result, error) {
+	return s.DoBatch(BatchSearchRequest{Queries: queries, K: k, Lambda: lambda, Approx: approx, Parallelism: parallelism, Stats: st})
+}
+
+// doBatch is the batched scatter/gather behind DoBatch.
+func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
+	queries, k, lambda := req.Queries, req.K, req.Lambda
+	approx, parallelism, st := req.Approx, req.Parallelism, req.Stats
 	if k < 1 {
 		return nil, ErrInvalidK
 	}
@@ -631,8 +682,33 @@ func (s *ShardedIndex) KeywordFilterEnabled() bool {
 // the per-shard answers. Requires EnableKeywordFilter on every shard
 // (panics otherwise, like the unsharded API); ok=false indicates the
 // keyword list was unusable.
+//
+// Deprecated: use Do with SearchRequest.Keywords (ok=false becomes
+// ErrUnusableKeywords).
 func (s *ShardedIndex) SearchWithKeywords(q *Object, k int, lambda float64, keywords ...string) ([]Result, bool) {
-	s.checkRead(q, k, lambda)
+	if len(keywords) == 0 {
+		// An empty SearchRequest.Keywords means "unconstrained"; the
+		// legacy contract for an empty list is ok=false. Validate as
+		// before, then report it unusable.
+		s.checkRead(q, k, lambda)
+		for _, sh := range s.shards {
+			if !sh.Snapshot().KeywordFilterEnabled() {
+				panic("cssi: SearchWithKeywords requires EnableKeywordFilter")
+			}
+		}
+		return nil, false
+	}
+	res, err := s.Do(SearchRequest{Query: q, K: k, Lambda: lambda, Keywords: keywords})
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// searchKeywords is the keyword-constrained scatter behind Do; inputs
+// are already validated (but the per-shard filter presence is checked
+// here, on the caller's goroutine).
+func (s *ShardedIndex) searchKeywords(q *Object, k int, lambda float64, keywords []string) ([]Result, bool) {
 	snaps := make([]*Index, len(s.shards))
 	for i, sh := range s.shards {
 		snaps[i] = sh.Snapshot()
@@ -643,14 +719,14 @@ func (s *ShardedIndex) SearchWithKeywords(q *Object, k int, lambda float64, keyw
 	lists := make([][]Result, len(s.shards))
 	oks := make([]bool, len(s.shards))
 	if len(s.shards) == 1 {
-		lists[0], oks[0] = snaps[0].SearchWithKeywords(q, k, lambda, keywords...)
+		lists[0], oks[0] = snaps[0].searchWithKeywords(q, k, lambda, keywords)
 	} else {
 		var wg sync.WaitGroup
 		for i := range s.shards {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				lists[i], oks[i] = snaps[i].SearchWithKeywords(q, k, lambda, keywords...)
+				lists[i], oks[i] = snaps[i].searchWithKeywords(q, k, lambda, keywords)
 			}(i)
 		}
 		wg.Wait()
