@@ -23,12 +23,12 @@ func BenchmarkAblation(b *testing.B) {
 	e := getEnv(b, dataset.TwitterLike, benchSize, core.Config{})
 	configs := []struct {
 		name string
-		opts core.SearchOptions
+		opts core.AblationOptions
 	}{
-		{"Full", core.SearchOptions{}},
-		{"NoInter", core.SearchOptions{DisableInterCluster: true}},
-		{"NoIntra", core.SearchOptions{DisableIntraCluster: true}},
-		{"NoPruning", core.SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}},
+		{"Full", core.AblationOptions{}},
+		{"NoInter", core.AblationOptions{DisableInterCluster: true}},
+		{"NoIntra", core.AblationOptions{DisableIntraCluster: true}},
+		{"NoPruning", core.AblationOptions{DisableInterCluster: true, DisableIntraCluster: true}},
 	}
 	for _, cfg := range configs {
 		b.Run(cfg.name, func(b *testing.B) {

@@ -109,10 +109,37 @@ type Options struct {
 	// angular distance (the metric counterpart of cosine similarity).
 	// The paper's bounds hold for arbitrary metrics (§4.2), so CSSI
 	// stays exact; only the semantic notion of "close" changes.
+	// AngularSemantic implies DisableQuant: the SQ8 bound pair relies on
+	// the Euclidean triangle inequality.
 	AngularSemantic bool
+	// DisableQuant skips building the SQ8 quantized arena: queries
+	// always run the pure float32 kernels, and the Quant request knobs
+	// become no-ops. Results are bit-identical either way (the quantized
+	// filter only skips work, never changes answers); disabling trades
+	// the filter's speedup for dim+4 bytes per object of memory.
+	DisableQuant bool
 	// Seed makes index construction deterministic.
 	Seed uint64
 }
+
+// QuantMode selects how the SQ8 quantized arena participates in one
+// query; see the SearchRequest.Quant field.
+type QuantMode = core.QuantMode
+
+const (
+	// QuantAuto (the zero value) uses the quantized filter+rerank scan
+	// wherever it provably preserves exactness.
+	QuantAuto = core.QuantAuto
+	// QuantOff forces the pure float32 path for the request.
+	QuantOff = core.QuantOff
+	// QuantOnly answers an approximate request from the quantized arena
+	// with a final exact rerank; requires Approx.
+	QuantOnly = core.QuantOnly
+)
+
+// DefaultQuantRerank is the QuantOnly overfetch multiplier used when
+// SearchRequest.QuantRerank is zero.
+const DefaultQuantRerank = core.DefaultQuantRerank
 
 // Index answers semantic spatio-textual k-NN queries. Obtain one from
 // Build. An Index is safe for concurrent Search/SearchApprox calls;
@@ -136,6 +163,7 @@ func (o Options) coreConfig() core.Config {
 		Ks: o.Ks, Kt: o.Kt, F: o.F, M: o.M,
 		SampleFraction: o.SampleFraction,
 		PCAMethod:      method,
+		DisableQuant:   o.DisableQuant,
 		Seed:           o.Seed,
 	}
 }

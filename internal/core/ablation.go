@@ -6,14 +6,14 @@ import (
 	"repro/internal/metric"
 )
 
-// SearchOptions are the ablation switches for SearchAblated: they disable
+// AblationOptions are the ablation switches for SearchAblated: they disable
 // individual pruning mechanisms so their contribution can be measured
 // (the design-choice ablations called out in DESIGN.md). All pruning
 // enabled is exactly Search; with everything disabled the algorithm
 // degenerates to a cluster-ordered scan. Results are identical in all
 // configurations — pruning only ever skips objects that cannot be
 // results (Lemmas 4.4 and 4.5) — which the test suite verifies.
-type SearchOptions struct {
+type AblationOptions struct {
 	// DisableInterCluster turns off pruning property 1 (Lemma 4.4):
 	// every hybrid cluster is examined.
 	DisableInterCluster bool
@@ -28,7 +28,7 @@ type SearchOptions struct {
 
 // SearchAblated is Search with individual pruning mechanisms switched
 // off. It remains exact for every combination of switches.
-func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
+func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts AblationOptions, st *metric.Stats) []knn.Result {
 	// The ablation path keeps the paper-faithful eager centroid shape of
 	// Alg. 2 (all semantic centroid distances up front, no weak-bound
 	// refinement or early abandonment) so the measured pruning deltas

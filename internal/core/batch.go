@@ -25,6 +25,15 @@ import (
 // inside a worker (knn.Heap would otherwise reject it k times, once per
 // query, deep in the pool).
 func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, workers int, approx bool, st *metric.Stats) ([][]knn.Result, error) {
+	return x.SearchBatchOptions(queries, k, lambda, workers, SearchOptions{Approx: approx}, st)
+}
+
+// SearchBatchOptions is SearchBatch with the full SearchOptions
+// switches, so batched workloads reach the quantized modes. Batches are
+// where the quantized scans pay off most: the per-cluster code blocks
+// touched by one query stay cache-resident for the next, so candidate
+// loads amortize across the batch.
+func (x *Index) SearchBatchOptions(queries []dataset.Object, k int, lambda float64, workers int, opts SearchOptions, st *metric.Stats) ([][]knn.Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: batch k = %d, want >= 1", k)
 	}
@@ -83,11 +92,7 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 				if qi >= len(queries) {
 					break
 				}
-				if approx {
-					out[qi] = x.searchApproxWith(sc, nil, &queries[qi], k, lambda, local)
-				} else {
-					out[qi] = x.searchWith(sc, nil, &queries[qi], k, lambda, local)
-				}
+				out[qi] = x.searchOptionsWith(sc, nil, nil, &queries[qi], k, lambda, opts, local)
 			}
 			x.putScratch(sc)
 		}(w)

@@ -64,6 +64,15 @@ func (x *Index) CloneForWrite() *Index {
 		nx.clusterIdx[key] = c
 	}
 
+	// The quant arena struct is behind a pointer, so its slice headers
+	// are copied explicitly: appendQuantRow on the clone then grows the
+	// clone's own headers (past the parent's length, or into reallocated
+	// backing) instead of mutating state the parent's readers see.
+	if x.quant != nil {
+		q := *x.quant
+		nx.quant = &q
+	}
+
 	nx.cow = &cowState{ownedHybrids: make(map[*hybrid]bool)}
 	return nx
 }
@@ -94,6 +103,8 @@ func (x *Index) cowHybrid(c *hybrid) *hybrid {
 		t:       c.t,
 		members: append(make([]member, 0, len(c.members)+1), c.members...),
 		elems:   c.elems,
+		codes:   c.codes,
+		resid:   c.resid,
 	}
 	x.clusterIdx[[2]int{c.s, c.t}] = nc
 	for i, cc := range x.clusters {

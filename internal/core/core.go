@@ -63,6 +63,13 @@ type Config struct {
 	Workers int
 	// Seed makes construction deterministic.
 	Seed uint64
+	// DisableQuant skips building the SQ8-quantized companion arena
+	// (see quant.go). The zero value keeps quantization on wherever it
+	// applies (Euclidean semantic metric); exact results are identical
+	// either way — the quantized pass only prunes provably-excluded
+	// candidates — so this knob exists for measurement and as an
+	// escape hatch.
+	DisableQuant bool
 }
 
 func (c *Config) applyDefaults(n int) {
@@ -117,6 +124,13 @@ type hybrid struct {
 	s, t    int // side-cluster indices
 	members []member
 	elems   []element
+	// codes and resid are the cluster's contiguous SQ8 block: row j of
+	// codes (stride dim) quantizes the vector of elems[j], resid[j] is
+	// its admissible residual. Derived data like elems — rebuilt by
+	// fillClusterQuant wherever buildElems runs, shared under COW, nil
+	// when the index has no quant arena.
+	codes []uint8
+	resid []float32
 }
 
 // Index is a built CSSI/CSSIA index. Both query algorithms share one
@@ -143,6 +157,11 @@ type Index struct {
 	m         int // m: projection dimensionality (projArena stride)
 	vecArena  []float32
 	projArena []float32
+	// quant is the SQ8-quantized companion of vecArena (nil when
+	// disabled or inapplicable; see quant.go). The pointee's slices
+	// follow the arenas' append-only/COW discipline; CloneForWrite
+	// copies the struct header so clones grow it independently.
+	quant *quantArena
 
 	pcaModel *pca.Model
 
@@ -372,10 +391,15 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 	for i := range x.objects {
 		x.addToHybridWith(uint32(i), dsAll[i], dtAll[i])
 	}
+	// Train the SQ8 companion arena over the freshly filled vecArena,
+	// then build each cluster's element array and contiguous code block
+	// together (both are per-cluster derived data).
+	x.quant = x.trainQuant()
 	clusters := x.clusters
 	parallelFor(len(clusters), cfg.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			clusters[i].elems = buildElems(clusters[i].members)
+			x.fillClusterQuant(clusters[i])
 		}
 	})
 	// Snapshot the built radii for the DriftRatio heuristic.

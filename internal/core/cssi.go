@@ -157,8 +157,11 @@ func (x *Index) searchWith(sc *searchScratch, dst []knn.Result, q *dataset.Objec
 
 func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, st *metric.Stats) []knn.Result {
 	// The scratch may be reused across queries by a SearchBatch worker;
-	// the cluster order is rebuilt from empty each time.
+	// the cluster order is rebuilt from empty each time, and the cached
+	// codebook-adjusted query (filled lazily by the quantized scan) is
+	// invalidated.
 	sc.order = sc.order[:0]
+	sc.quantQ = false
 	var phase time.Time
 	if sc.obs != nil {
 		phase = time.Now()
@@ -275,6 +278,19 @@ func (x *Index) scanCluster(sc *searchScratch, q *dataset.Object, lambda float64
 	// line 9).
 	enclosed := dsqC < x.sRad[c.s] && dtqC < x.tRad[c.t]
 	dqC := lambda*dsqC + (1-lambda)*dtqC
+	// With a full heap, λ < 1 and a quantized code block for this
+	// cluster, the scan switches to the filter-then-rerank pass: the SQ8
+	// lower bound excludes most candidates without touching the float32
+	// arena, and only survivors pay the exact kernel. Results stay
+	// bit-identical (see scanClusterQuant); the unquantized loop below
+	// remains both the reference and the path for unfilled heaps, λ = 1,
+	// QuantOff queries, and quantless indexes.
+	if x.quant != nil && !sc.quantOff && lambda < 1 && len(c.codes) == len(c.elems)*x.dim && len(c.elems) > 0 {
+		if u0, full := h.Bound(); full {
+			x.scanClusterQuant(sc, q, lambda, c, dqC, u0, enclosed, h, st)
+			return
+		}
+	}
 	for ei := range c.elems {
 		e := &c.elems[ei]
 		if !enclosed {

@@ -18,14 +18,17 @@ import (
 // Reset it first (the counters accumulate). With sufficient dst
 // capacity the call performs zero heap allocations, same as SearchInto.
 func (x *Index) SearchExplainInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, approx bool, es *obs.SearchStats) []knn.Result {
+	return x.SearchExplainOptionsInto(dst, q, k, lambda, SearchOptions{Approx: approx}, es)
+}
+
+// SearchExplainOptionsInto is SearchExplainInto with the full
+// SearchOptions switches, so the quantized modes can be traced too
+// (QuantNanos then carries the quant phase time of the query).
+func (x *Index) SearchExplainOptionsInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, es *obs.SearchStats) []knn.Result {
 	sc := x.getScratch()
 	sc.obs = es
 	n := len(dst)
-	if approx {
-		dst = x.searchApproxWith(sc, dst, q, k, lambda, &es.Stats)
-	} else {
-		dst = x.searchWithSeed(sc, dst, nil, q, k, lambda, &es.Stats)
-	}
+	dst = x.searchOptionsWith(sc, dst, nil, q, k, lambda, opts, &es.Stats)
 	sc.obs = nil
 	x.putScratch(sc)
 	if len(dst) > n {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 
 	"repro/internal/metric"
 	"repro/internal/vec"
@@ -27,8 +29,17 @@ import (
 //     cluster ordering never exceeds the true centroid distance
 //     (probed with live objects as queries) — the two facts the
 //     exactness of Search's lazy ordering rests on.
+//   - the SQ8 quant arena (when present) stays consistent with the
+//     float32 arena — codebook dimensionality, row counts, per-cluster
+//     code blocks matching the arena rows of their elements — and its
+//     bound pair stays admissible (probed with live objects as
+//     queries), the fact the exactness of the quantized filter rests
+//     on.
 func (x *Index) CheckInvariants() error {
 	if err := x.checkProjBoundSoundness(); err != nil {
+		return err
+	}
+	if err := x.checkQuantSoundness(); err != nil {
 		return err
 	}
 	const eps = 1e-9
@@ -148,6 +159,89 @@ func (x *Index) checkProjBoundSoundness() error {
 			}
 			if truth := x.semanticToCent(uint32(i), t); weak > truth {
 				return fmt.Errorf("object %d, semantic centroid %d: projected weak bound %v exceeds true centroid distance %v", i, t, weak, truth)
+			}
+		}
+	}
+	return nil
+}
+
+// checkQuantSoundness guards the invariants the quantized filter's
+// exactness rests on: the SQ8 arena mirrors the float32 arena row for
+// row, every cluster's contiguous code block agrees with the arena rows
+// of its elements (fillClusterQuant ran wherever buildElems did), and
+// the certain bound pair actually brackets the true distance — probed
+// with live objects as queries, like checkProjBoundSoundness. A failure
+// means a quantized exclusion could discard a true result, silently
+// turning exact search approximate.
+func (x *Index) checkQuantSoundness() error {
+	qa := x.quant
+	d := x.dim
+	if qa == nil {
+		for ci, c := range x.clusters {
+			if len(c.codes) != 0 || len(c.resid) != 0 {
+				return fmt.Errorf("cluster %d carries a quant block but the index has no quant arena", ci)
+			}
+		}
+		return nil
+	}
+	if got := qa.cb.Dim(); got != d {
+		return fmt.Errorf("quant codebook dim %d, index dim %d", got, d)
+	}
+	if len(qa.codes) != len(x.objects)*d {
+		return fmt.Errorf("quant arena holds %d codes for %d objects of dim %d", len(qa.codes), len(x.objects), d)
+	}
+	if len(qa.resid) != len(x.objects) {
+		return fmt.Errorf("quant arena holds %d residuals for %d objects", len(qa.resid), len(x.objects))
+	}
+	for i, r := range qa.resid {
+		if r < 0 || math.IsNaN(float64(r)) {
+			return fmt.Errorf("object %d: invalid quant residual %v", i, r)
+		}
+	}
+	for ci, c := range x.clusters {
+		if len(c.codes) != len(c.elems)*d || len(c.resid) != len(c.elems) {
+			return fmt.Errorf("cluster %d: quant block %d codes / %d residuals for %d elems",
+				ci, len(c.codes), len(c.resid), len(c.elems))
+		}
+		for j := range c.elems {
+			idx := c.elems[j].idx
+			if !bytes.Equal(c.codes[j*d:(j+1)*d], qa.row(idx, d)) {
+				return fmt.Errorf("cluster %d elem %d: code block row disagrees with arena row of object %d", ci, j, idx)
+			}
+			if c.resid[j] != qa.resid[idx] {
+				return fmt.Errorf("cluster %d elem %d: block residual %v, arena residual %v",
+					ci, j, c.resid[j], qa.resid[idx])
+			}
+		}
+	}
+	// Probe the bound pair with stored objects as queries against a
+	// stride of live rows (a sample keeps CheckInvariants O(n)).
+	const maxProbes, maxRowsPerProbe = 32, 16
+	qAdj := make([]float32, d)
+	probes := 0
+	for i := range x.objects {
+		if x.deleted[i] {
+			continue
+		}
+		if probes++; probes > maxProbes {
+			break
+		}
+		qa.cb.AdjustQueryInto(qAdj, x.objects[i].Vec)
+		rows := 0
+		for j := i; j < len(x.objects); j += 7 {
+			if x.deleted[j] {
+				continue
+			}
+			if rows++; rows > maxRowsPerProbe {
+				break
+			}
+			sq := vec.SqDistSQ8(qAdj, qa.cb.Step, qa.row(uint32(j), d))
+			truth := float64(vec.Dist(x.vecAt(uint32(i)), x.vecAt(uint32(j))))
+			lb := qa.cb.QLowerBound(sq, qa.resid[j])
+			ub := qa.cb.QUpperBound(sq, qa.resid[j])
+			if lb > truth || truth > ub {
+				return fmt.Errorf("objects %d vs %d: quant bounds [%v, %v] do not bracket true distance %v",
+					i, j, lb, ub, truth)
 			}
 		}
 	}

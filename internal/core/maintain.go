@@ -91,6 +91,7 @@ func (x *Index) Insert(o dataset.Object) error {
 
 	c := x.addToHybrid(idx)
 	c.elems = buildElems(c.members)
+	x.fillClusterQuant(c)
 	x.live++
 	x.UpdatesSinceBuild++
 	return nil
@@ -147,6 +148,7 @@ func (x *Index) Delete(id uint32) error {
 		}
 	} else {
 		c.elems = buildElems(c.members)
+		x.fillClusterQuant(c)
 	}
 
 	// Shrink radii when the deleted object was the farthest member (the
@@ -262,6 +264,12 @@ func (x *Index) appendArenaRows(idx uint32) {
 	}
 	x.projArena = x.projArena[:len(x.projArena)+x.m]
 	x.pcaModel.TransformInto(x.projAt(idx), x.objects[idx].Vec)
+
+	// The SQ8 companion row follows the same append discipline; the
+	// build-time codebook stays fixed (out-of-range values clamp, with
+	// the clamping error absorbed into the stored residual, so the
+	// quantized bounds remain admissible without retraining).
+	x.appendQuantRow(idx)
 }
 
 // arenaCap doubles the arena capacity until it covers need.

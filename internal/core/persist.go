@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metric"
 	"repro/internal/pca"
+	"repro/internal/vec"
 )
 
 // Index persistence: Save writes everything needed to answer queries —
@@ -72,11 +73,23 @@ type gobIndex struct {
 	SAssign, TAssign   []int
 	Clusters           []gobHybrid
 	UpdatesSinceBuild_ int
+
+	// The SQ8 quant arena (version 3): the codebook's per-dimension
+	// Lo/Step vectors plus the code and residual arenas. All four are
+	// empty when the saved index had no quant arena (disabled by config,
+	// angular metric, or no objects); version-1/2 files leave them at
+	// their gob zero values and Load retrains transparently. The
+	// per-cluster contiguous code blocks are derived data, rebuilt by
+	// Load like the element arrays.
+	QuantLo, QuantStep []float32
+	QuantCodes         []uint8
+	QuantResid         []float32
 }
 
 const (
 	persistVersionV1 = 1 // per-object vectors + [][]float32 projections
-	persistVersion   = 2 // flat vector/projection arenas
+	persistVersionV2 = 2 // flat vector/projection arenas
+	persistVersion   = 3 // v2 + the SQ8 quantized arena and codebook
 )
 
 // Save writes the index (including its metric-space normalizers) to w.
@@ -116,6 +129,12 @@ func (x *Index) Save(w io.Writer) error {
 		SAssign:            x.sAssign,
 		TAssign:            x.tAssign,
 		UpdatesSinceBuild_: x.UpdatesSinceBuild,
+	}
+	if x.quant != nil {
+		g.QuantLo = x.quant.cb.Lo
+		g.QuantStep = x.quant.cb.Step
+		g.QuantCodes = x.quant.codes
+		g.QuantResid = x.quant.resid
 	}
 	g.Clusters = make([]gobHybrid, len(x.clusters))
 	for i, c := range x.clusters {
@@ -176,7 +195,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		return nil, nil, fmt.Errorf("core: load: %w", err)
 	}
 	switch g.Version {
-	case persistVersion:
+	case persistVersion, persistVersionV2:
 	case persistVersionV1:
 		if err := migrateV1(&g); err != nil {
 			return nil, nil, fmt.Errorf("core: load: %w", err)
@@ -239,6 +258,34 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 			x.tValid[t] = len(x.tMembers[t]) > 0
 		}
 	}
+	// Restore the SQ8 arena: version-3 files carry it verbatim (when the
+	// saved index had one); older files — and v3 files saved without a
+	// quant arena — retrain from the restored vector arena, so a legacy
+	// load transparently gains the quantized scans. Retraining may pick
+	// marginally different codebook ranges than the original build, but
+	// exactness never depends on the codebook (only the bound pair does,
+	// and it is admissible for any codebook).
+	if len(g.QuantLo) > 0 || len(g.QuantStep) > 0 || len(g.QuantCodes) > 0 || len(g.QuantResid) > 0 {
+		if len(g.QuantLo) != g.Dim || len(g.QuantStep) != g.Dim {
+			return nil, nil, fmt.Errorf("core: load: quant codebook dims %d/%d do not match index dim %d",
+				len(g.QuantLo), len(g.QuantStep), g.Dim)
+		}
+		if len(g.QuantCodes) != len(g.Objects)*g.Dim {
+			return nil, nil, fmt.Errorf("core: load: quant code arena length %d does not match %d objects of dim %d",
+				len(g.QuantCodes), len(g.Objects), g.Dim)
+		}
+		if len(g.QuantResid) != len(g.Objects) {
+			return nil, nil, fmt.Errorf("core: load: quant residual arena length %d does not match %d objects",
+				len(g.QuantResid), len(g.Objects))
+		}
+		x.quant = &quantArena{
+			cb:    vec.NewSQ8Codebook(g.QuantLo, g.QuantStep),
+			codes: g.QuantCodes,
+			resid: g.QuantResid,
+		}
+	} else {
+		x.quant = x.trainQuant()
+	}
 	x.clusters = make([]*hybrid, len(g.Clusters))
 	for i, gc := range g.Clusters {
 		c := &hybrid{s: gc.S, t: gc.T, members: make([]member, len(gc.Members))}
@@ -246,6 +293,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 			c.members[j] = member{idx: gm.Idx, ds: gm.Ds, dt: gm.Dt}
 		}
 		c.elems = buildElems(c.members)
+		x.fillClusterQuant(c)
 		x.clusters[i] = c
 		x.clusterIdx[[2]int{gc.S, gc.T}] = c
 	}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// SQ8-quantized arena: the two-resolution pattern of CSSIA (§5: cheap
+// representation for ordering and pruning, full precision for final
+// scoring) pushed down into the intra-cluster scan. Alongside the
+// float32 vecArena the index keeps one byte per dimension (codes) and
+// one float32 per row (an admissible residual), trained at build time
+// and maintained through insert/clone/rebuild exactly like the float32
+// arena. Two consumers:
+//
+//   - Exact search (QuantAuto): scanCluster runs a filter-then-rerank
+//     pass — the asymmetric kernel's certain lower bound (see
+//     vec.QLowerBound) prunes candidates against the k-th distance, and
+//     only survivors pay the exact n-dimensional float32 kernel.
+//     Every exclusion is provably d > U, so results stay bit-identical
+//     to the unquantized scan (see scanClusterQuant for the argument).
+//   - Approx search (QuantOnly): a CSSIA-style scan scores whole
+//     clusters with the blockwise quantized kernel, overfetches
+//     QuantRerank·k candidates by estimated distance, and reranks the
+//     pool exactly — a tunable recall/speed trade measured by the
+//     cssibench quant experiment.
+//
+// Quantization is automatically disabled for the angular semantic
+// metric (the bound pair is Euclidean) and by Config.DisableQuant.
+
+// QuantMode selects how the SQ8 arena participates in one query.
+type QuantMode int
+
+const (
+	// QuantAuto (the zero value) uses the quantized filter+rerank pass
+	// wherever it provably preserves exactness, and leaves approximate
+	// search untouched.
+	QuantAuto QuantMode = iota
+	// QuantOff forces the pure float32 path for this query.
+	QuantOff
+	// QuantOnly answers an approximate query from the quantized arena:
+	// candidates are selected by quantized distance estimates and only a
+	// final QuantRerank·k pool is rescored exactly. Approx-only; the
+	// public request layer rejects it for exact queries.
+	QuantOnly
+)
+
+// sq8LUTMaxDim caps the dimensionality at which the QuantOnly bulk scan
+// scores through vec.SQ8LUT lookup tables: the LUT accumulates float32
+// in one chain per row, so its agreement with the direct kernel decays
+// as ~dim·2⁻²⁴ and the bound slack only provably absorbs it up to about
+// 10³ dimensions. Above the cap the scan falls back to the bit-exact
+// SqDistSQ8BlockInto.
+const sq8LUTMaxDim = 1000
+
+// DefaultQuantRerank is the QuantOnly overfetch multiplier used when a
+// request leaves it zero: the exact rerank pool holds 4·k candidates,
+// which holds recall@10 ≥ 0.99 on the benchmark workloads.
+const DefaultQuantRerank = 4
+
+// SearchOptions bundles the per-query algorithm switches of the
+// options-taking entry points. The zero value reproduces SearchInto.
+type SearchOptions struct {
+	// Approx selects CSSIA instead of exact CSSI.
+	Approx bool
+	// Quant selects the quantized-arena participation (see QuantMode).
+	// QuantOnly only takes effect with Approx set (and an index whose
+	// quant arena exists); exact queries treat it as QuantAuto.
+	Quant QuantMode
+	// QuantRerank is the QuantOnly overfetch multiplier (<= 0 selects
+	// DefaultQuantRerank). Ignored outside QuantOnly.
+	QuantRerank int
+}
+
+// quantArena is the SQ8 companion of vecArena: row i of codes is the
+// quantized form of vecArena row i, resid[i] its admissible residual.
+// Like the float32 arenas it grows append-only and is shared across COW
+// clones (CloneForWrite copies this struct's header; appendRow writes
+// only past the parent's length or into reallocated backing).
+type quantArena struct {
+	cb    vec.SQ8Codebook
+	codes []uint8
+	resid []float32
+}
+
+// row returns code row i.
+func (qa *quantArena) row(i uint32, dim int) []uint8 {
+	return qa.codes[int(i)*dim : (int(i)+1)*dim : (int(i)+1)*dim]
+}
+
+// trainQuant trains the SQ8 codebook over the full vector arena and
+// encodes every row (parallel). Returns nil when quantization does not
+// apply: disabled by config, or a non-Euclidean semantic metric (the
+// bound pair relies on the Euclidean triangle inequality).
+func (x *Index) trainQuant() *quantArena {
+	if x.cfg.DisableQuant || x.space.SemanticKind != metric.EuclideanSemantic || len(x.vecArena) == 0 {
+		return nil
+	}
+	cb := vec.TrainSQ8(x.vecArena, x.dim)
+	n := len(x.objects)
+	qa := &quantArena{cb: cb, codes: make([]uint8, n*x.dim), resid: make([]float32, n)}
+	parallelFor(n, x.cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qa.resid[i] = qa.cb.EncodeInto(qa.row(uint32(i), x.dim), x.vecAt(uint32(i)))
+		}
+	})
+	return qa
+}
+
+// appendQuantRow encodes the just-appended object into a new quant
+// arena row, mirroring appendArenaRows' growth discipline (and its COW
+// safety argument: growth reallocates, appends land past the parent's
+// length). No-op when the index has no quant arena.
+func (x *Index) appendQuantRow(idx uint32) {
+	qa := x.quant
+	if qa == nil {
+		return
+	}
+	d := x.dim
+	if need := len(qa.codes) + d; need > cap(qa.codes) {
+		nc := make([]uint8, len(qa.codes), arenaCap(need, cap(qa.codes)))
+		copy(nc, qa.codes)
+		qa.codes = nc
+	}
+	qa.codes = qa.codes[:len(qa.codes)+d]
+	r := qa.cb.EncodeInto(qa.row(idx, d), x.objects[idx].Vec)
+	if need := len(qa.resid) + 1; need > cap(qa.resid) {
+		nr := make([]float32, len(qa.resid), arenaCap(need, cap(qa.resid)))
+		copy(nr, qa.resid)
+		qa.resid = nr
+	}
+	qa.resid = append(qa.resid, r)
+}
+
+// fillClusterQuant (re)builds the cluster's contiguous code block —
+// codes and residuals in elems order, so the scan reads the quantized
+// rows as one linear byte stream instead of strided arena gathers. Like
+// elems, the block is derived data rebuilt wherever buildElems runs and
+// never mutated in place afterwards (COW clones share it safely).
+func (x *Index) fillClusterQuant(c *hybrid) {
+	if x.quant == nil {
+		c.codes, c.resid = nil, nil
+		return
+	}
+	d := x.dim
+	codes := make([]uint8, len(c.elems)*d)
+	resid := make([]float32, len(c.elems))
+	for j := range c.elems {
+		idx := c.elems[j].idx
+		copy(codes[j*d:(j+1)*d], x.quant.row(idx, d))
+		resid[j] = x.quant.resid[idx]
+	}
+	c.codes, c.resid = codes, resid
+}
+
+// rerankMult normalizes a QuantOnly overfetch multiplier.
+func rerankMult(r int) int {
+	if r <= 0 {
+		return DefaultQuantRerank
+	}
+	return r
+}
+
+// SearchOptionsInto is SearchInto with the per-query algorithm switches
+// of SearchOptions: the zero opts is exactly SearchInto, opts.Approx
+// is exactly SearchApproxInto, and the Quant field adds the quantized
+// modes. Like the legacy entry points it is allocation-free in steady
+// state given sufficient dst capacity.
+func (x *Index) SearchOptionsInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchOptionsWith(sc, dst, nil, q, k, lambda, opts, st)
+	x.putScratch(sc)
+	return out
+}
+
+// SearchOptionsSeededInto is SearchSeededInto with SearchOptions; the
+// seed applies to the exact path only (the approximate algorithms keep
+// their own candidate pools), matching the sharded chain that uses it.
+func (x *Index) SearchOptionsSeededInto(dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchOptionsWith(sc, dst, seed, q, k, lambda, opts, st)
+	x.putScratch(sc)
+	return out
+}
+
+// searchOptionsWith dispatches one query to the algorithm opts selects,
+// on a caller-provided scratch (batch workers reuse one across
+// queries).
+func (x *Index) searchOptionsWith(sc *searchScratch, dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
+	sc.quantOff = opts.Quant == QuantOff
+	if opts.Approx {
+		if opts.Quant == QuantOnly && x.quant != nil {
+			return x.searchQuantWith(sc, dst, q, k, rerankMult(opts.QuantRerank), lambda, st)
+		}
+		return x.searchApproxWith(sc, dst, q, k, lambda, st)
+	}
+	return x.searchWithSeed(sc, dst, seed, q, k, lambda, st)
+}
+
+// quantSurvivor is one pass-1 survivor of the filter+rerank scan: the
+// element index within the cluster and its already-computed spatial
+// distance (reused by the rerank pass so modes agree on one spatial
+// computation per visited object).
+type quantSurvivor struct {
+	ei int32
+	ds float64
+}
+
+// scanClusterQuant is the filter-then-rerank form of scanCluster's
+// object loop, entered only with a full heap, λ < 1 and a quant block
+// present. Exactness argument (the property tests in quant_equiv_test
+// pin it): the final heap contents are a pure function of the offered
+// candidate set (knn.Heap breaks distance ties by ID), so it suffices
+// that every candidate withheld here has combined distance d provably
+// greater than the final bound U_final. Three exclusions occur:
+//
+//   - the intra-cluster threshold break uses u0, the bound at cluster
+//     entry: excluded suffixes have d ≥ d(q,C)−bound > u0 ≥ U_final
+//     (Lemma 4.5, with a stale-but-larger bound — pruning strictly less
+//     than the live-bound reference, never more);
+//   - the quantized filter excludes a candidate only when the certain
+//     lower bound on its semantic distance exceeds the per-candidate
+//     budget (u0 − λ·ds)/(1−λ), hence d = λ·ds + (1−λ)·dt > u0;
+//   - the rerank pass reuses the exact early-abandoning kernel with the
+//     live bound, identical to the reference loop.
+//
+// Survivors are rescored with the same float32 kernel the reference
+// uses, so kept distances are bit-identical too. The two-pass shape
+// also keeps the obs overhead at two timestamps per examined cluster
+// (per-candidate timers would break the ≤5% explain-overhead gate).
+func (x *Index) scanClusterQuant(sc *searchScratch, q *dataset.Object, lambda float64, c *hybrid, dqC, u0 float64, enclosed bool, h *knn.Heap, st *metric.Stats) {
+	qa := x.quant
+	var t0 time.Time
+	if sc.obs != nil {
+		t0 = time.Now()
+	}
+	if !sc.quantQ {
+		qa.cb.AdjustQueryInto(sc.qAdj, q.Vec)
+		sc.quantQ = true
+	}
+	dim := x.dim
+	invLam := 1 - lambda
+	dtMax := x.space.DtMax
+	sur := sc.survivors[:0]
+	for ei := range c.elems {
+		e := &c.elems[ei]
+		if !enclosed {
+			bound := lambda*e.ds + invLam*e.dt
+			if dqC-bound > u0 {
+				if st != nil {
+					st.IntraPruned += int64(len(c.elems) - ei)
+				}
+				break
+			}
+		}
+		o := &x.objects[e.idx]
+		if st != nil {
+			st.VisitedObjects++
+		}
+		ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+		// The candidate can only displace a result with
+		// dt < (u0 − λ·ds)/(1−λ); convert that budget to the kernel's
+		// unnormalized distance units and abandon-filter against it.
+		limit := qa.cb.QPruneLimit((u0-lambda*ds)/invLam*dtMax, c.resid[ei])
+		var sq float64
+		if limit >= 0 {
+			sq = vec.SqDistSQ8Bound(sc.qAdj, qa.cb.Step, c.codes[ei*dim:(ei+1)*dim], limit)
+		}
+		if sq > limit {
+			if st != nil {
+				st.QuantPruned++
+			}
+			continue
+		}
+		sur = append(sur, quantSurvivor{ei: int32(ei), ds: ds})
+	}
+	sc.survivors = sur
+	if sc.obs != nil {
+		sc.obs.QuantNanos += time.Since(t0).Nanoseconds()
+	}
+	for _, s := range sur {
+		e := &c.elems[s.ei]
+		o := &x.objects[e.idx]
+		if st != nil {
+			st.QuantReranked++
+		}
+		u, _ := h.Bound()
+		dtBound := (u - lambda*s.ds) / invLam
+		dt, ok := x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
+		if !ok {
+			if sc.obs != nil {
+				sc.obs.EarlyAbandons++
+			}
+			continue
+		}
+		h.Push(knn.Result{ID: o.ID, Dist: metric.Combine(lambda, s.ds, dt)})
+	}
+}
+
+// searchQuantWith is the QuantOnly approximate algorithm: CSSIA's
+// projected-space cluster ordering and pruning, but with the
+// intra-cluster scan served entirely from the quantized arena — one
+// blockwise kernel call scores the whole cluster, candidates are kept
+// by estimated distance in an overfetched pool of rerank·k, and the
+// pool is rescored exactly at the end. Relative to plain CSSIA it
+// trades the per-candidate n-dimensional float32 kernels for byte-wide
+// block scans plus k·rerank exact kernels.
+func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.Object, k, rerank int, lambda float64, st *metric.Stats) []knn.Result {
+	sc.order = sc.order[:0]
+	var phase time.Time
+	if sc.obs != nil {
+		phase = time.Now()
+	}
+	qProj := sc.qProj
+	x.pcaModel.TransformInto(qProj, q.Vec)
+	x.fillSpatialCentroidDists(sc, q)
+	for t := range sc.dtqProj {
+		sc.dtqProj[t] = x.space.SemanticProjVec(qProj, x.tCentProj[t])
+	}
+	for _, c := range x.clusters {
+		sc.order = append(sc.order, orderedCluster{
+			lb:      lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], sc.dtqProj[c.t], x.tRadProj[c.t]),
+			c:       c,
+			refined: true,
+		})
+	}
+	f := (*clusterFrontier)(&sc.order)
+	f.heapify()
+	if sc.obs != nil {
+		sc.obs.ClustersTotal += int64(len(*f))
+		sc.obs.OrderNanos += time.Since(phase).Nanoseconds()
+		phase = time.Now()
+	}
+
+	qa := x.quant
+	qa.cb.AdjustQueryInto(sc.qAdj, q.Vec)
+	sc.quantQ = true
+	// Bulk scoring goes through the per-query lookup tables where the
+	// precision contract allows (see sq8LUTMaxDim): one table load + add
+	// per byte instead of the convert/multiply/subtract chain.
+	useLUT := x.dim <= sq8LUTMaxDim
+	if useLUT {
+		sc.lut = qa.cb.BuildSQ8LUTInto(sc.lut, sc.qAdj)
+	}
+	kq := k * rerank
+	cands := sc.cands[:0]
+	u := math.Inf(1)      // estimated distance to the kq-th candidate
+	uPrime := math.Inf(1) // projected-space bound, as in CSSIA
+	for t := range sc.dtqKnown {
+		sc.dtqKnown[t] = false
+	}
+	invDt := 1 / x.space.DtMax
+
+	for len(*f) > 0 {
+		if len(cands) >= kq && (*f)[0].lb >= uPrime {
+			f.pruneRemaining(st)
+			break
+		}
+		e := f.pop()
+		if st != nil {
+			st.ClustersOrdered++
+		}
+		c := e.c
+		if st != nil {
+			st.ClustersExamined++
+		}
+		if len(c.elems) == 0 {
+			continue
+		}
+		if !sc.dtqKnown[c.t] {
+			sc.dtq[c.t] = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtqKnown[c.t] = true
+		}
+		dtqC := sc.dtq[c.t]
+		enclosed := sc.dsq[c.s] < x.sRad[c.s] && dtqC < x.tRad[c.t]
+		dqC := lambda*sc.dsq[c.s] + (1-lambda)*dtqC
+
+		// One blockwise kernel call scores the whole cluster from its
+		// contiguous code block.
+		n := len(c.elems)
+		est := growSlice(sc.est, n)
+		sc.est = est
+		var tq time.Time
+		if sc.obs != nil {
+			tq = time.Now()
+		}
+		if useLUT {
+			vec.SqDistSQ8LUTBlockInto(est, sc.lut, c.codes)
+		} else {
+			vec.SqDistSQ8BlockInto(est, sc.qAdj, qa.cb.Step, c.codes)
+		}
+		if sc.obs != nil {
+			sc.obs.QuantNanos += time.Since(tq).Nanoseconds()
+		}
+		if st != nil {
+			// The block scan is this mode's semantic distance work.
+			st.SemanticDistCalcs += int64(n)
+		}
+		for ei := range c.elems {
+			el := &c.elems[ei]
+			if !enclosed && len(cands) >= kq {
+				bound := lambda*el.ds + (1-lambda)*el.dt
+				if dqC-bound > u {
+					if st != nil {
+						st.IntraPruned += int64(n - ei)
+					}
+					break
+				}
+			}
+			o := &x.objects[el.idx]
+			if st != nil {
+				st.VisitedObjects++
+			}
+			ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+			d := metric.Combine(lambda, ds, math.Sqrt(est[ei])*invDt)
+			if d < u || len(cands) < kq {
+				dpr := metric.Combine(lambda, ds, x.space.SemanticProjVec(qProj, x.projAt(el.idx)))
+				cands.push(cand{id: o.ID, idx: el.idx, d: d, dpr: dpr})
+				if len(cands) > kq {
+					cands.popMax()
+				}
+				if len(cands) == kq {
+					u = cands[0].d
+					uPrime = cands.maxDPr()
+				}
+			}
+		}
+	}
+
+	// Exact rerank: the final k come from rescoring the candidate pool
+	// with the full float32 kernel (early-abandoning against the
+	// rerank-local bound).
+	var tr time.Time
+	if sc.obs != nil {
+		tr = time.Now()
+	}
+	h := &sc.heap
+	h.Reset(k)
+	for i := range cands {
+		o := &x.objects[cands[i].idx]
+		if st != nil {
+			st.QuantReranked++
+		}
+		ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+		var dt float64
+		if u2, full := h.Bound(); full && lambda < 1 {
+			var ok bool
+			dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, (u2-lambda*ds)/(1-lambda))
+			if !ok {
+				if sc.obs != nil {
+					sc.obs.EarlyAbandons++
+				}
+				continue
+			}
+		} else {
+			dt = x.space.Semantic(st, q.Vec, o.Vec)
+		}
+		h.Push(knn.Result{ID: o.ID, Dist: metric.Combine(lambda, ds, dt)})
+	}
+	sc.cands = cands[:0]
+	if sc.obs != nil {
+		now := time.Now()
+		sc.obs.QuantNanos += now.Sub(tr).Nanoseconds()
+		sc.obs.ScanNanos += now.Sub(phase).Nanoseconds()
+	}
+	return h.AppendSorted(dst)
+}

@@ -13,7 +13,7 @@ import (
 // removes non-results.
 func TestAblationsAreExact(t *testing.T) {
 	f := build(t, dataset.TwitterLike, 900, Config{Seed: 60})
-	combos := []SearchOptions{
+	combos := []AblationOptions{
 		{},
 		{DisableInterCluster: true},
 		{DisableIntraCluster: true},
@@ -37,10 +37,10 @@ func TestAblationVisitsMore(t *testing.T) {
 	f := build(t, dataset.TwitterLike, 2000, Config{Seed: 61})
 	q := f.ds.Objects[17]
 	var full, noInter, noIntra, none metric.Stats
-	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{}, &full)
-	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{DisableInterCluster: true}, &noInter)
-	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{DisableIntraCluster: true}, &noIntra)
-	f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}, &none)
+	f.idx.SearchAblated(&q, 10, 0.5, AblationOptions{}, &full)
+	f.idx.SearchAblated(&q, 10, 0.5, AblationOptions{DisableInterCluster: true}, &noInter)
+	f.idx.SearchAblated(&q, 10, 0.5, AblationOptions{DisableIntraCluster: true}, &noIntra)
+	f.idx.SearchAblated(&q, 10, 0.5, AblationOptions{DisableInterCluster: true, DisableIntraCluster: true}, &none)
 	if none.VisitedObjects != int64(f.ds.Len()) {
 		t.Fatalf("fully ablated search visited %d of %d", none.VisitedObjects, f.ds.Len())
 	}
@@ -56,7 +56,7 @@ func TestAblatedDefaultMatchesSearch(t *testing.T) {
 	for qi := 0; qi < 5; qi++ {
 		q := f.ds.Objects[(qi*111+5)%f.ds.Len()]
 		a := f.idx.Search(&q, 10, 0.5, nil)
-		b := f.idx.SearchAblated(&q, 10, 0.5, SearchOptions{}, nil)
+		b := f.idx.SearchAblated(&q, 10, 0.5, AblationOptions{}, nil)
 		sameResults(t, "default ablation", a, b)
 	}
 }

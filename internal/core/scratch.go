@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/knn"
 	"repro/internal/obs"
+	"repro/internal/vec"
 )
 
 // searchScratch holds every per-query buffer the query algorithms need.
@@ -35,6 +36,20 @@ type searchScratch struct {
 	// max-heap.
 	heap  knn.Heap
 	cands candHeap
+	// Quantized-scan state. qAdj is the codebook-adjusted query q − lo
+	// (length dim), filled lazily by the first quantized cluster scan of
+	// a query and marked valid by quantQ; quantOff forces the float32
+	// path for the current query; survivors and est are the pass-1
+	// survivor list and per-element block scores of the quantized scans;
+	// lut holds the per-query lookup tables of the QuantOnly bulk scan
+	// (built once per query, reused across its clusters and across
+	// pooled queries).
+	qAdj      []float32
+	quantQ    bool
+	quantOff  bool
+	survivors []quantSurvivor
+	est       []float64
+	lut       vec.SQ8LUT
 	// obs, when non-nil, receives the search-internals trace of the
 	// current query (explain path only). nil — the normal case — keeps
 	// every instrumentation site an untaken branch: zero extra work,
@@ -59,6 +74,11 @@ func (x *Index) getScratch() *searchScratch {
 		sc.order = make([]orderedCluster, 0, len(x.clusters))
 	}
 	sc.order = sc.order[:0]
+	if x.quant != nil {
+		sc.qAdj = growSlice(sc.qAdj, x.dim)
+	}
+	sc.quantQ = false
+	sc.quantOff = false
 	sc.obs = nil
 	return sc
 }

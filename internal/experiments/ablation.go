@@ -26,13 +26,13 @@ func Ablation(s Setup) ([]Table, error) {
 	}
 	configs := []struct {
 		name string
-		opts core.SearchOptions
+		opts core.AblationOptions
 	}{
-		{"full CSSI", core.SearchOptions{}},
-		{"no inter-cluster pruning", core.SearchOptions{DisableInterCluster: true}},
-		{"no intra-cluster pruning", core.SearchOptions{DisableIntraCluster: true}},
-		{"no cluster ordering", core.SearchOptions{DisableClusterOrder: true}},
-		{"no pruning at all", core.SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}},
+		{"full CSSI", core.AblationOptions{}},
+		{"no inter-cluster pruning", core.AblationOptions{DisableInterCluster: true}},
+		{"no intra-cluster pruning", core.AblationOptions{DisableIntraCluster: true}},
+		{"no cluster ordering", core.AblationOptions{DisableClusterOrder: true}},
+		{"no pruning at all", core.AblationOptions{DisableInterCluster: true, DisableIntraCluster: true}},
 	}
 	t := Table{
 		ID:     "ablation",

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	cssi "repro"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/vec"
+)
+
+func init() {
+	register("quant", Quant)
+}
+
+// quantTrials is how many alternating timing trials each quant
+// measurement runs; each mode reports its fastest trial (min-of-N, the
+// standard microbenchmark discipline against scheduler noise).
+const quantTrials = 5
+
+// quantBatchSizes are the query-batch widths both quant tables sweep.
+var quantBatchSizes = []int{1, 8, 32}
+
+// Quant measures the SQ8 quantized arena this PR lands. Two tables:
+//
+//  1. Batched intra-cluster scans through the vec kernels directly —
+//     the float32 baseline (SqDistBatchInto, 4·dim bytes per candidate)
+//     against the SQ8 filter+rerank discipline (SqDistSQ8BatchInto over
+//     the 1-byte codes, k-th upper bound, exact rerank of the rows the
+//     lower bound could not exclude). Both sides produce the exact
+//     top-k (verified per run), so the speedup is pure memory-traffic
+//     and early-exclusion win.
+//  2. End-to-end queries through the public Do/DoBatch request API,
+//     sweeping {float32, SQ8 filter+rerank, SQ8 quantized-only} ×
+//     batch sizes, with recall@k against the exact answer and the
+//     filter's rerank ratio.
+func Quant(s Setup) ([]Table, error) {
+	s.applyDefaults()
+	kernel, err := quantKernelTable(s)
+	if err != nil {
+		return nil, err
+	}
+	e2e, err := quantEndToEndTable(s)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{kernel, e2e}, nil
+}
+
+// quantKernelTable benchmarks the batched intra-cluster scan in
+// isolation: every query scans every row of one contiguous block (the
+// shape of a cluster scan with pruning factored out), and both modes
+// must return the identical exact top-k.
+func quantKernelTable(s Setup) (Table, error) {
+	size, dim, k := s.size(20000), s.Dim, s.K
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Kind: dataset.TwitterLike, Size: size, Dim: dim, Seed: s.Seed,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Flatten the embeddings into one row-major arena and quantize it,
+	// exactly as core.Build does.
+	arena := make([]float32, size*dim)
+	for i := range ds.Objects {
+		copy(arena[i*dim:(i+1)*dim], ds.Objects[i].Vec)
+	}
+	cb := vec.TrainSQ8(arena, dim)
+	codes := make([]uint8, size*dim)
+	resid := make([]float32, size)
+	for i := 0; i < size; i++ {
+		resid[i] = cb.EncodeInto(codes[i*dim:(i+1)*dim], arena[i*dim:(i+1)*dim])
+	}
+
+	queries := ds.SampleQueries(s.Queries, s.Seed+13)
+	nq := len(queries)
+	qflat := make([]float32, nq*dim)
+	qadj := make([]float32, nq*dim)
+	for i := range queries {
+		copy(qflat[i*dim:(i+1)*dim], queries[i].Vec)
+		cb.AdjustQueryInto(qadj[i*dim:(i+1)*dim], queries[i].Vec)
+	}
+
+	out := make([]float64, nq*size) // distance buffer, widest batch
+	h := knn.NewHeap(k)
+
+	// floatScan answers every query's exact top-k from the float32
+	// arena via the batched baseline kernel.
+	floatScan := func(batch int, tops [][]knn.Result) {
+		for q0 := 0; q0 < nq; q0 += batch {
+			nb := min(batch, nq-q0)
+			vec.SqDistBatchInto(out[:nb*size], qflat[q0*dim:(q0+nb)*dim], nb, dim, arena, 0)
+			for b := 0; b < nb; b++ {
+				h.Reset(k)
+				row := out[b*size : (b+1)*size]
+				for r, sq := range row {
+					h.Push(knn.Result{ID: uint32(r), Dist: sq})
+				}
+				tops[q0+b] = h.AppendSorted(tops[q0+b][:0])
+			}
+		}
+	}
+	// quantScan answers the same top-k with the SQ8 filter+rerank
+	// discipline: the LUT batch kernel scores every row from the 1-byte
+	// codes, the k quantized-nearest rows give a certain threshold u
+	// (each true distance is ≤ its upper bound, so ≥ k rows lie within
+	// u), and only rows whose certain lower bound stays within u — via
+	// the sqrt-free inverted QPruneLimit comparison — pay the exact
+	// float32 kernel. Returns the rows reranked.
+	luts := make([]vec.SQ8LUT, maxBatch(quantBatchSizes))
+	quantScan := func(batch int, tops [][]knn.Result) int {
+		reranked := 0
+		for q0 := 0; q0 < nq; q0 += batch {
+			nb := min(batch, nq-q0)
+			for b := 0; b < nb; b++ {
+				luts[b] = cb.BuildSQ8LUTInto(luts[b], qadj[(q0+b)*dim:(q0+b+1)*dim])
+			}
+			vec.SqDistSQ8LUTBatchInto(out[:nb*size], luts[:nb], codes, 0)
+			for b := 0; b < nb; b++ {
+				qi := q0 + b
+				row := out[b*size : (b+1)*size]
+				h.Reset(k)
+				for r, sq := range row {
+					h.Push(knn.Result{ID: uint32(r), Dist: sq})
+				}
+				u := 0.0 // threshold: >= k rows have true distance <= u
+				for _, c := range h.Items() {
+					if ub := cb.QUpperBound(c.Dist, resid[c.ID]); ub > u {
+						u = ub
+					}
+				}
+				h.Reset(k)
+				q := qflat[qi*dim : (qi+1)*dim]
+				for r, sq := range row {
+					if sq > cb.QPruneLimit(u, resid[r]) {
+						continue // certain lower bound beyond u: outside the top-k
+					}
+					reranked++
+					h.Push(knn.Result{ID: uint32(r), Dist: vec.SqDist(q, arena[r*dim:(r+1)*dim])})
+				}
+				tops[qi] = h.AppendSorted(tops[qi][:0])
+			}
+		}
+		return reranked
+	}
+
+	t := Table{
+		ID:    "quant",
+		Title: "Batched intra-cluster scans: float32 baseline vs SQ8 filter+rerank (vec kernels)",
+		Note: fmt.Sprintf("every query exact-top-%d scans a %d-row × %d-dim block; SQ8 streams 1-byte codes, bounds "+
+			"out most rows, and exact-reranks the rest — results verified bit-identical to the baseline; "+
+			"min of %d alternating trials", k, size, dim, quantTrials),
+		Header: []string{"batch", "float32 µs/query", "sq8 µs/query", "speedup", "reranked"},
+	}
+	baseTops := make([][]knn.Result, nq)
+	sq8Tops := make([][]knn.Result, nq)
+	for _, batch := range quantBatchSizes {
+		var baseMin, sq8Min float64
+		reranked := 0
+		for trial := 0; trial < quantTrials; trial++ {
+			start := time.Now()
+			floatScan(batch, baseTops)
+			if el := float64(time.Since(start).Microseconds()) / float64(nq); trial == 0 || el < baseMin {
+				baseMin = el
+			}
+			start = time.Now()
+			reranked = quantScan(batch, sq8Tops)
+			if el := float64(time.Since(start).Microseconds()) / float64(nq); trial == 0 || el < sq8Min {
+				sq8Min = el
+			}
+		}
+		// The filter's whole claim is exactness: the reranked top-k must
+		// be the baseline top-k, bit for bit.
+		for qi := range baseTops {
+			if len(baseTops[qi]) != len(sq8Tops[qi]) {
+				return Table{}, fmt.Errorf("quant: query %d top-k sizes differ", qi)
+			}
+			for i := range baseTops[qi] {
+				if baseTops[qi][i] != sq8Tops[qi][i] {
+					return Table{}, fmt.Errorf("quant: query %d result %d differs: %+v vs %+v",
+						qi, i, baseTops[qi][i], sq8Tops[qi][i])
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(batch),
+			f1(baseMin),
+			f1(sq8Min),
+			fmt.Sprintf("%.2fx", baseMin/sq8Min),
+			pct(float64(reranked) / float64(nq*size)),
+		})
+	}
+	return t, nil
+}
+
+// quantMode is one end-to-end configuration of the sweep.
+type quantMode struct {
+	name   string
+	approx bool
+	quant  cssi.QuantMode
+}
+
+var quantModes = []quantMode{
+	{"float32", false, cssi.QuantOff},
+	{"sq8 filter", false, cssi.QuantAuto},
+	{"sq8 approx", true, cssi.QuantOnly},
+}
+
+// quantEndToEndTable sweeps the three quant modes × batch sizes through
+// the public request API against one index, reporting latency, speedup
+// over the float32 baseline at the same batch width, recall@k against
+// the exact answer, and the filter's rerank ratio.
+func quantEndToEndTable(s Setup) (Table, error) {
+	ds, err := cssi.GenerateDataset(cssi.DatasetConfig{
+		Kind: cssi.TwitterLike, Size: s.twitterDefault(), Dim: s.Dim, Seed: s.Seed,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	idx, err := cssi.Build(ds, cssi.Options{Seed: s.Seed})
+	if err != nil {
+		return Table{}, err
+	}
+	queries := ds.SampleQueries(s.Queries, s.Seed+7)
+	k, lambda := s.K, s.Lambda
+
+	// Exact reference answers for recall.
+	exact := make([][]cssi.Result, len(queries))
+	for qi := range queries {
+		exact[qi], err = idx.Do(cssi.SearchRequest{Query: &queries[qi], K: k, Lambda: lambda, Quant: cssi.QuantOff})
+		if err != nil {
+			return Table{}, err
+		}
+	}
+
+	// runMode answers every query once at the given batch width
+	// (batch 1 = the single-query path, else DoBatch chunks with one
+	// worker so the comparison stays a batching effect, not a
+	// parallelism one) and returns the results.
+	runMode := func(m quantMode, batch int, res [][]cssi.Result, st *cssi.Stats) error {
+		if batch == 1 {
+			dst := make([]cssi.Result, 0, k)
+			for qi := range queries {
+				dst, err = idx.Do(cssi.SearchRequest{
+					Query: &queries[qi], K: k, Lambda: lambda,
+					Approx: m.approx, Quant: m.quant, Dst: dst[:0], Stats: st,
+				})
+				if err != nil {
+					return err
+				}
+				if res != nil {
+					res[qi] = append(res[qi][:0], dst...)
+				}
+			}
+			return nil
+		}
+		for q0 := 0; q0 < len(queries); q0 += batch {
+			nb := min(batch, len(queries)-q0)
+			out, err := idx.DoBatch(cssi.BatchSearchRequest{
+				Queries: queries[q0 : q0+nb], K: k, Lambda: lambda,
+				Approx: m.approx, Quant: m.quant, Parallelism: 1, Stats: st,
+			})
+			if err != nil {
+				return err
+			}
+			if res != nil {
+				for b := range out {
+					res[q0+b] = append(res[q0+b][:0], out[b]...)
+				}
+			}
+		}
+		return nil
+	}
+
+	t := Table{
+		ID:    "quant",
+		Title: "End-to-end quant modes × batch sizes (public Do/DoBatch, one worker)",
+		Note: fmt.Sprintf("float32 = QuantOff exact, sq8 filter = QuantAuto exact (bit-identical answers, so "+
+			"recall is 1 by construction), sq8 approx = Approx+QuantOnly at the default rerank multiplier; "+
+			"speedup is against float32 at the same batch width; min of %d alternating trials", quantTrials),
+		Header: []string{"batch", "mode", "µs/query", "speedup", "recall@" + itoa(k), "rerank ratio"},
+	}
+	res := make([][]cssi.Result, len(queries))
+	for _, batch := range quantBatchSizes {
+		micros := make([]float64, len(quantModes))
+		for trial := 0; trial < quantTrials; trial++ {
+			for mi, m := range quantModes {
+				start := time.Now()
+				if err := runMode(m, batch, nil, nil); err != nil {
+					return Table{}, err
+				}
+				el := float64(time.Since(start).Microseconds()) / float64(len(queries))
+				if trial == 0 || el < micros[mi] {
+					micros[mi] = el
+				}
+			}
+		}
+		for mi, m := range quantModes {
+			// Untimed pass for recall and the work counters.
+			var st cssi.Stats
+			if err := runMode(m, batch, res, &st); err != nil {
+				return Table{}, err
+			}
+			var recall float64
+			for qi := range res {
+				recall += quantRecall(exact[qi], res[qi])
+			}
+			recall /= float64(len(res))
+			ratio := "-"
+			if qt := st.QuantPruned + st.QuantReranked; qt > 0 {
+				ratio = f4(float64(st.QuantReranked) / float64(qt))
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(batch),
+				m.name,
+				f1(micros[mi]),
+				fmt.Sprintf("%.2fx", micros[0]/micros[mi]),
+				f4(recall),
+				ratio,
+			})
+		}
+	}
+	return t, nil
+}
+
+// maxBatch returns the widest batch of the sweep.
+func maxBatch(bs []int) int {
+	m := 0
+	for _, b := range bs {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// quantRecall is |approx IDs ∩ exact IDs| / |exact|.
+func quantRecall(exact, approx []cssi.Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	ids := make(map[uint32]struct{}, len(exact))
+	for _, r := range exact {
+		ids[r.ID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range approx {
+		if _, ok := ids[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestQuantRecallGateSmoke runs the end-to-end quant-mode comparison at
+// tiny scale and gates on answer quality: the exact modes (float32 and
+// SQ8 filter+rerank) must report recall exactly 1 — the filter is
+// bit-identical by construction, so anything else is a bound bug — and
+// the approximate quantized-only path must keep recall@10 >= 0.99 at
+// the default rerank multiplier. Timing columns are ignored, so the
+// gate itself is deterministic, but the table still runs min-of-5
+// timed trials; guarded behind CSSI_QUANT_SMOKE=1 to keep a regular
+// `go test ./...` fast.
+func TestQuantRecallGateSmoke(t *testing.T) {
+	if os.Getenv("CSSI_QUANT_SMOKE") == "" {
+		t.Skip("set CSSI_QUANT_SMOKE=1 to run the quant recall-gate smoke")
+	}
+	tab, err := quantEndToEndTable(Setup{Scale: 0.05, Queries: 40, K: 10, Lambda: 0.5, Dim: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	checked := 0
+	for _, row := range tab.Rows {
+		batch, mode, recallCell := row[0], row[1], row[4]
+		recall, err := strconv.ParseFloat(recallCell, 64)
+		if err != nil {
+			t.Fatalf("recall cell %q (batch %s, %s): %v", recallCell, batch, mode, err)
+		}
+		switch mode {
+		case "float32", "sq8 filter":
+			// Exact modes: the SQ8 filter reranks every survivor with the
+			// float32 kernel, so its answers are bit-identical and recall
+			// must be exactly 1.
+			if recall != 1 {
+				t.Errorf("batch %s %s: recall %s, want exactly 1.0000", batch, mode, recallCell)
+			}
+		case "sq8 approx":
+			if recall < 0.99 {
+				t.Errorf("batch %s %s: recall@10 %s, want >= 0.99", batch, mode, recallCell)
+			}
+		default:
+			t.Fatalf("unknown mode %q", mode)
+		}
+		checked++
+		t.Logf("batch %s %-10s recall %s", batch, mode, recallCell)
+	}
+	if wantRows := len(quantBatchSizes) * len(quantModes); checked != wantRows {
+		t.Errorf("checked %d rows, want %d", checked, wantRows)
+	}
+}

@@ -58,7 +58,7 @@ func Table2(s Setup) ([]Table, error) {
 		start = time.Now()
 		for qi := range queries {
 			idx.SearchAblated(&queries[qi], s.K, s.Lambda,
-				core.SearchOptions{DisableInterCluster: true, DisableIntraCluster: true}, nil)
+				core.AblationOptions{DisableInterCluster: true, DisableIntraCluster: true}, nil)
 		}
 		queryUS := float64(time.Since(start).Microseconds()) / float64(len(queries))
 

@@ -151,6 +151,13 @@ type Stats struct {
 	// cluster; on a pruned query ClustersOrdered stays far below
 	// ClustersExamined+ClustersPruned, which is the ordering-phase win.
 	ClustersOrdered int64 `json:"clustersOrdered"`
+	// QuantPruned counts candidates excluded by the SQ8 quantized lower
+	// bound alone (no exact semantic kernel ran); QuantReranked counts
+	// candidates that survived the quantized filter and were rescored
+	// with the exact float32 kernel. Their ratio is the filter's
+	// selectivity — the rerank ratio the server exports as a histogram.
+	QuantPruned   int64 `json:"quantPruned"`
+	QuantReranked int64 `json:"quantReranked"`
 }
 
 // Add accumulates o into s.
@@ -163,6 +170,8 @@ func (s *Stats) Add(o *Stats) {
 	s.ClustersExamined += o.ClustersExamined
 	s.ClustersPruned += o.ClustersPruned
 	s.ClustersOrdered += o.ClustersOrdered
+	s.QuantPruned += o.QuantPruned
+	s.QuantReranked += o.QuantReranked
 }
 
 // DistCalcs returns the total number of per-space distance calculations.

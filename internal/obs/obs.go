@@ -56,6 +56,12 @@ type SearchStats struct {
 	// ScanNanos, the wall time of the consumption loop.
 	OrderNanos int64 `json:"orderNanos"`
 	ScanNanos  int64 `json:"scanNanos"`
+	// QuantNanos is wall time spent in the SQ8 quantized phases — the
+	// pass-1 quantized filter of the exact filter+rerank scan, and the
+	// blockwise scoring plus exact rerank of the quantized-only path. It
+	// is a subset of ScanNanos, not additional time. Zero whenever the
+	// query ran without quantization.
+	QuantNanos int64 `json:"quantNanos"`
 }
 
 // Merge accumulates o into s, keeping the larger KthDistance (the
@@ -67,6 +73,7 @@ func (s *SearchStats) Merge(o *SearchStats) {
 	s.EarlyAbandons += o.EarlyAbandons
 	s.OrderNanos += o.OrderNanos
 	s.ScanNanos += o.ScanNanos
+	s.QuantNanos += o.QuantNanos
 	if o.KthDistance > s.KthDistance {
 		s.KthDistance = o.KthDistance
 	}

@@ -34,6 +34,7 @@ type metrics struct {
 	readEfficiency  histogram // per search request: fraction of objects pruned
 	clustersPruned  histogram // per search request: fraction of clusters pruned
 	clustersOrdered histogram // per search request: ordering-phase pops / clusters considered
+	rerankRatio     histogram // per search request: SQ8 survivors reranked / candidates filtered
 
 	start time.Time // process-uptime epoch (registry creation)
 }
@@ -140,6 +141,7 @@ func newMetrics() *metrics {
 	m.readEfficiency.init(ratioBuckets)
 	m.clustersPruned.init(ratioBuckets)
 	m.clustersOrdered.init(ratioBuckets)
+	m.rerankRatio.init(ratioBuckets)
 	return m
 }
 
@@ -175,6 +177,14 @@ func (m *metrics) observeSearchStats(st *cssi.Stats) {
 		// bucket. Well below 1 means the k-NN bound cut the ordering
 		// phase off long before every cluster was even ordered.
 		m.clustersOrdered.observe(float64(st.ClustersOrdered) / float64(clTotal))
+	}
+	// Rerank ratio: of the candidates the SQ8 quantized filter examined,
+	// the fraction that survived to the exact rerank. Low is good (the
+	// cheap bound excluded most of them). Only observed when the filter
+	// actually ran — quant-off queries and quant-free indexes would
+	// otherwise flood the histogram with meaningless zeros.
+	if qTotal := st.QuantPruned + st.QuantReranked; qTotal > 0 {
+		m.rerankRatio.observe(float64(st.QuantReranked) / float64(qTotal))
 	}
 }
 
@@ -271,6 +281,8 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 			"Per search request: fraction of clusters dismissed wholesale by the lower-bound cut.")
 		m.clustersOrdered.write(&b, "cssi_search_clusters_ordered_ratio",
 			"Per search request: lazy ordering-phase heap pops over clusters considered (re-pushed clusters pop twice, so >1 lands in +Inf).")
+		m.rerankRatio.write(&b, "cssi_search_rerank_ratio",
+			"Per search request: fraction of SQ8-filtered candidates surviving to the exact rerank (observed only when the quantized filter ran).")
 
 		stats := sampler()
 		b.WriteString("# HELP cssi_shard_objects Live objects per shard.\n")

@@ -3,6 +3,8 @@ package cssi
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/core"
 )
 
 // SearchRequest describes one k-NN query against any index flavor —
@@ -32,6 +34,18 @@ type SearchRequest struct {
 	// Approx selects the approximate CSSIA algorithm instead of exact
 	// CSSI.
 	Approx bool
+	// Quant selects how the SQ8 quantized arena participates. The zero
+	// value (QuantAuto) applies the exactness-preserving quantized
+	// filter wherever the index has an arena; QuantOff forces the pure
+	// float32 path; QuantOnly answers from the quantized arena with a
+	// final exact rerank — approximate by construction, so it requires
+	// Approx (rejected with ErrUnsupportedRequest otherwise). The
+	// keyword path ignores Quant (it is exact regardless).
+	Quant QuantMode
+	// QuantRerank tunes the QuantOnly overfetch: the exact rerank pool
+	// holds QuantRerank·K candidates (<= 0 selects DefaultQuantRerank;
+	// larger is more accurate and slower). Ignored outside QuantOnly.
+	QuantRerank int
 	// Keywords, when non-empty, restricts results to objects whose text
 	// contains every keyword (boolean AND, stop words ignored).
 	// Requires EnableKeywordFilter (panics otherwise, like
@@ -74,6 +88,11 @@ type BatchSearchRequest struct {
 	Lambda float64
 	// Approx selects CSSIA instead of exact CSSI.
 	Approx bool
+	// Quant and QuantRerank select the SQ8 quantized participation for
+	// every query of the batch, with the same contract as the
+	// SearchRequest fields of the same names.
+	Quant       QuantMode
+	QuantRerank int
 	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS and
 	// larger values are clamped to GOMAXPROCS.
 	Parallelism int
@@ -114,6 +133,22 @@ func checkKeywordRequest(req *SearchRequest) error {
 	return nil
 }
 
+// checkQuantMode rejects the quant combination with no sound
+// implementation: QuantOnly selects by quantized estimates and reranks
+// only an overfetched pool, so it cannot honor an exact request.
+func checkQuantMode(approx bool, quant QuantMode) error {
+	if quant == QuantOnly && !approx {
+		return fmt.Errorf("%w: QuantOnly requires Approx (the quantized-only scan is approximate)", ErrUnsupportedRequest)
+	}
+	return nil
+}
+
+// searchOptions translates the request's algorithm knobs into the core
+// dispatch options.
+func (req *SearchRequest) searchOptions() core.SearchOptions {
+	return core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank}
+}
+
 // Do answers one k-NN query described by req — the single search entry
 // point every legacy Search* variant now delegates to. Programmer
 // errors (nil query, K < 1, Lambda outside [0,1], wrong vector
@@ -124,6 +159,9 @@ func checkKeywordRequest(req *SearchRequest) error {
 func (x *Index) Do(req SearchRequest) ([]Result, error) {
 	checkQuery(req.Query, req.K, req.Lambda)
 	x.checkQueryVec(req.Query)
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return nil, err
+	}
 	if len(req.Keywords) > 0 {
 		if err := checkKeywordRequest(&req); err != nil {
 			return nil, err
@@ -141,16 +179,13 @@ func (x *Index) Do(req SearchRequest) ([]Result, error) {
 		return nil, fmt.Errorf("%w: Trace requires a ShardedIndex (wrap with ShardedFrom)", ErrUnsupportedRequest)
 	}
 	if req.Explain != nil {
-		res := x.core.SearchExplainInto(req.Dst, req.Query, req.K, req.Lambda, req.Approx, req.Explain)
+		res := x.core.SearchExplainOptionsInto(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Explain)
 		if req.Stats != nil {
 			req.Stats.Add(&req.Explain.Stats)
 		}
 		return res, nil
 	}
-	if req.Approx {
-		return x.core.SearchApproxInto(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
-	}
-	return x.core.SearchInto(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+	return x.core.SearchOptionsInto(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats), nil
 }
 
 // DoBatch answers the batched workload described by req — the single
@@ -163,6 +198,9 @@ func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 	if req.K < 1 {
 		return nil, ErrInvalidK
 	}
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return nil, err
+	}
 	if len(req.Queries) == 0 {
 		return [][]Result{}, nil
 	}
@@ -173,7 +211,8 @@ func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 				i, len(req.Queries[i].Vec), x.core.Dim()))
 		}
 	}
-	out, err := x.core.SearchBatch(req.Queries, req.K, req.Lambda, req.Parallelism, req.Approx, req.Stats)
+	out, err := x.core.SearchBatchOptions(req.Queries, req.K, req.Lambda, req.Parallelism,
+		core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank}, req.Stats)
 	if err != nil {
 		// Unreachable: K < 1, the only input the core entry point
 		// refuses, was rejected above.
@@ -203,6 +242,9 @@ func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 // Index.Do for the request contract; exact results are bit-identical
 // to a flat index over the same objects.
 func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return nil, err
+	}
 	if len(req.Keywords) > 0 {
 		s.checkRead(req.Query, req.K, req.Lambda)
 		if err := checkKeywordRequest(&req); err != nil {
@@ -218,7 +260,7 @@ func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
 		return res, nil
 	}
 	if req.Explain != nil || req.Trace != nil {
-		res, tr := s.searchExplain(req.Query, req.K, req.Lambda, req.Approx, req.RequestID)
+		res, tr := s.searchExplain(req.Query, req.K, req.Lambda, req.searchOptions(), req.RequestID)
 		if req.Trace != nil {
 			*req.Trace = *tr
 		}
@@ -235,9 +277,9 @@ func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
 		return res, nil
 	}
 	if req.Approx {
-		return s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+		return s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats), nil
 	}
-	return s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.Stats), nil
+	return s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats), nil
 }
 
 // DoBatch answers a batched workload with one scatter (or the chained

@@ -265,7 +265,7 @@ func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) 
 // global top-k — no merge step. Because the shards share one metric
 // space's normalizers, distances are globally comparable and the result
 // is the same exact top-k the parallel scatter+merge produces.
-func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
+func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats) []Result {
 	s.checkRead(q, k, lambda)
 	if s.scatterDegree() == 1 {
 		var local Stats
@@ -273,10 +273,10 @@ func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float6
 		if st == nil {
 			pst = nil
 		}
-		cur := s.shards[0].Snapshot().core.SearchSeededInto(make([]Result, 0, k), nil, q, k, lambda, pst)
+		cur := s.shards[0].Snapshot().core.SearchOptionsSeededInto(make([]Result, 0, k), nil, q, k, lambda, opts, pst)
 		buf := make([]Result, 0, k)
 		for i := 1; i < len(s.shards); i++ {
-			next := s.shards[i].Snapshot().core.SearchSeededInto(buf[:0], cur, q, k, lambda, pst)
+			next := s.shards[i].Snapshot().core.SearchOptionsSeededInto(buf[:0], cur, q, k, lambda, opts, pst)
 			buf, cur = cur, next
 		}
 		if st != nil {
@@ -290,7 +290,7 @@ func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float6
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
 	s.scatter(func(i int, snap *Index) {
-		lists[i] = snap.core.Search(q, k, lambda, &per[i])
+		lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
 	})
 	gatherStats(st, per)
 	if dst == nil {
@@ -320,12 +320,12 @@ func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *S
 
 // searchApprox is the approximate scatter/gather search behind Do,
 // appending the merged top-k to dst.
-func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, st *Stats) []Result {
+func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats) []Result {
 	s.checkRead(q, k, lambda)
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
 	s.scatter(func(i int, snap *Index) {
-		lists[i] = snap.core.SearchApprox(q, k, lambda, &per[i])
+		lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
 	})
 	gatherStats(st, per)
 	if dst == nil {
@@ -354,14 +354,17 @@ func (s *ShardedIndex) SearchExplain(q *Object, k int, lambda float64, approx bo
 
 // searchExplain is the per-shard-instrumented scatter behind Do's
 // Explain/Trace path.
-func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, approx bool, requestID string) ([]Result, *SearchTrace) {
+func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core.SearchOptions, requestID string) ([]Result, *SearchTrace) {
 	s.checkRead(q, k, lambda)
 	if requestID == "" {
 		requestID = obs.NewRequestID()
 	}
 	algo := "cssi"
-	if approx {
+	if opts.Approx {
 		algo = "cssia"
+		if opts.Quant == core.QuantOnly {
+			algo = "cssia-sq8"
+		}
 	}
 	t := &SearchTrace{
 		RequestID: requestID,
@@ -377,7 +380,7 @@ func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, approx bo
 		sp.Shard = i
 		sp.Objects = snap.Len()
 		spanStart := time.Now()
-		lists[i] = snap.core.SearchExplainInto(nil, q, k, lambda, approx, &sp.Stats)
+		lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
 		sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 	})
 	res := knn.MergeSorted(make([]Result, 0, k), lists, k)
@@ -459,8 +462,12 @@ func (s *ShardedIndex) BatchSearch(queries []Object, k int, lambda float64, appr
 func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 	queries, k, lambda := req.Queries, req.K, req.Lambda
 	approx, parallelism, st := req.Approx, req.Parallelism, req.Stats
+	opts := core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank}
 	if k < 1 {
 		return nil, ErrInvalidK
+	}
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return nil, err
 	}
 	if len(queries) == 0 {
 		return [][]Result{}, nil
@@ -493,9 +500,9 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 		cur := make([]Result, 0, k)
 		buf := make([]Result, 0, k)
 		for qi := range queries {
-			cur = snaps[0].core.SearchSeededInto(cur[:0], nil, &queries[qi], k, lambda, pst)
+			cur = snaps[0].core.SearchOptionsSeededInto(cur[:0], nil, &queries[qi], k, lambda, opts, pst)
 			for si := 1; si < len(snaps); si++ {
-				next := snaps[si].core.SearchSeededInto(buf[:0], cur, &queries[qi], k, lambda, pst)
+				next := snaps[si].core.SearchOptionsSeededInto(buf[:0], cur, &queries[qi], k, lambda, opts, pst)
 				buf, cur = cur, next
 			}
 			out[qi] = append(make([]Result, 0, len(cur)), cur...)
@@ -509,7 +516,7 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 	per := make([]Stats, len(s.shards))
 	errs := make([]error, len(s.shards))
 	s.scatter(func(i int, snap *Index) {
-		perShard[i], errs[i] = snap.core.SearchBatch(queries, k, lambda, parallelism, approx, &per[i])
+		perShard[i], errs[i] = snap.core.SearchBatchOptions(queries, k, lambda, parallelism, opts, &per[i])
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
