@@ -36,6 +36,8 @@ func main() {
 		qtext  = flag.String("text", "", "query text (requires a generated dataset)")
 		k      = flag.Int("k", 10, "number of neighbors")
 		lambda = flag.Float64("lambda", 0.5, "balance parameter λ (1 = purely spatial)")
+		route  = flag.Bool("route", false, "also run the learned-router modes: routed exact (bit-identical) and routed approximate")
+		target = flag.Float64("route-target", 0, "routed approximate recall knob in (0,1] (0 = library default)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,36 @@ func main() {
 	fmt.Printf("\nCSSIA (approximate, %v): visited %d objects, result error %.2f%%\n",
 		approxTime.Round(time.Microsecond), stApprox.VisitedObjects, 100*cssi.ErrorRate(exact, approx))
 	printResults(ds, approx)
+
+	if *route {
+		if !idx.RouterTrained() {
+			fmt.Printf("\nrouted modes: no trained router (index too small); -route falls back to the unrouted algorithms\n")
+		}
+		var stRouted cssi.Stats
+		t0 = time.Now()
+		routedExact, err := idx.Do(cssi.SearchRequest{Query: q, K: *k, Lambda: *lambda, Route: true, Stats: &stRouted})
+		if err != nil {
+			fail(err)
+		}
+		routedTime := time.Since(t0)
+		fmt.Printf("\nCSSI routed (exact, %v): visited %d objects, clusters routed %d, result error %.2f%% (must be 0)\n",
+			routedTime.Round(time.Microsecond), stRouted.VisitedObjects, stRouted.ClustersRouted, 100*cssi.ErrorRate(exact, routedExact))
+		printResults(ds, routedExact)
+
+		var stRA cssi.Stats
+		t0 = time.Now()
+		routedApprox, err := idx.Do(cssi.SearchRequest{
+			Query: q, K: *k, Lambda: *lambda,
+			Approx: true, Route: true, RouteTarget: *target, Stats: &stRA,
+		})
+		if err != nil {
+			fail(err)
+		}
+		raTime := time.Since(t0)
+		fmt.Printf("\nCSSIA routed (approximate, %v): visited %d objects, clusters routed %d, result error %.2f%%\n",
+			raTime.Round(time.Microsecond), stRA.VisitedObjects, stRA.ClustersRouted, 100*cssi.ErrorRate(exact, routedApprox))
+		printResults(ds, routedApprox)
+	}
 }
 
 func obtainDataset(path, kind string, size, dim int, seed uint64) (*cssi.Dataset, error) {

@@ -47,6 +47,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "shard count when building (a loaded index keeps its stored shard count)")
 		indexPath = flag.String("index", "", "load a saved index (file or sharded directory) instead of generating")
 		savePath  = flag.String("save", "", "after building, save the index here (a directory when -shards > 1)")
+		route     = flag.Bool("route", false, "use the learned cluster router by default on query requests (a request's own \"route\" field still wins)")
+		target    = flag.Float64("route-target", 0, "default routed-approximate recall knob in (0,1] for requests that omit routeTarget (0 = library default)")
 	)
 	flag.Parse()
 
@@ -102,6 +104,10 @@ func main() {
 
 	api := server.NewSharded(idx, model)
 	api.SetLogger(logger)
+	api.SetRouteDefaults(*route, *target)
+	if *route && !idx.RouterTrained() {
+		logger.Warn("router default requested but not every shard carries a trained router; untrained shards run unrouted")
+	}
 
 	if *opsAddr != "" {
 		ops := &http.Server{

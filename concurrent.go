@@ -291,6 +291,13 @@ func (c *ConcurrentIndex) KeywordFilterEnabled() bool {
 	return c.cur.Load().KeywordFilterEnabled()
 }
 
+// RouterTrained reports whether the current snapshot carries a trained
+// cluster router (see Index.RouterTrained). Rebuilds retrain the router;
+// incremental writes keep the build-time model.
+func (c *ConcurrentIndex) RouterTrained() bool {
+	return c.cur.Load().RouterTrained()
+}
+
 // SearchWithKeywords is Index.SearchWithKeywords against the current
 // snapshot (lock-free).
 //

@@ -28,6 +28,7 @@ import (
 	"repro/internal/kmeans"
 	"repro/internal/metric"
 	"repro/internal/pca"
+	"repro/internal/route"
 	"repro/internal/vec"
 )
 
@@ -162,6 +163,14 @@ type Index struct {
 	// follow the arenas' append-only/COW discipline; CloneForWrite
 	// copies the struct header so clones grow it independently.
 	quant *quantArena
+
+	// router is the learned cluster-routing model (nil on indexes too
+	// small to train one; see route.go). Immutable after training:
+	// snapshots and COW clones share it by pointer, rebuilds retrain it.
+	// routerFold is its precomputed inference form (set with router by
+	// setRouter); the query path scores with the fold only.
+	router     *route.Model
+	routerFold route.Folded
 
 	pcaModel *pca.Model
 
@@ -406,6 +415,11 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 	x.builtSRad = append([]float64(nil), x.sRad...)
 	x.builtTRadProj = append([]float64(nil), x.tRadProj...)
 	tm.Hybrid = time.Since(phase)
+	// Train the learned cluster router last: its labeling self-queries
+	// are ordinary exact searches, which need the finished index.
+	phase = time.Now()
+	x.setRouter(x.trainRouter())
+	tm.Route = time.Since(phase)
 	return x, nil
 }
 

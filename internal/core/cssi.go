@@ -203,10 +203,27 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 			})
 		}
 	}
-	f := (*clusterFrontier)(&sc.order)
+	// Learned exact-reorder pre-pass (see route.go): the router moves
+	// its R predicted-best clusters to the front of the order; they are
+	// scanned below before the admissible frontier over the remainder
+	// runs, so the k-th distance tightens near its final value within a
+	// few clusters and the Lemma 4.4 cut fires much earlier.
+	routedPrefix := 0
+	if sc.routeOn && x.router != nil {
+		var rt time.Time
+		if sc.obs != nil {
+			rt = time.Now()
+		}
+		routedPrefix = x.routePrefix(sc, lambda, lazy)
+		if sc.obs != nil {
+			sc.obs.RouteNanos += time.Since(rt).Nanoseconds()
+		}
+	}
+	rest := sc.order[routedPrefix:]
+	f := (*clusterFrontier)(&rest)
 	f.heapify()
 	if sc.obs != nil {
-		sc.obs.ClustersTotal += int64(len(*f))
+		sc.obs.ClustersTotal += int64(len(sc.order))
 		sc.obs.OrderNanos += time.Since(phase).Nanoseconds()
 		phase = time.Now()
 	}
@@ -215,6 +232,37 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 	h.Reset(k)
 	for _, r := range seed {
 		h.Push(r)
+	}
+	for i := 0; i < routedPrefix; i++ {
+		e := &sc.order[i]
+		c := e.c
+		if st != nil {
+			st.ClustersRouted++
+		}
+		dtqC := sc.dtq[c.t]
+		if !sc.dtqKnown[c.t] {
+			dtqC = x.space.SemanticVec(q.Vec, x.tCent[c.t])
+			sc.dtq[c.t] = dtqC
+			sc.dtqKnown[c.t] = true
+		}
+		if u, full := h.Bound(); full {
+			// Admissibility of the skip: L(q,C) underestimates every
+			// member's distance, and u only tightens toward the final
+			// bound U_final, so L(q,C) ≥ u ≥ U_final proves the cluster
+			// holds no candidate that could enter the final heap. The
+			// final heap is a pure function of the offered candidate set
+			// (knn.Heap breaks ties by ID), so results stay bit-identical
+			// no matter which clusters the router front-loads.
+			trueLB := lowerBound(lambda, sc.dsq[c.s], x.sRad[c.s], dtqC, x.tRad[c.t])
+			if trueLB >= u {
+				if st != nil {
+					st.ClustersPruned++
+					st.InterPruned += int64(len(c.elems))
+				}
+				continue
+			}
+		}
+		x.scanCluster(sc, q, lambda, c, sc.dsq[c.s], dtqC, h, st)
 	}
 	for len(*f) > 0 {
 		if u, full := h.Bound(); full && (*f)[0].lb >= u {

@@ -93,11 +93,14 @@ type BuildTimings struct {
 	// Hybrid covers representation computation, hybrid-cluster formation
 	// and array building.
 	Hybrid time.Duration
+	// Route covers training the learned cluster router (self-query
+	// labeling plus the gradient-descent fit).
+	Route time.Duration
 }
 
 // Total returns the summed construction time.
 func (t BuildTimings) Total() time.Duration {
-	return t.Spatial + t.PCA + t.Semantic + t.Hybrid
+	return t.Spatial + t.PCA + t.Semantic + t.Hybrid + t.Route
 }
 
 // BuildTimed is Build with a phase-time breakdown.

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -344,6 +345,92 @@ func TestLazyFilteredRangeBoxAfterDeletes(t *testing.T) {
 		wantB := boxBruteLive(f, &q, loX, loY, hiX, hiY, k, live)
 		gotB := f.idx.SearchInBox(&q, loX, loY, hiX, hiY, k, nil)
 		requireIdentical(t, "box", trial, wantB, gotB)
+	}
+}
+
+// TestRoutedExactStressUnderRebuild is the combined property stress:
+// an index with ~20% deletions serves routed exact searches from
+// several goroutines — each pinned bit-identical to the eager
+// reference — while RebuildFresh reconstructs replacement indexes
+// (retraining their routers) in the background, exactly the core-level
+// shape of the concurrency layer's non-blocking rebuild. The rebuilt
+// index must then pass the same bit-identity check. Run under -race
+// this also proves the routed pre-pass shares no mutable state across
+// queries beyond the pooled scratch.
+func TestRoutedExactStressUnderRebuild(t *testing.T) {
+	f := build(t, dataset.TwitterLike, 1500, Config{Seed: 96})
+	if f.idx.Router() == nil {
+		t.Fatal("fixture has no trained router")
+	}
+	rng := rand.New(rand.NewPCG(96, 1))
+	for i := range f.ds.Objects {
+		if rng.Float64() < 0.2 {
+			if err := f.idx.Delete(f.ds.Objects[i].ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Background rebuilds: RebuildFresh never mutates f.idx, so the
+	// searchers below keep reading it concurrently, race-free.
+	rebuilt := make(chan *Index, 1)
+	go func() {
+		var last *Index
+		for i := 0; i < 3; i++ {
+			fresh, err := f.idx.RebuildFresh()
+			if err != nil {
+				t.Errorf("background rebuild %d: %v", i, err)
+				rebuilt <- nil
+				return
+			}
+			last = fresh
+		}
+		rebuilt <- last
+	}()
+
+	const searchers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(96, 2+uint64(g)))
+			for trial := 0; trial < 20; trial++ {
+				q := f.ds.Objects[rng.IntN(f.ds.Len())]
+				k := 1 + rng.IntN(20)
+				lambda := rng.Float64()
+				want := searchEager(f.idx, nil, &q, k, lambda)
+				got := f.idx.SearchOptionsInto(nil, &q, k, lambda, SearchOptions{Route: true}, nil)
+				if len(got) != len(want) {
+					t.Errorf("searcher %d trial %d: got %d results, want %d", g, trial, len(got), len(want))
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("searcher %d trial %d result %d: got {%d %v}, want {%d %v}",
+							g, trial, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	fresh := <-rebuilt
+	if fresh == nil {
+		return // rebuild already reported its error
+	}
+	if fresh.Router() == nil {
+		t.Fatal("rebuilt index has no retrained router")
+	}
+	for trial := 0; trial < 15; trial++ {
+		q := f.ds.Objects[rng.IntN(f.ds.Len())]
+		k := 1 + rng.IntN(20)
+		lambda := rng.Float64()
+		want := searchEager(fresh, nil, &q, k, lambda)
+		got := fresh.SearchOptionsInto(nil, &q, k, lambda, SearchOptions{Route: true}, nil)
+		requireIdentical(t, "rebuilt routed", trial, want, got)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metric"
 	"repro/internal/pca"
+	"repro/internal/route"
 	"repro/internal/vec"
 )
 
@@ -84,12 +85,25 @@ type gobIndex struct {
 	QuantLo, QuantStep []float32
 	QuantCodes         []uint8
 	QuantResid         []float32
+
+	// The learned cluster router (version 4): the logistic layer's
+	// weights and the feature standardization. All empty when the saved
+	// index had no trained router (too small, degenerate training set);
+	// older files leave them at their gob zero values and Load retrains
+	// transparently. RouteHasModel disambiguates "saved without a
+	// router" from "pre-v4 file": a v4 file with it false loads with a
+	// nil router instead of paying a pointless retrain.
+	RouteHasModel         bool
+	RouteBias             float64
+	RouteW                []float64
+	RouteMean, RouteScale []float64
 }
 
 const (
 	persistVersionV1 = 1 // per-object vectors + [][]float32 projections
 	persistVersionV2 = 2 // flat vector/projection arenas
-	persistVersion   = 3 // v2 + the SQ8 quantized arena and codebook
+	persistVersionV3 = 3 // v2 + the SQ8 quantized arena and codebook
+	persistVersion   = 4 // v3 + the learned cluster-routing model
 )
 
 // Save writes the index (including its metric-space normalizers) to w.
@@ -135,6 +149,13 @@ func (x *Index) Save(w io.Writer) error {
 		g.QuantStep = x.quant.cb.Step
 		g.QuantCodes = x.quant.codes
 		g.QuantResid = x.quant.resid
+	}
+	if x.router != nil {
+		g.RouteHasModel = true
+		g.RouteBias = x.router.Bias
+		g.RouteW = x.router.W
+		g.RouteMean = x.router.Mean
+		g.RouteScale = x.router.Scale
 	}
 	g.Clusters = make([]gobHybrid, len(x.clusters))
 	for i, c := range x.clusters {
@@ -195,7 +216,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		return nil, nil, fmt.Errorf("core: load: %w", err)
 	}
 	switch g.Version {
-	case persistVersion, persistVersionV2:
+	case persistVersion, persistVersionV3, persistVersionV2:
 	case persistVersionV1:
 		if err := migrateV1(&g); err != nil {
 			return nil, nil, fmt.Errorf("core: load: %w", err)
@@ -296,6 +317,21 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		x.fillClusterQuant(c)
 		x.clusters[i] = c
 		x.clusterIdx[[2]int{gc.S, gc.T}] = c
+	}
+	// Restore the learned cluster router: version-4 files carry the
+	// weights verbatim; older files retrain from the restored index (a
+	// handful of self-queries — the clusters above must be built first),
+	// so a legacy load transparently gains routed search. A v4 file
+	// explicitly saved without a router stays routerless.
+	if g.RouteHasModel {
+		m := &route.Model{Bias: g.RouteBias, W: g.RouteW, Mean: g.RouteMean, Scale: g.RouteScale}
+		if !m.Valid(routeFeatureCount) {
+			return nil, nil, fmt.Errorf("core: load: routing model has %d weights, want %d",
+				len(g.RouteW), routeFeatureCount)
+		}
+		x.setRouter(m)
+	} else if g.Version < persistVersion {
+		x.setRouter(x.trainRouter())
 	}
 	return x, space, nil
 }

@@ -75,6 +75,16 @@ type SearchOptions struct {
 	// QuantRerank is the QuantOnly overfetch multiplier (<= 0 selects
 	// DefaultQuantRerank). Ignored outside QuantOnly.
 	QuantRerank int
+	// Route engages the learned cluster router (see route.go). On an
+	// exact query it only re-prioritizes the visit order — results stay
+	// bit-identical; with Approx it selects the routed approximate mode
+	// whose cluster coverage is tuned by RouteTarget. Silently ignored
+	// when the index has no trained router.
+	Route bool
+	// RouteTarget is the routed approximate mode's probability-mass
+	// coverage in (0,1]; <= 0 selects DefaultRouteTarget. Ignored
+	// outside Route+Approx.
+	RouteTarget float64
 }
 
 // quantArena is the SQ8 companion of vecArena: row i of codes is the
@@ -193,7 +203,11 @@ func (x *Index) SearchOptionsSeededInto(dst, seed []knn.Result, q *dataset.Objec
 // queries).
 func (x *Index) searchOptionsWith(sc *searchScratch, dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
 	sc.quantOff = opts.Quant == QuantOff
+	sc.routeOn = opts.Route && x.router != nil
 	if opts.Approx {
+		if sc.routeOn {
+			return x.searchRoutedWith(sc, dst, q, k, lambda, routeTargetOrDefault(opts.RouteTarget), st)
+		}
 		if opts.Quant == QuantOnly && x.quant != nil {
 			return x.searchQuantWith(sc, dst, q, k, rerankMult(opts.QuantRerank), lambda, st)
 		}

@@ -50,6 +50,15 @@ type searchScratch struct {
 	survivors []quantSurvivor
 	est       []float64
 	lut       vec.SQ8LUT
+	// Learned-routing state. routeOn arms the exact-reorder pre-pass
+	// for the current query (set per query by searchOptionsWith, only
+	// when the index has a trained router); routeScore is the
+	// per-cluster score/probability buffer of routePrefix and the
+	// routed approximate mode; routeKey is the latter's packed
+	// (probability, position) sort keys.
+	routeOn    bool
+	routeScore []float64
+	routeKey   []uint64
 	// obs, when non-nil, receives the search-internals trace of the
 	// current query (explain path only). nil — the normal case — keeps
 	// every instrumentation site an untaken branch: zero extra work,
@@ -79,6 +88,7 @@ func (x *Index) getScratch() *searchScratch {
 	}
 	sc.quantQ = false
 	sc.quantOff = false
+	sc.routeOn = false
 	sc.obs = nil
 	return sc
 }

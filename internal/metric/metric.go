@@ -151,6 +151,12 @@ type Stats struct {
 	// cluster; on a pruned query ClustersOrdered stays far below
 	// ClustersExamined+ClustersPruned, which is the ordering-phase win.
 	ClustersOrdered int64 `json:"clustersOrdered"`
+	// ClustersRouted counts clusters whose visit position was decided by
+	// the learned router instead of the admissible bound order: the
+	// front-loaded prefix of a routed exact query (scanned or skipped by
+	// the bound test), or every cluster the routed approximate mode
+	// visited. Zero on unrouted queries.
+	ClustersRouted int64 `json:"clustersRouted"`
 	// QuantPruned counts candidates excluded by the SQ8 quantized lower
 	// bound alone (no exact semantic kernel ran); QuantReranked counts
 	// candidates that survived the quantized filter and were rescored
@@ -170,6 +176,7 @@ func (s *Stats) Add(o *Stats) {
 	s.ClustersExamined += o.ClustersExamined
 	s.ClustersPruned += o.ClustersPruned
 	s.ClustersOrdered += o.ClustersOrdered
+	s.ClustersRouted += o.ClustersRouted
 	s.QuantPruned += o.QuantPruned
 	s.QuantReranked += o.QuantReranked
 }

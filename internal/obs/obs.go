@@ -62,6 +62,10 @@ type SearchStats struct {
 	// is a subset of ScanNanos, not additional time. Zero whenever the
 	// query ran without quantization.
 	QuantNanos int64 `json:"quantNanos"`
+	// RouteNanos is wall time spent scoring and ordering clusters with
+	// the learned router — a subset of OrderNanos, not additional time.
+	// Zero whenever the query ran without routing.
+	RouteNanos int64 `json:"routeNanos"`
 }
 
 // Merge accumulates o into s, keeping the larger KthDistance (the
@@ -74,6 +78,7 @@ func (s *SearchStats) Merge(o *SearchStats) {
 	s.OrderNanos += o.OrderNanos
 	s.ScanNanos += o.ScanNanos
 	s.QuantNanos += o.QuantNanos
+	s.RouteNanos += o.RouteNanos
 	if o.KthDistance > s.KthDistance {
 		s.KthDistance = o.KthDistance
 	}

@@ -1,0 +1,118 @@
+package route
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// separable builds a linearly separable 2-feature training set: label is
+// true iff f0 + f1 > 1, with a comfortable margin around the boundary.
+func separable(n int, seed uint64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	rows := make([][]float64, 0, n)
+	labels := make([]bool, 0, n)
+	for len(rows) < n {
+		f0, f1 := rng.Float64(), rng.Float64()
+		s := f0 + f1
+		if s > 0.9 && s < 1.1 {
+			continue // margin
+		}
+		rows = append(rows, []float64{f0, f1})
+		labels = append(labels, s > 1)
+	}
+	return rows, labels
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rows, labels := separable(400, 11)
+	m, err := Train(rows, labels, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Valid(2) {
+		t.Fatal("trained model fails Valid(2)")
+	}
+	correct := 0
+	for i, r := range rows {
+		if (m.Predict(r) > 0.5) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(rows)); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f on a separable set, want >= 0.95", acc)
+	}
+}
+
+// TestTrainDeterministic pins the no-RNG training loop: identical inputs
+// must produce bit-identical models.
+func TestTrainDeterministic(t *testing.T) {
+	rows, labels := separable(200, 12)
+	a, err := Train(rows, labels, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(rows, labels, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two trainings over identical data differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTrainDegenerateSets(t *testing.T) {
+	if _, err := Train(nil, nil, TrainConfig{}); err == nil {
+		t.Fatal("empty set: want error")
+	}
+	rows := [][]float64{{1, 2}, {3, 4}}
+	if _, err := Train(rows, []bool{true, true}, TrainConfig{}); err == nil {
+		t.Fatal("single-class set: want error")
+	}
+	if _, err := Train([][]float64{{1, 2}, {3}}, []bool{true, false}, TrainConfig{}); err == nil {
+		t.Fatal("inconsistent row widths: want error")
+	}
+	if _, err := Train(rows, []bool{true}, TrainConfig{}); err == nil {
+		t.Fatal("labels/rows length mismatch: want error")
+	}
+}
+
+// TestTrainConstantFeature checks that a zero-variance feature is
+// neutralized (Scale 0) instead of producing NaNs.
+func TestTrainConstantFeature(t *testing.T) {
+	rows, labels := separable(200, 13)
+	for i := range rows {
+		rows[i] = append(rows[i], 7.5) // constant third feature
+	}
+	m, err := Train(rows, labels, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scale[2] != 0 {
+		t.Fatalf("constant feature scale = %v, want 0", m.Scale[2])
+	}
+	for _, r := range rows {
+		if p := m.Predict(r); math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("Predict = %v, want a probability", p)
+		}
+	}
+}
+
+func TestModelValid(t *testing.T) {
+	m := &Model{Bias: 0, W: []float64{1, 2}, Mean: []float64{0, 0}, Scale: []float64{1, 1}}
+	if !m.Valid(2) {
+		t.Fatal("well-formed model rejected")
+	}
+	if m.Valid(3) {
+		t.Fatal("width mismatch accepted")
+	}
+	var nilModel *Model
+	if nilModel.Valid(2) {
+		t.Fatal("nil model accepted")
+	}
+	bad := &Model{Bias: math.NaN(), W: []float64{1, 2}, Mean: []float64{0, 0}, Scale: []float64{1, 1}}
+	if bad.Valid(2) {
+		t.Fatal("NaN bias accepted")
+	}
+}

@@ -34,6 +34,7 @@ type metrics struct {
 	readEfficiency  histogram // per search request: fraction of objects pruned
 	clustersPruned  histogram // per search request: fraction of clusters pruned
 	clustersOrdered histogram // per search request: ordering-phase pops / clusters considered
+	clustersRouted  histogram // per search request: router-placed clusters / clusters considered
 	rerankRatio     histogram // per search request: SQ8 survivors reranked / candidates filtered
 
 	start time.Time // process-uptime epoch (registry creation)
@@ -141,6 +142,7 @@ func newMetrics() *metrics {
 	m.readEfficiency.init(ratioBuckets)
 	m.clustersPruned.init(ratioBuckets)
 	m.clustersOrdered.init(ratioBuckets)
+	m.clustersRouted.init(ratioBuckets)
 	m.rerankRatio.init(ratioBuckets)
 	return m
 }
@@ -177,6 +179,13 @@ func (m *metrics) observeSearchStats(st *cssi.Stats) {
 		// bucket. Well below 1 means the k-NN bound cut the ordering
 		// phase off long before every cluster was even ordered.
 		m.clustersOrdered.observe(float64(st.ClustersOrdered) / float64(clTotal))
+	}
+	// Routed ratio: the fraction of considered clusters whose visit
+	// position the learned router decided. Only observed when routing
+	// actually ran — unrouted queries would otherwise flood the
+	// histogram with zeros.
+	if clTotal > 0 && st.ClustersRouted > 0 {
+		m.clustersRouted.observe(float64(st.ClustersRouted) / float64(clTotal))
 	}
 	// Rerank ratio: of the candidates the SQ8 quantized filter examined,
 	// the fraction that survived to the exact rerank. Low is good (the
@@ -281,6 +290,8 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 			"Per search request: fraction of clusters dismissed wholesale by the lower-bound cut.")
 		m.clustersOrdered.write(&b, "cssi_search_clusters_ordered_ratio",
 			"Per search request: lazy ordering-phase heap pops over clusters considered (re-pushed clusters pop twice, so >1 lands in +Inf).")
+		m.clustersRouted.write(&b, "cssi_search_clusters_routed_ratio",
+			"Per search request: fraction of considered clusters placed by the learned router (observed only when routing ran).")
 		m.rerankRatio.write(&b, "cssi_search_rerank_ratio",
 			"Per search request: fraction of SQ8-filtered candidates surviving to the exact rerank (observed only when the quantized filter ran).")
 

@@ -64,6 +64,24 @@ type Server struct {
 	model *embed.Model // may be nil: text queries then return an error
 	met   *metrics
 	log   *slog.Logger
+
+	// routeDefault turns the learned cluster router on for every /search,
+	// /search/batch and /debug/explain request that does not set "route"
+	// itself; routeTargetDefault fills a missing "routeTarget". Set via
+	// SetRouteDefaults (the cssiserve -route/-route-target flags).
+	routeDefault       bool
+	routeTargetDefault float64
+}
+
+// SetRouteDefaults sets the server-wide routing defaults: with route
+// true every query request engages the learned cluster router unless
+// it explicitly carries "route":false (and a request can still opt in
+// with "route":true when the default is off). target fills requests
+// that omit or zero "routeTarget" (0 keeps the library default). Call
+// before Handler.
+func (s *Server) SetRouteDefaults(route bool, target float64) {
+	s.routeDefault = route
+	s.routeTargetDefault = target
 }
 
 // New returns a Server over a single unsharded index, served as one
@@ -197,6 +215,15 @@ type queryRequest struct {
 	Lambda float64   `json:"lambda"`
 	Radius float64   `json:"radius,omitempty"` // /range only
 	Approx bool      `json:"approx,omitempty"` // /search only
+	// Route engages the learned cluster router (/search and
+	// /debug/explain): exact requests keep bit-identical results with a
+	// reordered cluster scan, approximate requests switch to the routed
+	// recall-targeted mode. A pointer so an absent field falls back to
+	// the server's -route default while "route":false still opts out.
+	Route *bool `json:"route,omitempty"`
+	// RouteTarget is the routed approximate mode's recall knob in (0,1];
+	// 0 falls back to the server default, then the library default.
+	RouteTarget float64 `json:"routeTarget,omitempty"`
 	// Keywords are the required terms of /keyword-search (boolean AND).
 	Keywords []string `json:"keywords,omitempty"`
 	// Box window (/box only).
@@ -268,6 +295,19 @@ func (s *Server) buildQuery(req *queryRequest) (*cssi.Object, error) {
 	return &cssi.Object{ID: 1<<32 - 1, X: req.X, Y: req.Y, Text: req.Text, Vec: vec}, nil
 }
 
+// routeKnobs resolves a request's routing fields against the server
+// defaults.
+func (s *Server) routeKnobs(route *bool, target float64) (bool, float64) {
+	on := s.routeDefault
+	if route != nil {
+		on = *route
+	}
+	if target == 0 {
+		target = s.routeTargetDefault
+	}
+	return on, target
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if !decode(w, r, &req) {
@@ -287,8 +327,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	// The scatter pins one immutable snapshot per shard; the metadata
 	// decoration afterwards resolves each result ID on its owning shard.
+	route, target := s.routeKnobs(req.Route, req.RouteTarget)
 	var st cssi.Stats
-	rs, err := s.idx.Do(cssi.SearchRequest{Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx, Stats: &st})
+	rs, err := s.idx.Do(cssi.SearchRequest{
+		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
+		Route: route, RouteTarget: target, Stats: &st,
+	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
@@ -325,9 +369,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	route, target := s.routeKnobs(req.Route, req.RouteTarget)
 	var trace cssi.SearchTrace
 	rs, err := s.idx.Do(cssi.SearchRequest{
 		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
+		Route: route, RouteTarget: target,
 		Trace: &trace, RequestID: requestIDFrom(r.Context()),
 	})
 	if err != nil {
@@ -348,6 +394,11 @@ type batchRequest struct {
 	K       int            `json:"k,omitempty"`
 	Lambda  float64        `json:"lambda"`
 	Approx  bool           `json:"approx,omitempty"`
+	// Route and RouteTarget engage the learned cluster router for every
+	// query of the batch, with the same fallback-to-server-default
+	// semantics as the /search fields.
+	Route       *bool   `json:"route,omitempty"`
+	RouteTarget float64 `json:"routeTarget,omitempty"`
 	// Workers bounds the worker pool (0 = GOMAXPROCS). The server clamps
 	// it to GOMAXPROCS regardless, so a client cannot request goroutine
 	// amplification.
@@ -401,10 +452,12 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = *q
 	}
+	route, target := s.routeKnobs(req.Route, req.RouteTarget)
 	var st cssi.Stats
 	batches, err := s.idx.DoBatch(cssi.BatchSearchRequest{
 		Queries: queries, K: req.K, Lambda: req.Lambda,
-		Approx: req.Approx, Parallelism: req.Workers, Stats: &st,
+		Approx: req.Approx, Route: route, RouteTarget: target,
+		Parallelism: req.Workers, Stats: &st,
 	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())

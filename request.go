@@ -3,6 +3,7 @@ package cssi
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 )
@@ -46,6 +47,21 @@ type SearchRequest struct {
 	// holds QuantRerank·K candidates (<= 0 selects DefaultQuantRerank;
 	// larger is more accurate and slower). Ignored outside QuantOnly.
 	QuantRerank int
+	// Route engages the learned cluster router trained at Build time.
+	// On an exact request it only re-prioritizes the cluster visit order
+	// (the admissible bound still decides every cut), so results stay
+	// bit-identical to an unrouted exact search; with Approx it switches
+	// to the routed approximate mode that visits clusters in predicted
+	// relevance order until RouteTarget's probability mass is covered.
+	// Silently ignored when the index has no trained router (tiny
+	// indexes skip training). The keyword path ignores Route.
+	Route bool
+	// RouteTarget is the routed approximate mode's recall knob: the
+	// fraction of total predicted probability mass that must be covered
+	// before the scan stops, in (0,1]. <= 0 selects DefaultRouteTarget;
+	// values above 1 behave as 1 (visit everything). Ignored unless both
+	// Route and Approx are set.
+	RouteTarget float64
 	// Keywords, when non-empty, restricts results to objects whose text
 	// contains every keyword (boolean AND, stop words ignored).
 	// Requires EnableKeywordFilter (panics otherwise, like
@@ -93,6 +109,11 @@ type BatchSearchRequest struct {
 	// SearchRequest fields of the same names.
 	Quant       QuantMode
 	QuantRerank int
+	// Route and RouteTarget select the learned cluster router for every
+	// query of the batch, with the same contract as the SearchRequest
+	// fields of the same names.
+	Route       bool
+	RouteTarget float64
 	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS and
 	// larger values are clamped to GOMAXPROCS.
 	Parallelism int
@@ -110,6 +131,61 @@ var ErrUnusableKeywords = errors.New("cssi: keyword list unusable (empty or all 
 // ErrUnsupportedRequest is returned by Do for field combinations with
 // no sound implementation (see SearchRequest). Test with errors.Is.
 var ErrUnsupportedRequest = errors.New("cssi: unsupported search request")
+
+// ErrInvalidQuery is returned by Do and DoBatch when a query carries a
+// non-finite value — a NaN or infinite coordinate or vector component.
+// Such a query has no defined distance to anything, so answering it
+// would return silent garbage; callers feeding user input should treat
+// this as a bad request. Test with errors.Is.
+var ErrInvalidQuery = errors.New("cssi: invalid query (non-finite coordinate or vector component)")
+
+// ErrInvalidLambda is returned by Do and DoBatch when Lambda is NaN or
+// outside [0,1] — the λ-weighted distance is only defined on that
+// interval. Test with errors.Is. (The legacy Search* wrappers still
+// panic: they funnel through Do and mustResults panics on any error.)
+var ErrInvalidLambda = errors.New("cssi: lambda out of [0,1]")
+
+// validateNumerics rejects the malformed numeric inputs every index
+// flavor's Do and DoBatch must refuse identically: a NaN/out-of-range
+// Lambda, non-finite query coordinates or vector components, and a
+// non-finite RouteTarget. A nil query passes — the legacy nil-query
+// panic in checkQuery stays the programmer-error contract.
+func validateNumerics(q *Object, lambda, routeTarget float64) error {
+	if math.IsNaN(lambda) || lambda < 0 || lambda > 1 {
+		return fmt.Errorf("%w: got %v", ErrInvalidLambda, lambda)
+	}
+	if math.IsNaN(routeTarget) || math.IsInf(routeTarget, 0) {
+		return fmt.Errorf("%w: RouteTarget %v is not finite", ErrUnsupportedRequest, routeTarget)
+	}
+	if q == nil {
+		return nil
+	}
+	if !finite(q.X) || !finite(q.Y) {
+		return fmt.Errorf("%w: location (%v, %v)", ErrInvalidQuery, q.X, q.Y)
+	}
+	for i, v := range q.Vec {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("%w: vector component %d is %v", ErrInvalidQuery, i, v)
+		}
+	}
+	return nil
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// validateBatchNumerics is validateNumerics over a whole batch,
+// identifying the offending query in the error.
+func validateBatchNumerics(queries []Object, lambda, routeTarget float64) error {
+	if err := validateNumerics(nil, lambda, routeTarget); err != nil {
+		return err
+	}
+	for i := range queries {
+		if err := validateNumerics(&queries[i], lambda, routeTarget); err != nil {
+			return fmt.Errorf("batch query %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // mustResults unwraps a Do call built from a legacy wrapper whose
 // request carries no fallible fields (no Keywords, no Trace on a
@@ -146,17 +222,25 @@ func checkQuantMode(approx bool, quant QuantMode) error {
 // searchOptions translates the request's algorithm knobs into the core
 // dispatch options.
 func (req *SearchRequest) searchOptions() core.SearchOptions {
-	return core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank}
+	return core.SearchOptions{
+		Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
+		Route: req.Route, RouteTarget: req.RouteTarget,
+	}
 }
 
 // Do answers one k-NN query described by req — the single search entry
 // point every legacy Search* variant now delegates to. Programmer
-// errors (nil query, K < 1, Lambda outside [0,1], wrong vector
-// dimensionality, Keywords without EnableKeywordFilter) panic exactly
-// as the legacy entry points did; conditions a correct caller can hit
-// at runtime return an error (ErrUnusableKeywords,
-// ErrUnsupportedRequest).
+// errors (nil query, K < 1, wrong vector dimensionality, Keywords
+// without EnableKeywordFilter) panic exactly as the legacy entry points
+// did; conditions a correct caller can hit at runtime — often by
+// passing through unvalidated user input — return a typed error:
+// ErrInvalidLambda (Lambda NaN or outside [0,1]), ErrInvalidQuery
+// (non-finite query coordinates or vector components),
+// ErrUnusableKeywords, ErrUnsupportedRequest.
 func (x *Index) Do(req SearchRequest) ([]Result, error) {
+	if err := validateNumerics(req.Query, req.Lambda, req.RouteTarget); err != nil {
+		return nil, err
+	}
 	checkQuery(req.Query, req.K, req.Lambda)
 	x.checkQueryVec(req.Query)
 	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
@@ -190,15 +274,20 @@ func (x *Index) Do(req SearchRequest) ([]Result, error) {
 
 // DoBatch answers the batched workload described by req — the single
 // batched entry point behind the legacy SearchBatch/BatchSearch pairs.
-// K < 1 returns ErrInvalidK; an empty batch returns an empty result
-// without spinning up workers; malformed queries (bad Lambda, wrong
-// vector dimensionality) panic on the caller's goroutine before any
-// fan-out, as the legacy entry points did.
+// K < 1 returns ErrInvalidK; a NaN/out-of-range Lambda returns
+// ErrInvalidLambda and a query with non-finite coordinates or vector
+// components returns ErrInvalidQuery (identifying the offending query),
+// both before any fan-out; an empty batch returns an empty result
+// without spinning up workers; wrong vector dimensionality panics on
+// the caller's goroutine, as the legacy entry points did.
 func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 	if req.K < 1 {
 		return nil, ErrInvalidK
 	}
 	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return nil, err
+	}
+	if err := validateBatchNumerics(req.Queries, req.Lambda, req.RouteTarget); err != nil {
 		return nil, err
 	}
 	if len(req.Queries) == 0 {
@@ -212,7 +301,8 @@ func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 		}
 	}
 	out, err := x.core.SearchBatchOptions(req.Queries, req.K, req.Lambda, req.Parallelism,
-		core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank}, req.Stats)
+		core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
+			Route: req.Route, RouteTarget: req.RouteTarget}, req.Stats)
 	if err != nil {
 		// Unreachable: K < 1, the only input the core entry point
 		// refuses, was rejected above.
@@ -242,6 +332,9 @@ func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 // Index.Do for the request contract; exact results are bit-identical
 // to a flat index over the same objects.
 func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
+	if err := validateNumerics(req.Query, req.Lambda, req.RouteTarget); err != nil {
+		return nil, err
+	}
 	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
 		return nil, err
 	}

@@ -365,6 +365,11 @@ func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core
 		if opts.Quant == core.QuantOnly {
 			algo = "cssia-sq8"
 		}
+		if opts.Route {
+			algo = "cssia-routed"
+		}
+	} else if opts.Route {
+		algo = "cssi-routed"
 	}
 	t := &SearchTrace{
 		RequestID: requestID,
@@ -462,11 +467,15 @@ func (s *ShardedIndex) BatchSearch(queries []Object, k int, lambda float64, appr
 func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 	queries, k, lambda := req.Queries, req.K, req.Lambda
 	approx, parallelism, st := req.Approx, req.Parallelism, req.Stats
-	opts := core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank}
+	opts := core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
+		Route: req.Route, RouteTarget: req.RouteTarget}
 	if k < 1 {
 		return nil, ErrInvalidK
 	}
 	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return nil, err
+	}
+	if err := validateBatchNumerics(queries, lambda, req.RouteTarget); err != nil {
 		return nil, err
 	}
 	if len(queries) == 0 {
@@ -775,6 +784,19 @@ func (s *ShardedIndex) NumClusters() int {
 		n += sh.Snapshot().NumClusters()
 	}
 	return n
+}
+
+// RouterTrained reports whether every shard's current snapshot carries
+// a trained cluster router (see Index.RouterTrained; routing degrades
+// per shard, so a mixed state still answers Route requests correctly —
+// untrained shards just run unrouted).
+func (s *ShardedIndex) RouterTrained() bool {
+	for _, sh := range s.shards {
+		if !sh.Snapshot().RouterTrained() {
+			return false
+		}
+	}
+	return true
 }
 
 // UpdatesSinceBuild sums the per-shard Insert/Delete counts since each
