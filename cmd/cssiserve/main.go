@@ -49,6 +49,7 @@ func main() {
 		savePath  = flag.String("save", "", "after building, save the index here (a directory when -shards > 1)")
 		route     = flag.Bool("route", false, "use the learned cluster router by default on query requests (a request's own \"route\" field still wins)")
 		target    = flag.Float64("route-target", 0, "default routed-approximate recall knob in (0,1] for requests that omit routeTarget (0 = library default)")
+		deltaThr  = flag.Int("delta-threshold", 0, "write-overlay compaction threshold per shard: >0 ops before a background fold, 0 = library default, -1 disables the overlay (eager clone per write)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,9 @@ func main() {
 	api := server.NewSharded(idx, model)
 	api.SetLogger(logger)
 	api.SetRouteDefaults(*route, *target)
+	if err := api.SetDeltaDefaults(*deltaThr); err != nil {
+		fatal(logger, "invalid -delta-threshold", "value", *deltaThr, "error", err)
+	}
 	if *route && !idx.RouterTrained() {
 		logger.Warn("router default requested but not every shard carries a trained router; untrained shards run unrouted")
 	}

@@ -51,20 +51,62 @@ type ConcurrentIndex struct {
 	// cssi_shard_snapshot_publications_total series.
 	publishes atomic.Int64
 
+	// baseNS is the wall-clock (UnixNano) instant the current FLAT base
+	// was published — stamped whenever a snapshot with no buffered
+	// overlay ops goes live (initial wrap, compaction, rebuild, or any
+	// eager-mode write). Overlay-mode writes leave it alone, so BaseAge
+	// measures how stale the immutable base under the delta is.
+	baseNS atomic.Int64
+
+	// deltaThreshold is the resolved overlay compaction threshold:
+	// positive enables the delta write path and bounds the overlay size,
+	// negative disables it (every write pays the eager clone). Resolved
+	// from the index's build options at wrap time; adjustable via
+	// SetDeltaThreshold.
+	deltaThreshold atomic.Int64
+
+	// compactions counts completed overlay compactions (background and
+	// explicit) — the /metrics cssi_shard_compactions_total series.
+	compactions atomic.Int64
+
+	// compactObs, when set, is invoked with each compaction's duration
+	// after its snapshot publishes (the /metrics latency histogram hook).
+	compactObs atomic.Pointer[func(time.Duration)]
+
 	// mu serializes writers: clone → mutate → publish, and the
 	// rebuild-completion replay. Readers never touch it.
 	mu sync.Mutex
-	// rebuildActive marks an in-flight RebuildInBackground; while set,
-	// every published mutation is appended to rebuildLog so it can be
-	// replayed onto the freshly built index before publication. Both
-	// fields are guarded by mu.
+	// rebuildActive marks an in-flight background reconstruction — a
+	// RebuildInBackground OR a background overlay compaction, which
+	// reuses the same protocol; while set, every published mutation is
+	// appended to rebuildLog so it can be replayed onto the freshly built
+	// index before publication. Both fields are guarded by mu.
 	rebuildActive bool
 	rebuildLog    []Op
 }
 
 // ErrRebuildInProgress is returned when a rebuild is requested while a
-// background rebuild is still running.
+// background rebuild (or a background overlay compaction, which uses
+// the same replay protocol) is still running.
 var ErrRebuildInProgress = errors.New("cssi: rebuild already in progress")
+
+// ErrInvalidDeltaThreshold is returned by the delta-threshold setters
+// for values below DeltaDisabled (-1). Valid values are -1 (disabled),
+// 0 (library default), and any positive op count.
+var ErrInvalidDeltaThreshold = errors.New("cssi: delta compact threshold must be -1 (disabled), 0 (default), or positive")
+
+// resolveDeltaThreshold maps an Options-style threshold (0 = default,
+// negative = disabled) to the wrapper's internal resolved form.
+func resolveDeltaThreshold(t int) int64 {
+	switch {
+	case t == 0:
+		return DefaultDeltaCompactThreshold
+	case t < 0:
+		return -1
+	default:
+		return int64(t)
+	}
+}
 
 // ErrInvalidK is returned by the batched read entry points when the
 // requested neighbor count is not positive.
@@ -75,6 +117,7 @@ var ErrInvalidK = errors.New("cssi: k must be >= 1")
 // of idx itself remains safe: published snapshots are immutable.)
 func Concurrent(idx *Index) *ConcurrentIndex {
 	c := &ConcurrentIndex{}
+	c.deltaThreshold.Store(resolveDeltaThreshold(idx.core.Config().DeltaCompactThreshold))
 	c.publish(idx)
 	return c
 }
@@ -83,8 +126,12 @@ func Concurrent(idx *Index) *ConcurrentIndex {
 // publication instant. Callers that mutate must hold c.mu; the initial
 // Concurrent call has no readers yet.
 func (c *ConcurrentIndex) publish(idx *Index) {
+	now := time.Now().UnixNano()
 	c.cur.Store(idx)
-	c.publishedNS.Store(time.Now().UnixNano())
+	c.publishedNS.Store(now)
+	if idx.DeltaOps() == 0 {
+		c.baseNS.Store(now)
+	}
 	c.publishes.Add(1)
 }
 
@@ -223,10 +270,16 @@ func applyOp(idx *Index, op Op) error {
 // apply clones the current snapshot, applies the ops in order, and
 // publishes the clone — all under the writer mutex. All-or-nothing: if
 // any op fails, nothing is published and the error is returned.
+//
+// With the delta overlay enabled (the default), the clone is O(|delta|)
+// instead of O(n): writes land in a small mutable overlay chained over
+// the shared immutable base, and once the overlay reaches the
+// compaction threshold a background fold publishes a fresh flat base.
 func (c *ConcurrentIndex) apply(ops ...Op) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	next := c.cur.Load().cloneForWrite()
+	threshold := c.deltaThreshold.Load()
+	next := c.writeClone(c.cur.Load())
 	for _, op := range ops {
 		if err := applyOp(next, op); err != nil {
 			return err
@@ -235,8 +288,136 @@ func (c *ConcurrentIndex) apply(ops ...Op) error {
 	c.publish(next)
 	if c.rebuildActive {
 		c.rebuildLog = append(c.rebuildLog, ops...)
+	} else if n := int64(next.DeltaOps()); n > 0 && (threshold <= 0 || n >= threshold) {
+		// Threshold crossed — or the overlay was disabled mid-stream and
+		// the residual delta must drain.
+		c.startCompactionLocked(next)
 	}
 	return nil
+}
+
+// writeClone produces the snapshot clone a mutation will be applied to.
+// Delta-carrying snapshots ALWAYS clone through the overlay, even when
+// the threshold is disabled: an eager CloneForWrite would silently drop
+// the buffered delta ops, and — equally load-bearing — this keeps every
+// writer off the shared base structures while a background fold (which
+// implies cur.DeltaOps() > 0 for its whole flight) replays into them.
+func (c *ConcurrentIndex) writeClone(cur *Index) *Index {
+	if c.deltaThreshold.Load() > 0 || cur.DeltaOps() > 0 {
+		return cur.cloneWithDelta()
+	}
+	return cur.cloneForWrite()
+}
+
+// startCompactionLocked kicks off a background fold of snap's overlay
+// into a fresh flat base, reusing the RebuildInBackground protocol:
+// rebuildActive is set so writes that land during the fold accumulate
+// in rebuildLog and are replayed onto the (still private) compacted
+// index before it publishes. Caller must hold c.mu.
+func (c *ConcurrentIndex) startCompactionLocked(snap *Index) {
+	c.rebuildActive = true
+	c.rebuildLog = nil
+	go func() {
+		start := time.Now()
+		compacted, err := snap.compact()
+
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		log := c.rebuildLog
+		c.rebuildActive, c.rebuildLog = false, nil
+		for i := 0; err == nil && i < len(log); i++ {
+			if replayErr := applyOp(compacted, log[i]); replayErr != nil {
+				err = fmt.Errorf("cssi: compaction replay op %d: %w", i, replayErr)
+			}
+		}
+		if err != nil {
+			// The current snapshot already holds every acknowledged
+			// write (base+delta answers are exact); dropping the fold
+			// loses nothing, and the next threshold crossing retries.
+			return
+		}
+		if !compacted.KeywordFilterEnabled() && c.cur.Load().KeywordFilterEnabled() {
+			compacted.EnableKeywordFilter()
+		}
+		c.publish(compacted)
+		c.compactions.Add(1)
+		if f := c.compactObs.Load(); f != nil {
+			(*f)(time.Since(start))
+		}
+	}()
+}
+
+// Compact synchronously folds the current snapshot's write overlay into
+// a flat base and publishes it, holding the writer mutex for the whole
+// fold. A no-op when the snapshot is already flat. Most callers never
+// need it — background compaction triggers automatically at the
+// threshold — but it gives tests and maintenance endpoints a
+// deterministic fold point.
+func (c *ConcurrentIndex) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rebuildActive {
+		// An in-flight background fold or rebuild will publish a flat
+		// base anyway; folding the same lineage twice concurrently would
+		// race on the shared arenas.
+		return nil
+	}
+	cur := c.cur.Load()
+	if cur.DeltaOps() == 0 {
+		return nil
+	}
+	start := time.Now()
+	compacted, err := cur.compact()
+	if err != nil {
+		return err
+	}
+	c.publish(compacted)
+	c.compactions.Add(1)
+	if f := c.compactObs.Load(); f != nil {
+		(*f)(time.Since(start))
+	}
+	return nil
+}
+
+// SetDeltaThreshold changes the overlay compaction threshold: positive
+// bounds the overlay at that many write ops, 0 restores
+// DefaultDeltaCompactThreshold, and DeltaDisabled (-1) switches writes
+// back to eager clones. Takes effect on the next write; an existing
+// overlay is left to the usual triggers (call Compact to fold it now).
+func (c *ConcurrentIndex) SetDeltaThreshold(threshold int) error {
+	if threshold < DeltaDisabled {
+		return ErrInvalidDeltaThreshold
+	}
+	c.deltaThreshold.Store(resolveDeltaThreshold(threshold))
+	return nil
+}
+
+// SetCompactionObserver registers fn to be called with each overlay
+// compaction's duration right after its snapshot publishes (pass nil to
+// unregister). Used by the server's /metrics latency histogram.
+func (c *ConcurrentIndex) SetCompactionObserver(fn func(time.Duration)) {
+	if fn == nil {
+		c.compactObs.Store(nil)
+		return
+	}
+	c.compactObs.Store(&fn)
+}
+
+// DeltaOps reports the write ops buffered in the current snapshot's
+// overlay (lock-free; 0 when flat or disabled).
+func (c *ConcurrentIndex) DeltaOps() int { return c.cur.Load().DeltaOps() }
+
+// Compactions returns how many overlay compactions (background and
+// explicit) have published since the wrapper was created. Lock-free.
+func (c *ConcurrentIndex) Compactions() int64 { return c.compactions.Load() }
+
+// BaseAge returns how long ago the current flat base was published —
+// unlike SnapshotAge (near zero under overlay-mode write traffic, since
+// every write publishes), it moves only on compactions, rebuilds, and
+// eager-mode writes, measuring the staleness of the immutable base
+// under the delta.
+func (c *ConcurrentIndex) BaseAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.baseNS.Load())
 }
 
 // Insert adds a new object (paper §6.2) and publishes the result as a
@@ -280,7 +461,7 @@ func (c *ConcurrentIndex) EnableKeywordFilter() {
 	if c.cur.Load().KeywordFilterEnabled() {
 		return
 	}
-	next := c.cur.Load().cloneForWrite()
+	next := c.writeClone(c.cur.Load())
 	next.EnableKeywordFilter()
 	c.publish(next)
 }

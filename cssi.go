@@ -118,9 +118,24 @@ type Options struct {
 	// filter only skips work, never changes answers); disabling trades
 	// the filter's speedup for dim+4 bytes per object of memory.
 	DisableQuant bool
+	// DeltaCompactThreshold bounds the write overlay that ConcurrentIndex
+	// and ShardedIndex snapshots carry: once a snapshot accumulates this
+	// many overlay write ops, a background compaction folds the delta
+	// into a fresh flat snapshot. Zero means DefaultDeltaCompactThreshold.
+	// DeltaDisabled (-1) turns the overlay off entirely, so every write
+	// pays the eager copy-on-write clone instead.
+	DeltaCompactThreshold int
 	// Seed makes index construction deterministic.
 	Seed uint64
 }
+
+// DefaultDeltaCompactThreshold is the overlay compaction threshold used
+// when Options.DeltaCompactThreshold is zero.
+const DefaultDeltaCompactThreshold = core.DefaultDeltaCompactThreshold
+
+// DeltaDisabled disables the write overlay when assigned to
+// Options.DeltaCompactThreshold: every write clones eagerly.
+const DeltaDisabled = core.DeltaDisabled
 
 // QuantMode selects how the SQ8 quantized arena participates in one
 // query; see the SearchRequest.Quant field.
@@ -166,10 +181,11 @@ func (o Options) coreConfig() core.Config {
 	}
 	return core.Config{
 		Ks: o.Ks, Kt: o.Kt, F: o.F, M: o.M,
-		SampleFraction: o.SampleFraction,
-		PCAMethod:      method,
-		DisableQuant:   o.DisableQuant,
-		Seed:           o.Seed,
+		SampleFraction:        o.SampleFraction,
+		PCAMethod:             method,
+		DisableQuant:          o.DisableQuant,
+		DeltaCompactThreshold: o.DeltaCompactThreshold,
+		Seed:                  o.Seed,
 	}
 }
 
@@ -364,6 +380,45 @@ func (x *Index) cloneForWrite() *Index {
 	}
 	return nx
 }
+
+// cloneWithDelta returns a write-isolated copy whose core carries a
+// mutable delta overlay over the shared immutable base: applying a
+// write costs O(|delta|) instead of the O(n) directory copies of
+// cloneForWrite. An enabled keyword filter has no overlay form and
+// still pays its eager clone.
+func (x *Index) cloneWithDelta() *Index {
+	nx := &Index{core: x.core.CloneWithDelta(), space: x.space}
+	if x.kw != nil {
+		nx.kw = x.kw.Clone()
+	}
+	return nx
+}
+
+// compact folds the snapshot's write overlay into a fresh flat core
+// index (a no-op returning x when no overlay ops are buffered). An
+// enabled keyword filter is cloned, not shared: the background
+// compaction path replays late writes directly onto the returned index,
+// and those replays must not reach a filter that published snapshots
+// still serve from.
+func (x *Index) compact() (*Index, error) {
+	nc, err := x.core.Compact()
+	if err != nil {
+		return nil, err
+	}
+	if nc == x.core {
+		return x, nil
+	}
+	nx := &Index{core: nc, space: x.space}
+	if x.kw != nil {
+		nx.kw = x.kw.Clone()
+	}
+	return nx, nil
+}
+
+// DeltaOps reports the number of write operations buffered in this
+// snapshot's delta overlay — 0 for flat snapshots and for indexes built
+// with DeltaDisabled.
+func (x *Index) DeltaOps() int { return x.core.DeltaOps() }
 
 // rebuildFresh reconstructs the index from scratch over the live
 // objects without touching x (or the metric space x's readers use) and

@@ -66,6 +66,7 @@ func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts Abl
 			}
 			x.scanClusterAblated(q, lambda, oc.c, sc.dsq[oc.c.s], sc.dtq[oc.c.t], h, st, opts.DisableIntraCluster)
 		}
+		x.scanDelta(sc, q, lambda, h, st)
 		return h.AppendSorted(nil)
 	}
 	f := (*clusterFrontier)(&sc.order)
@@ -83,6 +84,10 @@ func (x *Index) SearchAblated(q *dataset.Object, k int, lambda float64, opts Abl
 		}
 		x.scanClusterAblated(q, lambda, e.c, sc.dsq[e.c.s], sc.dtq[e.c.t], h, st, opts.DisableIntraCluster)
 	}
+	// The overlay scan is not ablatable — its group pruning is part of
+	// the overlay subsystem, not of the mechanisms under study — and it
+	// keeps ablated results exact over base + delta.
+	x.scanDelta(sc, q, lambda, h, st)
 	return h.AppendSorted(nil)
 }
 
@@ -94,6 +99,7 @@ func (x *Index) scanClusterAblated(q *dataset.Object, lambda float64, c *hybrid,
 	}
 	enclosed := dsqC < x.sRad[c.s] && dtqC < x.tRad[c.t]
 	dqC := lambda*dsqC + (1-lambda)*dtqC
+	tombs := x.deltaTombs()
 	for ei := range c.elems {
 		e := &c.elems[ei]
 		if !noIntra && !enclosed {
@@ -106,6 +112,9 @@ func (x *Index) scanClusterAblated(q *dataset.Object, lambda float64, c *hybrid,
 					return
 				}
 			}
+		}
+		if tombs != nil && tombs.get(e.idx) {
+			continue
 		}
 		o := &x.objects[e.idx]
 		d := x.space.Distance(st, lambda, q, o)

@@ -1,0 +1,83 @@
+package core
+
+import "math/bits"
+
+// bitset is a packed bitmap over storage positions — the representation
+// of the deleted set and of the overlay's tombstone/dead sets. Packing
+// 64 membership flags per word makes the per-clone copy and the linear
+// liveness scans 8× smaller than the old []bool, and the hot membership
+// check stays a shift+mask.
+//
+// The COW discipline matches the structures it replaced: clones that may
+// mutate deep-copy via clone(); delta clones share the words and never
+// write them. Callers maintain the covering invariant — the word slice
+// always spans every storage position they index (grown grows it).
+type bitset []uint64
+
+// newBitset returns a zeroed bitset covering n bits.
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)>>6)
+}
+
+// get reports whether bit i is set.
+func (b bitset) get(i uint32) bool {
+	return b[i>>6]>>(i&63)&1 != 0
+}
+
+// set sets bit i.
+func (b bitset) set(i uint32) {
+	b[i>>6] |= 1 << (i & 63)
+}
+
+// unset clears bit i.
+func (b bitset) unset(i uint32) {
+	b[i>>6] &^= 1 << (i & 63)
+}
+
+// grown returns b extended with zero words until it covers n bits.
+// Growth reallocates whenever the capacity is exact (clone() copies are),
+// so a COW child growing its bitmap never writes backing shared with the
+// parent.
+func (b bitset) grown(n int) bitset {
+	want := (n + 63) >> 6
+	for len(b) < want {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// clone returns a private deep copy.
+func (b bitset) clone() bitset {
+	return append(bitset(nil), b...)
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// bitsetFromBools packs a []bool (the persisted wire layout) into a
+// bitset covering n bits; extra capacity stays zero.
+func bitsetFromBools(src []bool, n int) bitset {
+	b := newBitset(n)
+	for i, v := range src {
+		if v {
+			b.set(uint32(i))
+		}
+	}
+	return b
+}
+
+// bools unpacks the first n bits into a []bool (the persisted wire
+// layout, kept stable across the bitset change).
+func (b bitset) bools(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = b.get(uint32(i))
+	}
+	return out
+}

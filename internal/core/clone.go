@@ -48,7 +48,11 @@ func (x *Index) CloneForWrite() *Index {
 	nx := new(Index)
 	*nx = *x
 
-	nx.deleted = append([]bool(nil), x.deleted...)
+	// The struct copy above would share a write overlay's pointer; the
+	// eager clone mutates the base structures directly, so it starts
+	// flat. Callers folding an overlay replay it themselves (Compact).
+	nx.delta = nil
+	nx.deleted = x.deleted.clone()
 	nx.idToIdx = make(map[uint32]uint32, len(x.idToIdx))
 	for id, i := range x.idToIdx {
 		nx.idToIdx[id] = i

@@ -71,7 +71,26 @@ type Config struct {
 	// candidates — so this knob exists for measurement and as an
 	// escape hatch.
 	DisableQuant bool
+	// DeltaCompactThreshold bounds how many write operations a published
+	// snapshot's write overlay may absorb before the concurrent wrappers
+	// fold it into a fresh flat base (see overlay.go). Zero selects
+	// DefaultDeltaCompactThreshold; DeltaDisabled (-1) switches the write
+	// path back to eager O(n) clones — the pre-overlay behavior, kept as
+	// the measurable baseline. The core package itself only stores the
+	// value (gob-tolerant: absent from older files, loading as 0); the
+	// wrappers interpret it.
+	DeltaCompactThreshold int
 }
+
+const (
+	// DefaultDeltaCompactThreshold is the overlay size at which the
+	// concurrent wrappers compact by default: large enough that the O(n)
+	// fold amortizes to a small constant per write, small enough that the
+	// extra per-query delta scan stays well under one cluster's work.
+	DefaultDeltaCompactThreshold = 4096
+	// DeltaDisabled as a DeltaCompactThreshold disables the write overlay.
+	DeltaDisabled = -1
+)
 
 func (c *Config) applyDefaults(n int) {
 	if c.F == 0 {
@@ -143,9 +162,17 @@ type Index struct {
 	space *metric.Space
 
 	objects []dataset.Object
-	deleted []bool
+	deleted bitset
 	live    int
 	idToIdx map[uint32]uint32
+
+	// delta, when non-nil, is this snapshot's mutable write overlay (see
+	// overlay.go): Insert/Delete/Update land in it instead of the base
+	// structures above, which then stay byte-for-byte shared with the
+	// parent snapshot. Search runs base + delta; Compact folds the delta
+	// into a fresh flat base. nil on flat indexes (Build/Load/Compact
+	// products), whose mutations work in place as before.
+	delta *overlayDelta
 
 	// The embeddings and their PCA projections live in two contiguous
 	// row-major float32 arenas (SoA, fixed stride): row i of vecArena is
@@ -241,7 +268,7 @@ func buildInstrumented(ds *dataset.Dataset, space *metric.Space, cfg Config, tm 
 		cfg:         cfg,
 		space:       space,
 		objects:     append([]dataset.Object(nil), ds.Objects...),
-		deleted:     make([]bool, ds.Len()),
+		deleted:     newBitset(ds.Len()),
 		live:        ds.Len(),
 		idToIdx:     make(map[uint32]uint32, ds.Len()),
 		clusterIdx:  make(map[[2]int]*hybrid),
@@ -528,9 +555,20 @@ func (x *Index) PCA() *pca.Model { return x.pcaModel }
 func (x *Index) Space() *metric.Space { return x.space }
 
 // Object returns the object stored at the given ID, if it is live.
+// With a write overlay present the delta wins: an overlay insert
+// shadows nothing (the ID was free), an overlay tombstone hides the
+// base object, and an overlay update is a tombstone plus an insert.
 func (x *Index) Object(id uint32) (*dataset.Object, bool) {
+	if d := x.delta; d != nil {
+		if pos, ok := d.idToPos[id]; ok {
+			return &d.objs[pos], true
+		}
+	}
 	idx, ok := x.idToIdx[id]
-	if !ok || x.deleted[idx] {
+	if !ok || x.deleted.get(idx) {
+		return nil, false
+	}
+	if d := x.delta; d != nil && d.tombs.get(idx) {
 		return nil, false
 	}
 	return &x.objects[idx], true

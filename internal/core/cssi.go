@@ -311,6 +311,12 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 	if sc.obs != nil {
 		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
 	}
+	// Chain the write overlay's live inserts onto the same heap (a no-op
+	// on flat snapshots). Exactness is unchanged: the final heap is a
+	// pure function of the offered candidate set, the base scan offered
+	// every live base candidate not provably excluded, and scanDelta
+	// offers every live overlay candidate not provably excluded.
+	x.scanDelta(sc, q, lambda, h, st)
 	return h.AppendSorted(dst)
 }
 
@@ -339,6 +345,7 @@ func (x *Index) scanCluster(sc *searchScratch, q *dataset.Object, lambda float64
 			return
 		}
 	}
+	tombs := x.deltaTombs()
 	for ei := range c.elems {
 		e := &c.elems[ei]
 		if !enclosed {
@@ -354,6 +361,11 @@ func (x *Index) scanCluster(sc *searchScratch, q *dataset.Object, lambda float64
 					return
 				}
 			}
+		}
+		// Overlay tombstones hide base objects the shared cluster arrays
+		// still list.
+		if tombs != nil && tombs.get(e.idx) {
+			continue
 		}
 		o := &x.objects[e.idx]
 		if st != nil {

@@ -138,6 +138,7 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 	}
 
 	cands := sc.cands[:0]
+	tombs := x.deltaTombs()
 	u := math.Inf(1)      // distance to current k-NN in the original space
 	uPrime := math.Inf(1) // distance to current k-NN in the projected space
 	// sc.dtq caches the original-space semantic centroid distances that
@@ -180,6 +181,9 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 					break
 				}
 			}
+			if tombs != nil && tombs.get(e.idx) {
+				continue
+			}
 			o := &x.objects[e.idx]
 			if st != nil {
 				st.VisitedObjects++
@@ -213,6 +217,55 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 					uPrime = cands.maxDPr()
 				}
 			}
+		}
+	}
+	// The write overlay is scanned in full with the exact kernel: every
+	// live overlay insert is offered to the candidate pool, so CSSIA's
+	// recall over overlay inserts is never worse than over a compacted
+	// base (and tombstoned base objects, skipped above, can never
+	// resurface).
+	if d := x.delta; d != nil && d.liveCount > 0 {
+		var td time.Time
+		if sc.obs != nil {
+			td = time.Now()
+		}
+		for pos := range d.objs {
+			if d.dead.get(uint32(pos)) {
+				continue
+			}
+			o := &d.objs[pos]
+			if st != nil {
+				st.VisitedObjects++
+			}
+			ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+			var dt float64
+			if len(cands) >= k && lambda < 1 {
+				dtBound := (u - lambda*ds) / (1 - lambda)
+				var ok bool
+				dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, dtBound)
+				if !ok {
+					if sc.obs != nil {
+						sc.obs.EarlyAbandons++
+					}
+					continue
+				}
+			} else {
+				dt = x.space.Semantic(st, q.Vec, o.Vec)
+			}
+			dd := metric.Combine(lambda, ds, dt)
+			if dd < u || len(cands) < k {
+				dpr := metric.Combine(lambda, ds, x.space.SemanticProjVec(qProj, d.projRow(uint32(pos))))
+				cands.push(cand{id: o.ID, d: dd, dpr: dpr})
+				if len(cands) > k {
+					cands.popMax()
+				}
+				if len(cands) == k {
+					u = cands[0].d
+				}
+			}
+		}
+		if sc.obs != nil {
+			sc.obs.DeltaNanos += time.Since(td).Nanoseconds()
 		}
 	}
 	n := len(dst)

@@ -49,6 +49,7 @@ func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow f
 
 	h := &sc.heap
 	h.Reset(k)
+	tombs := x.deltaTombs()
 	for len(*f) > 0 {
 		if u, full := h.Bound(); full && (*f)[0].lb >= u {
 			if st != nil {
@@ -96,6 +97,9 @@ func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow f
 					}
 				}
 			}
+			if tombs != nil && tombs.get(el.idx) {
+				continue
+			}
 			o := &x.objects[el.idx]
 			if !allow(o.ID) {
 				continue
@@ -104,5 +108,14 @@ func (x *Index) SearchFiltered(q *dataset.Object, k int, lambda float64, allow f
 			h.Push(knn.Result{ID: o.ID, Dist: d})
 		}
 	}
+	// Overlay chain: the live overlay inserts pass through the same
+	// filter and exact distance, so filtered results match a compacted
+	// rebuild bit for bit.
+	x.forEachDeltaLive(func(o *dataset.Object) {
+		if !allow(o.ID) {
+			return
+		}
+		h.Push(knn.Result{ID: o.ID, Dist: x.space.Distance(st, lambda, q, o)})
+	})
 	return h.AppendSorted(nil)
 }

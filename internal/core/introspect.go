@@ -61,14 +61,21 @@ func (x *Index) EnclosureRates(q *dataset.Object) (orig, proj float64) {
 	return float64(nOrig) / total, float64(nProj) / total
 }
 
-// ForEachLive calls fn for every live (non-deleted) object, in storage
-// order.
+// ForEachLive calls fn for every live (non-deleted) object: the base
+// objects in storage order minus deletions and overlay tombstones, then
+// the overlay's live inserts in append order.
 func (x *Index) ForEachLive(fn func(o *dataset.Object)) {
+	tombs := x.deltaTombs()
 	for i := range x.objects {
-		if !x.deleted[i] {
-			fn(&x.objects[i])
+		if x.deleted.get(uint32(i)) {
+			continue
 		}
+		if tombs != nil && tombs.get(uint32(i)) {
+			continue
+		}
+		fn(&x.objects[i])
 	}
+	x.forEachDeltaLive(fn)
 }
 
 // ProjectQuery maps a semantic vector into the index's projected space

@@ -53,7 +53,7 @@ func (x *Index) CheckInvariants() error {
 		}
 		memberDs := make(map[uint32]member, len(c.members))
 		for _, m := range c.members {
-			if x.deleted[m.idx] {
+			if x.deleted.get(m.idx) {
 				return fmt.Errorf("cluster %d holds deleted object %d", ci, m.idx)
 			}
 			if _, dup := seen[m.idx]; dup {
@@ -102,8 +102,72 @@ func (x *Index) CheckInvariants() error {
 			prevDs, prevDt = e.ds, e.dt
 		}
 	}
-	if len(seen) != x.live {
-		return fmt.Errorf("clusters hold %d objects, live count is %d", len(seen), x.live)
+	// With a write overlay, clusters still hold tombstoned base members
+	// (the base is immutable) and none of the overlay's inserts.
+	baseLive := x.live
+	if d := x.delta; d != nil {
+		baseLive = x.live - d.liveCount + d.nTombs
+	}
+	if len(seen) != baseLive {
+		return fmt.Errorf("clusters hold %d objects, base live count is %d", len(seen), baseLive)
+	}
+	return x.checkOverlay()
+}
+
+// checkOverlay verifies the write overlay's internal consistency: the
+// counters match the bitsets, the ID map points at live log slots, every
+// live log slot belongs to exactly one group, the group radii cover
+// their members (the fact scanDelta's pruning rests on), and tombstones
+// only mark base positions that are live in the base.
+func (x *Index) checkOverlay() error {
+	d := x.delta
+	if d == nil {
+		return nil
+	}
+	if got := len(d.objs) - d.dead.count(); got != d.liveCount {
+		return fmt.Errorf("overlay: %d live log slots, liveCount is %d", got, d.liveCount)
+	}
+	if got := d.tombs.count(); got != d.nTombs {
+		return fmt.Errorf("overlay: %d tombstone bits, nTombs is %d", got, d.nTombs)
+	}
+	if len(d.idToPos) != d.liveCount {
+		return fmt.Errorf("overlay: ID map holds %d entries for %d live slots", len(d.idToPos), d.liveCount)
+	}
+	for id, pos := range d.idToPos {
+		if int(pos) >= len(d.objs) || d.objs[pos].ID != id || d.dead.get(pos) {
+			return fmt.Errorf("overlay: ID map entry %d -> %d is stale", id, pos)
+		}
+	}
+	for i := range x.objects {
+		if x.deleted.get(uint32(i)) && d.tombs.get(uint32(i)) {
+			return fmt.Errorf("overlay: tombstone on base-deleted position %d", i)
+		}
+	}
+	const eps = 1e-9
+	grouped := make(map[uint32]bool, len(d.objs))
+	for gi := range d.groups {
+		g := &d.groups[gi]
+		for _, pos := range g.members {
+			if grouped[pos] {
+				return fmt.Errorf("overlay: log slot %d in more than one group", pos)
+			}
+			grouped[pos] = true
+			if d.dead.get(pos) {
+				continue
+			}
+			o := &d.objs[pos]
+			if ds := x.space.SpatialXY(o.X, o.Y, x.sCentX[g.s], x.sCentY[g.s]); ds > g.maxDs+eps {
+				return fmt.Errorf("overlay group %d: member %d outside spatial radius: %v > %v", gi, pos, ds, g.maxDs)
+			}
+			if g.t >= 0 {
+				if dt := x.space.SemanticVec(o.Vec, x.tCent[g.t]); dt > g.maxDt+eps {
+					return fmt.Errorf("overlay group %d: member %d outside semantic radius: %v > %v", gi, pos, dt, g.maxDt)
+				}
+			}
+		}
+	}
+	if len(grouped) != len(d.objs) {
+		return fmt.Errorf("overlay: groups hold %d of %d log slots", len(grouped), len(d.objs))
 	}
 	return nil
 }
@@ -142,7 +206,7 @@ func (x *Index) checkProjBoundSoundness() error {
 	probes := 0
 	inv := (1 - projWeakRelSlack) / x.space.DtMax
 	for i := range x.objects {
-		if x.deleted[i] {
+		if x.deleted.get(uint32(i)) {
 			continue
 		}
 		if probes++; probes > maxProbes {
@@ -220,7 +284,7 @@ func (x *Index) checkQuantSoundness() error {
 	qAdj := make([]float32, d)
 	probes := 0
 	for i := range x.objects {
-		if x.deleted[i] {
+		if x.deleted.get(uint32(i)) {
 			continue
 		}
 		if probes++; probes > maxProbes {
@@ -229,7 +293,7 @@ func (x *Index) checkQuantSoundness() error {
 		qa.cb.AdjustQueryInto(qAdj, x.objects[i].Vec)
 		rows := 0
 		for j := i; j < len(x.objects); j += 7 {
-			if x.deleted[j] {
+			if x.deleted.get(uint32(j)) {
 				continue
 			}
 			if rows++; rows > maxRowsPerProbe {

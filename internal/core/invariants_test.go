@@ -42,7 +42,7 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 			c.elems[len(c.elems)-1] = c.elems[0]
 		}},
 		{"phantom deleted member", func(x *Index) {
-			x.deleted[x.clusters[0].members[0].idx] = true
+			x.deleted.set(x.clusters[0].members[0].idx)
 		}},
 		{"wrong live count", func(x *Index) {
 			x.live--

@@ -11,7 +11,10 @@ import (
 // needed, and only the affected hybrid cluster's array is rebuilt — the
 // clustering itself is untouched.
 func (x *Index) Insert(o dataset.Object) error {
-	if prev, ok := x.idToIdx[o.ID]; ok && !x.deleted[prev] {
+	if x.delta != nil {
+		return x.deltaInsert(o)
+	}
+	if prev, ok := x.idToIdx[o.ID]; ok && !x.deleted.get(prev) {
 		return fmt.Errorf("core: object ID %d already present", o.ID)
 	}
 	if len(o.Vec) != x.pcaModel.N() {
@@ -19,7 +22,7 @@ func (x *Index) Insert(o dataset.Object) error {
 	}
 	idx := uint32(len(x.objects))
 	x.objects = append(x.objects, o)
-	x.deleted = append(x.deleted, false)
+	x.deleted = x.deleted.grown(len(x.objects))
 	x.appendArenaRows(idx)
 	x.idToIdx[o.ID] = idx
 
@@ -114,11 +117,14 @@ func (x *Index) DriftRatio() float64 {
 // determined one of its clusters' radii, the radius is recomputed from
 // the remaining members.
 func (x *Index) Delete(id uint32) error {
+	if x.delta != nil {
+		return x.deltaDelete(id)
+	}
 	idx, ok := x.idToIdx[id]
-	if !ok || x.deleted[idx] {
+	if !ok || x.deleted.get(idx) {
 		return fmt.Errorf("core: object ID %d not present", id)
 	}
-	x.deleted[idx] = true
+	x.deleted.set(idx)
 	delete(x.idToIdx, id)
 	x.live--
 	x.UpdatesSinceBuild++
@@ -223,12 +229,26 @@ func (x *Index) RebuildFresh() (*Index, error) {
 	return fresh, nil
 }
 
-// collectLive snapshots the live objects in storage order.
+// collectLive snapshots the live objects in storage order: the base
+// objects minus deletions and overlay tombstones, then the overlay's
+// live inserts in append order.
 func (x *Index) collectLive() []dataset.Object {
 	liveObjs := make([]dataset.Object, 0, x.live)
+	d := x.delta
 	for i := range x.objects {
-		if !x.deleted[i] {
-			liveObjs = append(liveObjs, x.objects[i])
+		if x.deleted.get(uint32(i)) {
+			continue
+		}
+		if d != nil && d.tombs.get(uint32(i)) {
+			continue
+		}
+		liveObjs = append(liveObjs, x.objects[i])
+	}
+	if d != nil {
+		for pos := range d.objs {
+			if !d.dead.get(uint32(pos)) {
+				liveObjs = append(liveObjs, d.objs[pos])
+			}
 		}
 	}
 	return liveObjs

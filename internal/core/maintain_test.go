@@ -14,7 +14,7 @@ import (
 func liveScanner(idx *Index) (*scan.Scanner, *dataset.Dataset) {
 	live := make([]dataset.Object, 0, idx.Len())
 	for i := range idx.objects {
-		if !idx.deleted[i] {
+		if !idx.deleted.get(uint32(i)) {
 			live = append(live, idx.objects[i])
 		}
 	}

@@ -108,6 +108,16 @@ const (
 
 // Save writes the index (including its metric-space normalizers) to w.
 func (x *Index) Save(w io.Writer) error {
+	// The write overlay is a transient in-memory representation; the wire
+	// format stays flat, so a snapshot carrying pending overlay writes is
+	// folded before serializing.
+	if x.delta != nil && x.delta.ops > 0 {
+		nx, err := x.Compact()
+		if err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		return nx.Save(w)
+	}
 	// Strip the per-object arena views from a copy of the objects slice
 	// (never from the live one): the vectors travel once, in VecArena.
 	objs := make([]dataset.Object, len(x.objects))
@@ -123,7 +133,7 @@ func (x *Index) Save(w io.Writer) error {
 		DtProjMax:          x.space.DtProjMax,
 		SemanticKind:       x.space.SemanticKind,
 		Objects:            objs,
-		Deleted:            x.deleted,
+		Deleted:            x.deleted.bools(len(x.objects)),
 		Live:               x.live,
 		PCAModel:           x.pcaModel,
 		Dim:                x.dim,
@@ -237,7 +247,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 		cfg:               g.Cfg,
 		space:             space,
 		objects:           g.Objects,
-		deleted:           g.Deleted,
+		deleted:           bitsetFromBools(g.Deleted, len(g.Objects)),
 		live:              g.Live,
 		idToIdx:           make(map[uint32]uint32, g.Live),
 		pcaModel:          g.PCAModel,
@@ -263,7 +273,7 @@ func Load(r io.Reader) (*Index, *metric.Space, error) {
 	}
 	for i := range x.objects {
 		x.objects[i].Vec = x.vecAt(uint32(i))
-		if !x.deleted[i] {
+		if !x.deleted.get(uint32(i)) {
 			x.idToIdx[x.objects[i].ID] = uint32(i)
 		}
 	}

@@ -260,6 +260,7 @@ func (x *Index) scanClusterQuant(sc *searchScratch, q *dataset.Object, lambda fl
 	dim := x.dim
 	invLam := 1 - lambda
 	dtMax := x.space.DtMax
+	tombs := x.deltaTombs()
 	sur := sc.survivors[:0]
 	for ei := range c.elems {
 		e := &c.elems[ei]
@@ -271,6 +272,9 @@ func (x *Index) scanClusterQuant(sc *searchScratch, q *dataset.Object, lambda fl
 				}
 				break
 			}
+		}
+		if tombs != nil && tombs.get(e.idx) {
+			continue
 		}
 		o := &x.objects[e.idx]
 		if st != nil {
@@ -362,6 +366,7 @@ func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.
 		sc.lut = qa.cb.BuildSQ8LUTInto(sc.lut, sc.qAdj)
 	}
 	kq := k * rerank
+	tombs := x.deltaTombs()
 	cands := sc.cands[:0]
 	u := math.Inf(1)      // estimated distance to the kq-th candidate
 	uPrime := math.Inf(1) // projected-space bound, as in CSSIA
@@ -426,6 +431,9 @@ func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.
 					break
 				}
 			}
+			if tombs != nil && tombs.get(el.idx) {
+				continue
+			}
 			o := &x.objects[el.idx]
 			if st != nil {
 				st.VisitedObjects++
@@ -482,5 +490,9 @@ func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.
 		sc.obs.QuantNanos += now.Sub(tr).Nanoseconds()
 		sc.obs.ScanNanos += now.Sub(phase).Nanoseconds()
 	}
+	// The write overlay is scanned in full with the exact kernel, so
+	// QuantOnly recall over overlay inserts is never worse than over a
+	// compacted base.
+	x.scanDelta(sc, q, lambda, h, st)
 	return h.AppendSorted(dst)
 }

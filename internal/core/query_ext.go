@@ -42,6 +42,7 @@ func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Sta
 	// sorted cut-off would — sorting could only save the remaining cheap
 	// float comparisons at the cost of ordering all clusters.
 	var out []knn.Result
+	tombs := x.deltaTombs()
 	for _, c := range x.clusters {
 		var weak float64
 		if lazy {
@@ -87,6 +88,9 @@ func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Sta
 					break
 				}
 			}
+			if tombs != nil && tombs.get(e.idx) {
+				continue
+			}
 			o := &x.objects[e.idx]
 			if st != nil {
 				st.VisitedObjects++
@@ -110,6 +114,27 @@ func (x *Index) RangeSearch(q *dataset.Object, r, lambda float64, st *metric.Sta
 			}
 		}
 	}
+	// Overlay chain: every live overlay insert is tested exactly against
+	// the fixed radius, so range results match a compacted rebuild.
+	x.forEachDeltaLive(func(o *dataset.Object) {
+		if st != nil {
+			st.VisitedObjects++
+		}
+		ds := x.space.Spatial(st, q.X, q.Y, o.X, o.Y)
+		var dt float64
+		if lambda < 1 {
+			var ok bool
+			dt, ok = x.space.SemanticBound(st, q.Vec, o.Vec, (r-lambda*ds)/(1-lambda))
+			if !ok {
+				return
+			}
+		} else {
+			dt = x.space.Semantic(st, q.Vec, o.Vec)
+		}
+		if d := metric.Combine(lambda, ds, dt); d <= r {
+			out = append(out, knn.Result{ID: o.ID, Dist: d})
+		}
+	})
 	knn.SortResults(out)
 	return out
 }
@@ -181,6 +206,7 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 
 	h := &sc.heap
 	h.Reset(k)
+	tombs := x.deltaTombs()
 	for len(*f) > 0 {
 		if u, full := h.Bound(); full && (*f)[0].lb >= u {
 			f.pruneRemaining(st)
@@ -230,6 +256,9 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 					break
 				}
 			}
+			if tombs != nil && tombs.get(e.idx) {
+				continue
+			}
 			o := &x.objects[e.idx]
 			if o.X < loX || o.X > hiX || o.Y < loY || o.Y > hiY {
 				if st != nil {
@@ -252,5 +281,22 @@ func (x *Index) SearchInBox(q *dataset.Object, loX, loY, hiX, hiY float64, k int
 			}
 		}
 	}
+	// Overlay chain: live overlay inserts pass the same window filter and
+	// pure-semantic ranking, so box results match a compacted rebuild.
+	x.forEachDeltaLive(func(o *dataset.Object) {
+		if o.X < loX || o.X > hiX || o.Y < loY || o.Y > hiY {
+			return
+		}
+		if st != nil {
+			st.VisitedObjects++
+		}
+		if u, full := h.Bound(); full {
+			if dt, ok := x.space.SemanticBound(st, q.Vec, o.Vec, u); ok {
+				h.Push(knn.Result{ID: o.ID, Dist: dt})
+			}
+		} else {
+			h.Push(knn.Result{ID: o.ID, Dist: x.space.Semantic(st, q.Vec, o.Vec)})
+		}
+	})
 	return h.AppendSorted(nil)
 }

@@ -134,7 +134,7 @@ func (x *Index) trainRouter() *route.Model {
 	// (same discipline as sampleRows).
 	liveIdx := make([]uint32, 0, x.live)
 	for i := range x.objects {
-		if !x.deleted[i] {
+		if !x.deleted.get(uint32(i)) {
 			liveIdx = append(liveIdx, uint32(i))
 		}
 	}
@@ -395,6 +395,10 @@ func (x *Index) searchRoutedWith(sc *searchScratch, dst []knn.Result, q *dataset
 		}
 		x.scanCluster(sc, q, lambda, c, sc.dsq[c.s], sc.dtq[c.t], h, st)
 	}
+	// The write overlay is scanned in full (exactly): routed recall stays
+	// governed by base-cluster coverage alone, and overlay inserts are
+	// never missed.
+	x.scanDelta(sc, q, lambda, h, st)
 	if sc.obs != nil {
 		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
 	}

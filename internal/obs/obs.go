@@ -66,6 +66,10 @@ type SearchStats struct {
 	// the learned router — a subset of OrderNanos, not additional time.
 	// Zero whenever the query ran without routing.
 	RouteNanos int64 `json:"routeNanos"`
+	// DeltaNanos is wall time spent scanning the snapshot's write
+	// overlay (the base+delta chain). Zero on flat snapshots and in
+	// processes that never write.
+	DeltaNanos int64 `json:"deltaNanos"`
 }
 
 // Merge accumulates o into s, keeping the larger KthDistance (the
@@ -79,6 +83,7 @@ func (s *SearchStats) Merge(o *SearchStats) {
 	s.ScanNanos += o.ScanNanos
 	s.QuantNanos += o.QuantNanos
 	s.RouteNanos += o.RouteNanos
+	s.DeltaNanos += o.DeltaNanos
 	if o.KthDistance > s.KthDistance {
 		s.KthDistance = o.KthDistance
 	}

@@ -28,14 +28,15 @@ type metrics struct {
 	mu        sync.Mutex // guards the endpoint map's shape (values are atomic)
 	endpoints map[string]*endpointCounters
 
-	latency         histogram // query endpoints' wall time
-	mutationLatency histogram // mutation endpoints' wall time
-	rebuildDuration histogram // background rebuild wall time
-	readEfficiency  histogram // per search request: fraction of objects pruned
-	clustersPruned  histogram // per search request: fraction of clusters pruned
-	clustersOrdered histogram // per search request: ordering-phase pops / clusters considered
-	clustersRouted  histogram // per search request: router-placed clusters / clusters considered
-	rerankRatio     histogram // per search request: SQ8 survivors reranked / candidates filtered
+	latency            histogram // query endpoints' wall time
+	mutationLatency    histogram // mutation endpoints' wall time
+	rebuildDuration    histogram // background rebuild wall time
+	compactionDuration histogram // overlay compaction wall time (fold through publication)
+	readEfficiency     histogram // per search request: fraction of objects pruned
+	clustersPruned     histogram // per search request: fraction of clusters pruned
+	clustersOrdered    histogram // per search request: ordering-phase pops / clusters considered
+	clustersRouted     histogram // per search request: router-placed clusters / clusters considered
+	rerankRatio        histogram // per search request: SQ8 survivors reranked / candidates filtered
 
 	start time.Time // process-uptime epoch (registry creation)
 }
@@ -139,6 +140,10 @@ func newMetrics() *metrics {
 	m.latency.init(latencyBuckets)
 	m.mutationLatency.init(mutationBuckets)
 	m.rebuildDuration.init(rebuildBuckets)
+	// Compactions replay the shard's live set through the eager build
+	// machinery — same cost regime as a rebuild, minus K-Means/PCA — so
+	// they share the rebuild bucket layout.
+	m.compactionDuration.init(rebuildBuckets)
 	m.readEfficiency.init(ratioBuckets)
 	m.clustersPruned.init(ratioBuckets)
 	m.clustersOrdered.init(ratioBuckets)
@@ -284,6 +289,8 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 			"Wall time of mutation endpoint requests (insert/update/delete).")
 		m.rebuildDuration.write(&b, "cssi_rebuild_duration_seconds",
 			"Wall time of background index rebuilds, build through publication.")
+		m.compactionDuration.write(&b, "cssi_compaction_duration_seconds",
+			"Wall time of overlay compactions, fold through publication.")
 		m.readEfficiency.write(&b, "cssi_search_read_efficiency",
 			"Per search request: fraction of accounted objects skipped by pruning (1 = everything pruned).")
 		m.clustersPruned.write(&b, "cssi_search_clusters_pruned_ratio",
@@ -310,6 +317,21 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 		b.WriteString("# TYPE cssi_shard_snapshot_publications_total counter\n")
 		for _, st := range stats {
 			fmt.Fprintf(&b, "cssi_shard_snapshot_publications_total{shard=\"%d\"} %d\n", st.Shard, st.Publications)
+		}
+		b.WriteString("# HELP cssi_shard_delta_ops Write ops buffered in the shard snapshot's delta overlay (0 when flat or disabled).\n")
+		b.WriteString("# TYPE cssi_shard_delta_ops gauge\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "cssi_shard_delta_ops{shard=\"%d\"} %d\n", st.Shard, st.DeltaOps)
+		}
+		b.WriteString("# HELP cssi_shard_base_age_seconds Seconds since the shard's flat base snapshot was published (moves on compactions, rebuilds, and eager writes — not overlay writes).\n")
+		b.WriteString("# TYPE cssi_shard_base_age_seconds gauge\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "cssi_shard_base_age_seconds{shard=\"%d\"} %g\n", st.Shard, st.BaseAge.Seconds())
+		}
+		b.WriteString("# HELP cssi_shard_compactions_total Completed overlay compactions per shard.\n")
+		b.WriteString("# TYPE cssi_shard_compactions_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "cssi_shard_compactions_total{shard=\"%d\"} %d\n", st.Shard, st.Compactions)
 		}
 
 		samples := make([]rtmetrics.Sample, len(runtimeSampleNames))

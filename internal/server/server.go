@@ -84,6 +84,17 @@ func (s *Server) SetRouteDefaults(route bool, target float64) {
 	s.routeTargetDefault = target
 }
 
+// SetDeltaDefaults sets the write-overlay compaction threshold on every
+// shard: positive bounds each shard's overlay at that many write ops
+// before a background compaction folds it, 0 keeps the library default
+// (cssi.DefaultDeltaCompactThreshold), and -1 disables the overlay so
+// every write pays an eager clone. Returns
+// cssi.ErrInvalidDeltaThreshold for values below -1. Call before
+// Handler.
+func (s *Server) SetDeltaDefaults(threshold int) error {
+	return s.idx.SetDeltaThreshold(threshold)
+}
+
 // New returns a Server over a single unsharded index, served as one
 // shard (fully equivalent for exact queries). model may be nil if
 // clients always send explicit vectors. The index is owned by the
@@ -99,7 +110,12 @@ func NewSharded(idx *cssi.ShardedIndex, model *embed.Model) *Server {
 	if !idx.KeywordFilterEnabled() {
 		idx.EnableKeywordFilter()
 	}
-	return &Server{idx: idx, model: model, met: newMetrics(), log: slog.Default()}
+	s := &Server{idx: idx, model: model, met: newMetrics(), log: slog.Default()}
+	// Feed every shard's overlay compactions into the latency histogram
+	// (compactions run on background goroutines; the histogram is
+	// atomic, so the concurrent observer calls are safe).
+	idx.SetCompactionObserver(s.met.compactionDuration.observeDuration)
+	return s
 }
 
 // SetLogger replaces the server's structured logger (default
@@ -259,6 +275,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"objects":           st.Objects,
 			"hybridClusters":    st.Clusters,
 			"updatesSinceBuild": st.UpdatesSinceBuild,
+			"deltaOps":          st.DeltaOps,
+			"compactions":       st.Compactions,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{

@@ -1,0 +1,342 @@
+package cssi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// overlayOps is a deterministic mixed write stream: fresh-ID inserts,
+// deletes of base and of just-inserted objects, and base updates.
+func overlayOps(ds *Dataset, n int) []Op {
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0, 1:
+			o := ds.Objects[(i*13+5)%ds.Len()]
+			o.ID = uint32(500000 + i)
+			ops = append(ops, Op{Kind: OpInsert, Object: o})
+		case 2:
+			if i%8 == 2 {
+				// Delete an object inserted earlier in this stream.
+				ops = append(ops, Op{Kind: OpDelete, ID: uint32(500000 + i - 2)})
+			} else {
+				ops = append(ops, Op{Kind: OpDelete, ID: ds.Objects[(i*7+3)%ds.Len()].ID})
+			}
+		case 3:
+			o := ds.Objects[(i*11+1)%ds.Len()]
+			o.X, o.Y = 1-o.X, 1-o.Y
+			ops = append(ops, Op{Kind: OpUpdate, Object: o})
+		}
+	}
+	return ops
+}
+
+// The wrapper-level tentpole property: a ConcurrentIndex writing
+// through the delta overlay answers every exact query bit-identically
+// to one writing through eager copy-on-write clones, given the same
+// build seed and write stream — before and after compaction.
+func TestOverlayConcurrentEquivalence(t *testing.T) {
+	ds := testDataset(t, 800)
+	overlay := Concurrent(mustBuild(t, ds, Options{Seed: 41}))
+	eager := Concurrent(mustBuild(t, ds, Options{Seed: 41, DeltaCompactThreshold: DeltaDisabled}))
+
+	ops := overlayOps(ds, 120)
+	for _, op := range ops {
+		// Apply one at a time so the overlay path exercises per-op delta
+		// clones, not one amortized batch.
+		if err := overlay.ApplyBatch([]Op{op}); err != nil {
+			t.Fatalf("overlay op: %v", err)
+		}
+		if err := eager.ApplyBatch([]Op{op}); err != nil {
+			t.Fatalf("eager op: %v", err)
+		}
+	}
+	if overlay.DeltaOps() == 0 {
+		t.Fatal("overlay wrapper buffered no delta ops (overlay path not engaged)")
+	}
+	if eager.DeltaOps() != 0 {
+		t.Fatalf("eager wrapper buffered %d delta ops", eager.DeltaOps())
+	}
+	if overlay.Len() != eager.Len() {
+		t.Fatalf("live counts diverged: overlay %d, eager %d", overlay.Len(), eager.Len())
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for qi := 0; qi < 6; qi++ {
+			q := ds.Objects[(qi*101+3)%ds.Len()]
+			for _, lambda := range []float64{0, 0.5, 1} {
+				want := eager.Search(&q, 10, lambda)
+				got := overlay.Search(&q, 10, lambda)
+				if len(want) != len(got) {
+					t.Fatalf("%s: exact λ=%v sizes %d vs %d", stage, lambda, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s: exact λ=%v result %d = %+v, want %+v", stage, lambda, i, got[i], want[i])
+					}
+				}
+			}
+			wr := eager.RangeSearch(&q, 0.25, 0.5)
+			gr := overlay.RangeSearch(&q, 0.25, 0.5)
+			if len(wr) != len(gr) {
+				t.Fatalf("%s: range sizes %d vs %d", stage, len(gr), len(wr))
+			}
+			for i := range wr {
+				if wr[i] != gr[i] {
+					t.Fatalf("%s: range result %d differs", stage, i)
+				}
+			}
+			wb := eager.SearchInBox(&q, q.X-0.3, q.Y-0.3, q.X+0.3, q.Y+0.3, 8)
+			gb := overlay.SearchInBox(&q, q.X-0.3, q.Y-0.3, q.X+0.3, q.Y+0.3, 8)
+			for i := range wb {
+				if wb[i] != gb[i] {
+					t.Fatalf("%s: box result %d differs", stage, i)
+				}
+			}
+			// Approximate answers are not contractually identical across
+			// representations, but every returned ID must be live.
+			for _, r := range overlay.SearchApprox(&q, 10, 0.5) {
+				if _, ok := overlay.Object(r.ID); !ok {
+					t.Fatalf("%s: approx returned non-live object %d", stage, r.ID)
+				}
+			}
+		}
+	}
+	compare("pre-compaction")
+	if err := overlay.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if overlay.DeltaOps() != 0 {
+		t.Fatalf("post-compact DeltaOps = %d", overlay.DeltaOps())
+	}
+	if overlay.Compactions() == 0 {
+		t.Fatal("explicit Compact not counted")
+	}
+	compare("post-compaction")
+	if err := overlay.Snapshot().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crossing the threshold must trigger a background compaction that
+// folds the overlay without losing any acknowledged write.
+func TestOverlayBackgroundCompaction(t *testing.T) {
+	ds := testDataset(t, 500)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 43}))
+	if err := c.SetDeltaThreshold(8); err != nil {
+		t.Fatal(err)
+	}
+	var observed atomic.Int64
+	c.SetCompactionObserver(func(d time.Duration) {
+		if d <= 0 {
+			t.Error("non-positive compaction duration")
+		}
+		observed.Add(1)
+	})
+	for i := 0; i < 40; i++ {
+		o := ds.Objects[i%ds.Len()]
+		o.ID = uint32(600000 + i)
+		if err := c.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Compactions() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no background compaction within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if observed.Load() == 0 {
+		t.Fatal("compaction observer not invoked")
+	}
+	// Every acknowledged insert is visible regardless of which snapshot
+	// generation (overlay or folded) currently serves.
+	for i := 0; i < 40; i++ {
+		if _, ok := c.Object(uint32(600000 + i)); !ok {
+			t.Fatalf("insert %d lost across compaction", i)
+		}
+	}
+	if c.Len() != ds.Len()+40 {
+		t.Fatalf("Len = %d, want %d", c.Len(), ds.Len()+40)
+	}
+	if err := c.Snapshot().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Threshold setters share one validation contract everywhere.
+func TestOverlayThresholdValidation(t *testing.T) {
+	ds := testDataset(t, 300)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 45}))
+	if err := c.SetDeltaThreshold(-2); err != ErrInvalidDeltaThreshold {
+		t.Fatalf("ConcurrentIndex accepted -2: %v", err)
+	}
+	for _, ok := range []int{DeltaDisabled, 0, 1, 100000} {
+		if err := c.SetDeltaThreshold(ok); err != nil {
+			t.Fatalf("SetDeltaThreshold(%d): %v", ok, err)
+		}
+	}
+	s, err := BuildSharded(ds, 2, Options{Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDeltaThreshold(-7); err != ErrInvalidDeltaThreshold {
+		t.Fatalf("ShardedIndex accepted -7: %v", err)
+	}
+	if err := s.SetDeltaThreshold(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sharded overlay writes keep the scatter/gather exact contract: the
+// merged result is bit-identical to an unsharded eager index fed the
+// same stream, and per-shard stats expose the overlay state.
+func TestOverlayShardedEquivalence(t *testing.T) {
+	ds := testDataset(t, 900)
+	for _, p := range []int{1, 3} {
+		s, err := BuildSharded(ds, p, Options{Seed: 47})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := Concurrent(mustBuild(t, ds, Options{Seed: 47, DeltaCompactThreshold: DeltaDisabled}))
+		for _, op := range overlayOps(ds, 90) {
+			if err := s.ApplyBatch([]Op{op}); err != nil {
+				t.Fatalf("P=%d sharded op: %v", p, err)
+			}
+			if err := flat.ApplyBatch([]Op{op}); err != nil {
+				t.Fatalf("P=%d flat op: %v", p, err)
+			}
+		}
+		buffered := 0
+		for _, st := range s.ShardStats() {
+			buffered += st.DeltaOps
+		}
+		if buffered == 0 {
+			t.Fatalf("P=%d: no shard buffered delta ops", p)
+		}
+		check := func(stage string) {
+			t.Helper()
+			for qi := 0; qi < 5; qi++ {
+				q := ds.Objects[(qi*67+9)%ds.Len()]
+				want := flat.Search(&q, 10, 0.5)
+				got := s.Search(&q, 10, 0.5)
+				if len(want) != len(got) {
+					t.Fatalf("P=%d %s: sizes %d vs %d", p, stage, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("P=%d %s: result %d = %+v, want %+v", p, stage, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		check("pre-compaction")
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range s.ShardStats() {
+			if st.DeltaOps != 0 {
+				t.Fatalf("P=%d: shard %d still buffers %d ops after Compact", p, st.Shard, st.DeltaOps)
+			}
+		}
+		check("post-compaction")
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	}
+}
+
+// Race stress (run under -race in CI): concurrent searches, routed
+// writes, explicit compactions, and threshold-triggered background
+// compactions against one overlay-enabled wrapper.
+func TestOverlayConcurrentStress(t *testing.T) {
+	ds := testDataset(t, 600)
+	c := Concurrent(mustBuild(t, ds, Options{Seed: 49}))
+	if err := c.SetDeltaThreshold(16); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCompactionObserver(func(time.Duration) {})
+	var wg sync.WaitGroup
+	// Readers across every mode.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := ds.Objects[(g*53+i*17)%ds.Len()]
+				if got := c.Search(&q, 5, 0.5); len(got) != 5 {
+					t.Errorf("search returned %d", len(got))
+					return
+				}
+				c.SearchApprox(&q, 5, 0.5)
+				c.RangeSearch(&q, 0.1, 0.5)
+				c.SearchInBox(&q, 0, 0, 1, 1, 3)
+			}
+		}(g)
+	}
+	// Writers on disjoint ID ranges; deletes and updates target their
+	// own inserts so ops never conflict across goroutines.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint32(700000 + g*10000)
+			for i := 0; i < 30; i++ {
+				o := ds.Objects[(g*31+i)%ds.Len()]
+				o.ID = base + uint32(i)
+				if err := c.Insert(o); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					if err := c.Delete(o.ID); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				case 1:
+					o.X = 1 - o.X
+					if err := c.Update(o); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Periodic explicit compactions interleave with the background ones.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := c.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	// Post-stress coherence: fold whatever overlay remains and verify
+	// the folded index answers exactly like the final overlay state.
+	q := ds.Objects[11]
+	before := c.Search(&q, 10, 0.5)
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Search(&q, 10, 0.5)
+	if len(before) != len(after) {
+		t.Fatalf("compaction changed result size %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("compaction changed result %d: %+v -> %+v", i, after[i], before[i])
+		}
+	}
+	if err := c.Snapshot().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -826,6 +826,15 @@ type ShardStat struct {
 	// Publications counts the shard's snapshot publications since the
 	// sharded index was built (initial publication included).
 	Publications int64
+	// DeltaOps is the number of write ops buffered in the snapshot's
+	// overlay (0 when flat or when the overlay is disabled).
+	DeltaOps int
+	// Compactions counts the shard's completed overlay compactions.
+	Compactions int64
+	// BaseAge is how long ago the shard's flat base was published —
+	// unlike SnapshotAge it moves only on compactions, rebuilds, and
+	// eager-mode writes.
+	BaseAge time.Duration
 }
 
 // ShardStats returns a per-shard snapshot summary — the backing data of
@@ -842,9 +851,47 @@ func (s *ShardedIndex) ShardStats() []ShardStat {
 			UpdatesSinceBuild: snap.UpdatesSinceBuild(),
 			SnapshotAge:       sh.SnapshotAge(),
 			Publications:      sh.Publications(),
+			DeltaOps:          snap.DeltaOps(),
+			Compactions:       sh.Compactions(),
+			BaseAge:           sh.BaseAge(),
 		}
 	}
 	return out
+}
+
+// SetDeltaThreshold changes the overlay compaction threshold on every
+// shard (see ConcurrentIndex.SetDeltaThreshold for the value contract).
+func (s *ShardedIndex) SetDeltaThreshold(threshold int) error {
+	if threshold < DeltaDisabled {
+		return ErrInvalidDeltaThreshold
+	}
+	for _, sh := range s.shards {
+		if err := sh.SetDeltaThreshold(threshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetCompactionObserver registers fn on every shard: it is called with
+// each overlay compaction's duration, from whichever shard compacted
+// (fn must be safe for concurrent calls; pass nil to unregister).
+func (s *ShardedIndex) SetCompactionObserver(fn func(time.Duration)) {
+	for _, sh := range s.shards {
+		sh.SetCompactionObserver(fn)
+	}
+}
+
+// Compact synchronously folds every shard's write overlay into a flat
+// base (no-op on already-flat shards).
+func (s *ShardedIndex) Compact() error {
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		if err := sh.Compact(); err != nil {
+			errs[i] = fmt.Errorf("cssi: compacting shard %d: %w", i, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // CheckInvariants verifies every shard's structural invariants plus the
