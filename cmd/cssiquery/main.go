@@ -11,16 +11,29 @@
 // embedding model is available to encode the text):
 //
 //	cssiquery -kind twitter -size 20000 -x 0.4 -y 0.6 -text "wb wc wd" -k 5
+//
+// With -trace the exact query additionally runs through the always-on
+// tracer and its span tree is printed — the same trace a server
+// retains in /debug/traces. With -server URL the query is sent to a
+// running cssiserve instead (W3C traceparent attached) and the
+// retained trace is fetched back from its /v1/debug/traces endpoint:
+//
+//	cssiquery -size 20000 -qid 42 -trace
+//	cssiquery -size 20000 -qid 42 -trace -server http://localhost:8080
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +51,8 @@ func main() {
 		lambda = flag.Float64("lambda", 0.5, "balance parameter λ (1 = purely spatial)")
 		route  = flag.Bool("route", false, "also run the learned-router modes: routed exact (bit-identical) and routed approximate")
 		target = flag.Float64("route-target", 0, "routed approximate recall knob in (0,1] (0 = library default)")
+		trace  = flag.Bool("trace", false, "record and print the exact query's span tree (the trace a server would retain in /debug/traces)")
+		srvURL = flag.String("server", "", "with -trace: send the query to this cssiserve base URL and fetch the retained trace back")
 	)
 	flag.Parse()
 
@@ -57,6 +72,13 @@ func main() {
 	q, err := makeQuery(ds, *qid, *qx, *qy, *qtext)
 	if err != nil {
 		fail(err)
+	}
+
+	if *trace && *srvURL != "" {
+		if err := traceAgainstServer(*srvURL, q, *k, *lambda); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	var stExact cssi.Stats
@@ -105,6 +127,119 @@ func main() {
 			raTime.Round(time.Microsecond), stRA.VisitedObjects, stRA.ClustersRouted, 100*cssi.ErrorRate(exact, routedApprox))
 		printResults(ds, routedApprox)
 	}
+
+	if *trace {
+		if err := traceLocally(idx, q, *k, *lambda); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// traceLocally reruns the exact query through the always-on tracer —
+// the same machinery a server installs — and prints the retained span
+// tree.
+func traceLocally(idx *cssi.Index, q *cssi.Object, k int, lambda float64) error {
+	sink := obs.NewSink(obs.SinkConfig{BufferSize: 4, SampleEvery: 1})
+	idx.SetTraceSink(sink)
+	defer idx.SetTraceSink(nil)
+	reqID := obs.NewRequestID()
+	if _, err := idx.Do(cssi.SearchRequest{Query: q, K: k, Lambda: lambda, RequestID: reqID}); err != nil {
+		return err
+	}
+	t := sink.Ring().Lookup(reqID)
+	if t == nil {
+		return fmt.Errorf("trace %s not retained", reqID)
+	}
+	fmt.Println()
+	printTrace(t)
+	return nil
+}
+
+// traceAgainstServer sends the query to a running cssiserve with a
+// fresh W3C traceparent attached, then fetches the trace the server
+// retained for it from /v1/debug/traces/<request id>.
+func traceAgainstServer(base string, q *cssi.Object, k int, lambda float64) error {
+	body, err := json.Marshal(map[string]any{
+		"x": q.X, "y": q.Y, "vec": q.Vec, "k": k, "lambda": lambda,
+	})
+	if err != nil {
+		return err
+	}
+	traceID := obs.NewTraceID()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", obs.FormatTraceParent(traceID, obs.NewSpanID()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var env struct {
+			Error struct{ Message string } `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		return fmt.Errorf("search: %s: %s", resp.Status, env.Error.Message)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	fmt.Printf("search ok  request=%s traceparent trace=%s\n", reqID, traceID)
+	// The tail sampler may not have retained a fast normal query; the
+	// trace ID joins the lookup either way.
+	tr, err := http.Get(base + "/v1/debug/traces/" + reqID)
+	if err != nil {
+		return err
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace %s not retained by the server (tail sampling keeps slow/errored traces and 1-in-N of normal traffic)", reqID)
+	}
+	var envelope struct {
+		Trace *obs.Trace `json:"trace"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&envelope); err != nil || envelope.Trace == nil {
+		return fmt.Errorf("malformed trace response: %v", err)
+	}
+	fmt.Println()
+	printTrace(envelope.Trace)
+	return nil
+}
+
+// printTrace renders one retained trace's span tree.
+func printTrace(t *obs.Trace) {
+	fmt.Printf("trace %s  request=%s  flavor=%s op=%s algo=%s k=%d lambda=%.2f\n",
+		orDash(t.TraceID), t.RequestID, orDash(t.Flavor), orDash(t.Op), t.Algo, t.K, t.Lambda)
+	fmt.Printf("  duration=%v gather=%v parallel=%v reason=%s kth=%.5f readEff=%.3f\n",
+		time.Duration(t.DurationNanos).Round(time.Microsecond),
+		time.Duration(t.GatherNanos).Round(time.Microsecond),
+		t.Parallel, orDash(t.SampleReason), t.Total.KthDistance, t.ReadEfficiency)
+	if t.Error != "" {
+		fmt.Printf("  error=%s\n", t.Error)
+	}
+	for i := range t.Shards {
+		sp := &t.Shards[i]
+		st := &sp.Stats
+		fmt.Printf("  span shard=%d objects=%d duration=%v\n", sp.Shard, sp.Objects,
+			time.Duration(sp.DurationNanos).Round(time.Microsecond))
+		fmt.Printf("       order=%v scan=%v quant=%v route=%v delta=%v\n",
+			time.Duration(st.OrderNanos).Round(time.Microsecond),
+			time.Duration(st.ScanNanos).Round(time.Microsecond),
+			time.Duration(st.QuantNanos).Round(time.Microsecond),
+			time.Duration(st.RouteNanos).Round(time.Microsecond),
+			time.Duration(st.DeltaNanos).Round(time.Microsecond))
+		fmt.Printf("       visited=%d interPruned=%d intraPruned=%d clusters examined=%d pruned=%d readEff=%.3f\n",
+			st.VisitedObjects, st.InterPruned, st.IntraPruned,
+			st.ClustersExamined, st.ClustersPruned, sp.ReadEfficiency)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func obtainDataset(path, kind string, size, dim int, seed uint64) (*cssi.Dataset, error) {

@@ -50,6 +50,10 @@ func main() {
 		route     = flag.Bool("route", false, "use the learned cluster router by default on query requests (a request's own \"route\" field still wins)")
 		target    = flag.Float64("route-target", 0, "default routed-approximate recall knob in (0,1] for requests that omit routeTarget (0 = library default)")
 		deltaThr  = flag.Int("delta-threshold", 0, "write-overlay compaction threshold per shard: >0 ops before a background fold, 0 = library default, -1 disables the overlay (eager clone per write)")
+		traceBuf  = flag.Int("trace-buffer", 1024, "retained-trace ring capacity for the always-on tracer (0 disables tracing)")
+		slowQuery = flag.Duration("slow-query", 100*time.Millisecond, "latency at which a query trace is always retained and logged (0 disables the slow rule)")
+		traceSamp = flag.Int("trace-sample", 128, "keep 1 in N normal (fast, successful) traces (0 keeps only slow/errored traces, 1 keeps everything)")
+		slo       = flag.String("slo", "5ms,25ms,100ms", "comma-separated ascending latency objectives for the /metrics SLO block")
 	)
 	flag.Parse()
 
@@ -109,6 +113,14 @@ func main() {
 	if err := api.SetDeltaDefaults(*deltaThr); err != nil {
 		fatal(logger, "invalid -delta-threshold", "value", *deltaThr, "error", err)
 	}
+	api.SetTraceOptions(*traceBuf, traceSlowArg(*slowQuery), traceSampleArg(*traceSamp))
+	objectives, err := parseSLO(*slo)
+	if err != nil {
+		fatal(logger, "invalid -slo", "value", *slo, "error", err)
+	}
+	if err := api.SetSLOObjectives(objectives); err != nil {
+		fatal(logger, "invalid -slo", "value", *slo, "error", err)
+	}
 	if *route && !idx.RouterTrained() {
 		logger.Warn("router default requested but not every shard carries a trained router; untrained shards run unrouted")
 	}
@@ -155,6 +167,44 @@ func newLogger(level string) *slog.Logger {
 		lv = slog.LevelInfo
 	}
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// traceSlowArg maps the -slow-query flag to the library convention:
+// the flag's 0 means "slow rule off", the library's 0 means "default".
+func traceSlowArg(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
+}
+
+// traceSampleArg maps the -trace-sample flag to the library
+// convention: the flag's 0 means "only slow/errored", the library's 0
+// means "default".
+func traceSampleArg(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// parseSLO parses the -slo flag: a comma-separated list of ascending
+// Go durations, e.g. "5ms,25ms,100ms".
+func parseSLO(s string) ([]time.Duration, error) {
+	parts := strings.Split(s, ",")
+	out := make([]time.Duration, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		d, err := time.ParseDuration(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // fatal logs at Error level and exits nonzero (slog has no Fatal).

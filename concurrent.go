@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ConcurrentIndex serves searches and maintenance from many goroutines
@@ -40,6 +42,10 @@ import (
 // internal/server is built on it).
 type ConcurrentIndex struct {
 	cur atomic.Pointer[Index]
+
+	// sink is the optional always-on trace collector (SetTraceSink),
+	// swapped atomically so it can be (un)installed while serving.
+	sink atomic.Pointer[obs.Sink]
 
 	// publishedNS is the wall-clock (UnixNano) instant of the last
 	// snapshot publication — written together with every cur.Store and

@@ -169,6 +169,10 @@ type Index struct {
 	space *metric.Space
 	// kw is the optional inverted keyword index (EnableKeywordFilter).
 	kw *keyword.Filter
+	// sink is the optional always-on trace collector (SetTraceSink);
+	// shared — not cloned — across snapshots so one sink observes the
+	// whole serving lifetime.
+	sink *obs.Sink
 }
 
 // coreConfig translates the public options into the internal build
@@ -374,7 +378,7 @@ func (x *Index) Rebuild() error {
 // x, so lock-free readers can keep using x until the clone is published
 // in its place.
 func (x *Index) cloneForWrite() *Index {
-	nx := &Index{core: x.core.CloneForWrite(), space: x.space}
+	nx := &Index{core: x.core.CloneForWrite(), space: x.space, sink: x.sink}
 	if x.kw != nil {
 		nx.kw = x.kw.Clone()
 	}
@@ -387,7 +391,7 @@ func (x *Index) cloneForWrite() *Index {
 // cloneForWrite. An enabled keyword filter has no overlay form and
 // still pays its eager clone.
 func (x *Index) cloneWithDelta() *Index {
-	nx := &Index{core: x.core.CloneWithDelta(), space: x.space}
+	nx := &Index{core: x.core.CloneWithDelta(), space: x.space, sink: x.sink}
 	if x.kw != nil {
 		nx.kw = x.kw.Clone()
 	}
@@ -408,7 +412,7 @@ func (x *Index) compact() (*Index, error) {
 	if nc == x.core {
 		return x, nil
 	}
-	nx := &Index{core: nc, space: x.space}
+	nx := &Index{core: nc, space: x.space, sink: x.sink}
 	if x.kw != nil {
 		nx.kw = x.kw.Clone()
 	}
@@ -429,7 +433,7 @@ func (x *Index) rebuildFresh() (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	fresh := &Index{core: freshCore, space: freshCore.Space()}
+	fresh := &Index{core: freshCore, space: freshCore.Space(), sink: x.sink}
 	if x.kw != nil {
 		fresh.EnableKeywordFilter()
 	}

@@ -309,7 +309,9 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 		x.scanCluster(sc, q, lambda, c, sc.dsq[c.s], dtqC, h, st)
 	}
 	if sc.obs != nil {
-		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
+		el := time.Since(phase).Nanoseconds()
+		sc.obs.ScanNanos += el
+		sc.flushQuantTiming(el)
 	}
 	// Chain the write overlay's live inserts onto the same heap (a no-op
 	// on flat snapshots). Exactness is unchanged: the final heap is a

@@ -224,6 +224,7 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 	// recall over overlay inserts is never worse than over a compacted
 	// base (and tombstoned base objects, skipped above, can never
 	// resurface).
+	var deltaSpent int64
 	if d := x.delta; d != nil && d.liveCount > 0 {
 		var td time.Time
 		if sc.obs != nil {
@@ -265,7 +266,8 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 			}
 		}
 		if sc.obs != nil {
-			sc.obs.DeltaNanos += time.Since(td).Nanoseconds()
+			deltaSpent = time.Since(td).Nanoseconds()
+			sc.obs.DeltaNanos += deltaSpent
 		}
 	}
 	n := len(dst)
@@ -274,7 +276,9 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 	}
 	knn.SortResults(dst[n:])
 	if sc.obs != nil {
-		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
+		// DeltaNanos is disjoint from ScanNanos by contract: carve the
+		// overlay window out of the scan window that encloses it here.
+		sc.obs.ScanNanos += time.Since(phase).Nanoseconds() - deltaSpent
 	}
 	sc.cands = cands[:0]
 	return dst

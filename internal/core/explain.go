@@ -37,6 +37,24 @@ func (x *Index) SearchExplainOptionsInto(dst []knn.Result, q *dataset.Object, k 
 	return dst
 }
 
+// SearchExplainOptionsSeededInto is SearchExplainOptionsInto with a
+// bound-carrying seed (see SearchOptionsSeededInto): the sharded
+// single-core chain uses it so the always-on tracer can record
+// per-shard spans without giving up the sequential bound tightening
+// that makes the chain fast. The seed applies to the exact path only.
+func (x *Index) SearchExplainOptionsSeededInto(dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, es *obs.SearchStats) []knn.Result {
+	sc := x.getScratch()
+	sc.obs = es
+	n := len(dst)
+	dst = x.searchOptionsWith(sc, dst, seed, q, k, lambda, opts, &es.Stats)
+	sc.obs = nil
+	x.putScratch(sc)
+	if len(dst) > n {
+		es.KthDistance = dst[len(dst)-1].Dist
+	}
+	return dst
+}
+
 // DeriveClusterCount exposes the paper's cluster-count rule
 // Ks = Kt = √n·f (§7.1, with the laptop-scale calibration of
 // Config.Ks) for callers outside the build path — notably the sharded

@@ -225,6 +225,32 @@ type quantSurvivor struct {
 	ds float64
 }
 
+// quantTimeSampleEvery is the deterministic sampling rate of the
+// quant-phase wall clock: one in this many quantized cluster scans per
+// query is timed, and flushQuantTiming scales the sample up to the
+// query's QuantNanos estimate. The first scan is always in the sample,
+// so any query that took the quantized path reports a non-zero phase.
+const quantTimeSampleEvery = 16
+
+// flushQuantTiming folds the query's sampled quantized-scan windows
+// into sc.obs.QuantNanos, scaled by the sampling rate and clamped to
+// maxNanos (the enclosing scan phase's wall time, which keeps the
+// QuantNanos ⊆ ScanNanos phase invariant under sampling error). Called
+// where the scan phase closes; resets the sample state for the next
+// query on the pooled scratch. No-op when no quantized scan ran.
+func (sc *searchScratch) flushQuantTiming(maxNanos int64) {
+	if sc.quantScans == 0 {
+		return
+	}
+	timed := (sc.quantScans + quantTimeSampleEvery - 1) / quantTimeSampleEvery
+	est := sc.quantSampledNanos * sc.quantScans / timed
+	if est > maxNanos {
+		est = maxNanos
+	}
+	sc.obs.QuantNanos += est
+	sc.quantScans, sc.quantSampledNanos = 0, 0
+}
+
 // scanClusterQuant is the filter-then-rerank form of scanCluster's
 // object loop, entered only with a full heap, λ < 1 and a quant block
 // present. Exactness argument (the property tests in quant_equiv_test
@@ -244,14 +270,21 @@ type quantSurvivor struct {
 //     live bound, identical to the reference loop.
 //
 // Survivors are rescored with the same float32 kernel the reference
-// uses, so kept distances are bit-identical too. The two-pass shape
-// also keeps the obs overhead at two timestamps per examined cluster
-// (per-candidate timers would break the ≤5% explain-overhead gate).
+// uses, so kept distances are bit-identical too. The pass-1 window is
+// wall-timed on a deterministic 1-in-quantTimeSampleEvery sample of the
+// query's scans (see flushQuantTiming): per-cluster timestamps cost two
+// clock reads per examined cluster, which at realistic cluster counts
+// was most of the tracer's overhead.
 func (x *Index) scanClusterQuant(sc *searchScratch, q *dataset.Object, lambda float64, c *hybrid, dqC, u0 float64, enclosed bool, h *knn.Heap, st *metric.Stats) {
 	qa := x.quant
 	var t0 time.Time
+	timed := false
 	if sc.obs != nil {
-		t0 = time.Now()
+		if sc.quantScans%quantTimeSampleEvery == 0 {
+			timed = true
+			t0 = time.Now()
+		}
+		sc.quantScans++
 	}
 	if !sc.quantQ {
 		qa.cb.AdjustQueryInto(sc.qAdj, q.Vec)
@@ -298,8 +331,8 @@ func (x *Index) scanClusterQuant(sc *searchScratch, q *dataset.Object, lambda fl
 		sur = append(sur, quantSurvivor{ei: int32(ei), ds: ds})
 	}
 	sc.survivors = sur
-	if sc.obs != nil {
-		sc.obs.QuantNanos += time.Since(t0).Nanoseconds()
+	if timed {
+		sc.quantSampledNanos += time.Since(t0).Nanoseconds()
 	}
 	for _, s := range sur {
 		e := &c.elems[s.ei]
@@ -405,16 +438,21 @@ func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.
 		est := growSlice(sc.est, n)
 		sc.est = est
 		var tq time.Time
+		timed := false
 		if sc.obs != nil {
-			tq = time.Now()
+			if sc.quantScans%quantTimeSampleEvery == 0 {
+				timed = true
+				tq = time.Now()
+			}
+			sc.quantScans++
 		}
 		if useLUT {
 			vec.SqDistSQ8LUTBlockInto(est, sc.lut, c.codes)
 		} else {
 			vec.SqDistSQ8BlockInto(est, sc.qAdj, qa.cb.Step, c.codes)
 		}
-		if sc.obs != nil {
-			sc.obs.QuantNanos += time.Since(tq).Nanoseconds()
+		if timed {
+			sc.quantSampledNanos += time.Since(tq).Nanoseconds()
 		}
 		if st != nil {
 			// The block scan is this mode's semantic distance work.
@@ -487,8 +525,14 @@ func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.
 	sc.cands = cands[:0]
 	if sc.obs != nil {
 		now := time.Now()
-		sc.obs.QuantNanos += now.Sub(tr).Nanoseconds()
-		sc.obs.ScanNanos += now.Sub(phase).Nanoseconds()
+		rerankNanos := now.Sub(tr).Nanoseconds()
+		scanNanos := now.Sub(phase).Nanoseconds()
+		// The block-scan estimate and the rerank window together must
+		// stay inside the scan phase, so the estimate's clamp leaves room
+		// for the rerank nanos accrued below.
+		sc.flushQuantTiming(scanNanos - rerankNanos)
+		sc.obs.QuantNanos += rerankNanos
+		sc.obs.ScanNanos += scanNanos
 	}
 	// The write overlay is scanned in full with the exact kernel, so
 	// QuantOnly recall over overlay inserts is never worse than over a

@@ -395,13 +395,16 @@ func (x *Index) searchRoutedWith(sc *searchScratch, dst []knn.Result, q *dataset
 		}
 		x.scanCluster(sc, q, lambda, c, sc.dsq[c.s], sc.dtq[c.t], h, st)
 	}
+	if sc.obs != nil {
+		el := time.Since(phase).Nanoseconds()
+		sc.obs.ScanNanos += el
+		sc.flushQuantTiming(el)
+	}
 	// The write overlay is scanned in full (exactly): routed recall stays
 	// governed by base-cluster coverage alone, and overlay inserts are
-	// never missed.
+	// never missed. Scanned after the ScanNanos window closes — the
+	// overlay accrues to the disjoint DeltaNanos phase inside scanDelta.
 	x.scanDelta(sc, q, lambda, h, st)
-	if sc.obs != nil {
-		sc.obs.ScanNanos += time.Since(phase).Nanoseconds()
-	}
 	return h.AppendSorted(dst)
 }
 

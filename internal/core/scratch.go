@@ -50,6 +50,15 @@ type searchScratch struct {
 	survivors []quantSurvivor
 	est       []float64
 	lut       vec.SQ8LUT
+	// Sampled quant-phase timing (explain/trace path only): the scans of
+	// a query are counted in quantScans and every quantTimeSampleEvery-th
+	// one is wall-timed into quantSampledNanos; flushQuantTiming scales
+	// the sample into the query's QuantNanos when the scan phase closes.
+	// Timing every scan individually costs two clock reads per examined
+	// cluster, which dominates the tracer's overhead at realistic cluster
+	// counts.
+	quantScans        int64
+	quantSampledNanos int64
 	// Learned-routing state. routeOn arms the exact-reorder pre-pass
 	// for the current query (set per query by searchOptionsWith, only
 	// when the index has a trained router); routeScore is the
@@ -88,6 +97,8 @@ func (x *Index) getScratch() *searchScratch {
 	}
 	sc.quantQ = false
 	sc.quantOff = false
+	sc.quantScans = 0
+	sc.quantSampledNanos = 0
 	sc.routeOn = false
 	sc.obs = nil
 	return sc

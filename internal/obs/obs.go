@@ -21,9 +21,11 @@ package obs
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metric"
 )
@@ -60,15 +62,20 @@ type SearchStats struct {
 	// pass-1 quantized filter of the exact filter+rerank scan, and the
 	// blockwise scoring plus exact rerank of the quantized-only path. It
 	// is a subset of ScanNanos, not additional time. Zero whenever the
-	// query ran without quantization.
+	// query ran without quantization. The per-cluster windows are a
+	// sampled estimate (one in every few scans is wall-timed and scaled,
+	// clamped to the scan phase) so always-on tracing does not pay two
+	// clock reads per examined cluster.
 	QuantNanos int64 `json:"quantNanos"`
 	// RouteNanos is wall time spent scoring and ordering clusters with
 	// the learned router — a subset of OrderNanos, not additional time.
 	// Zero whenever the query ran without routing.
 	RouteNanos int64 `json:"routeNanos"`
 	// DeltaNanos is wall time spent scanning the snapshot's write
-	// overlay (the base+delta chain). Zero on flat snapshots and in
-	// processes that never write.
+	// overlay (the base+delta chain). It is disjoint from ScanNanos —
+	// OrderNanos + ScanNanos + DeltaNanos ≤ the query's wall time — so
+	// the three add up to a phase breakdown. Zero on flat snapshots and
+	// in processes that never write.
 	DeltaNanos int64 `json:"deltaNanos"`
 }
 
@@ -147,21 +154,42 @@ func (sp *ShardSpan) FillDerived() {
 	sp.ClustersPrunedRatio = sp.Stats.ClustersPrunedRatio()
 }
 
-// Trace is one explained query: the per-shard spans of the
+// Trace is one completed request: the per-shard spans of the
 // scatter/gather path plus their aggregate, tied together by a request
-// ID that also appears in the server's structured logs.
+// ID that also appears in the server's structured logs. Traces are
+// produced in two ways: on demand by SearchExplain, and always-on by
+// the tail-sampling Sink every traced Do/DoBatch feeds.
 type Trace struct {
 	// RequestID correlates this trace with the HTTP request logs (the
 	// server propagates X-Request-Id; library callers may pass "").
 	RequestID string `json:"requestId"`
+	// TraceID is the W3C trace-context trace ID (32 lowercase hex
+	// chars) joined from the request's inbound traceparent header, or
+	// "" when the request arrived without trace context.
+	TraceID string `json:"traceId,omitempty"`
+	// Flavor names the serving layer that recorded the trace: "index",
+	// "concurrent", or "sharded".
+	Flavor string `json:"flavor,omitempty"`
+	// Op is the request kind: "search", "batch", or "keyword".
+	Op string `json:"op,omitempty"`
+	// Queries is the number of queries the request carried (1 for a
+	// single search, the batch length for DoBatch).
+	Queries int `json:"queries,omitempty"`
 	// Algo names the search algorithm: "cssi" (exact) or "cssia"
-	// (approximate).
+	// (approximate), with -sq8/-routed suffixes for the quantized and
+	// routed modes.
 	Algo string `json:"algo"`
 	// K and Lambda echo the query parameters.
 	K      int     `json:"k"`
 	Lambda float64 `json:"lambda"`
 	// Shards holds one span per shard, in shard order.
 	Shards []ShardSpan `json:"shards"`
+	// Parallel records whether the spans ran concurrently (the
+	// multi-core scatter) or back to back (the flat index and the
+	// single-core bound-carrying chain). It decides which gather
+	// invariant applies: sequential span durations sum to ≤
+	// DurationNanos, parallel ones individually stay ≤ DurationNanos.
+	Parallel bool `json:"parallel,omitempty"`
 	// Total aggregates the per-shard stats; its KthDistance is the
 	// merged global bound (the distance of the worst returned result).
 	Total SearchStats `json:"total"`
@@ -169,13 +197,38 @@ type Trace struct {
 	// ratios.
 	ReadEfficiency      float64 `json:"readEfficiency"`
 	ClustersPrunedRatio float64 `json:"clustersPrunedRatio"`
+	// GatherNanos is wall time of the gather merge that combines the
+	// per-shard result lists. Zero for single-span traces.
+	GatherNanos int64 `json:"gatherNanos,omitempty"`
 	// DurationNanos is the whole query's wall time including the
 	// scatter fan-out and the gather merge.
 	DurationNanos int64 `json:"durationNanos"`
+	// StartUnixNanos timestamps the request start (Unix nanoseconds)
+	// so /debug/traces consumers can order and age retained entries.
+	StartUnixNanos int64 `json:"startUnixNanos,omitempty"`
+	// Error carries the request's error string when it failed; the
+	// tail sampler always retains errored traces.
+	Error string `json:"error,omitempty"`
+	// Partial marks responses truncated by a deadline or partial
+	// shard failure; always retained. (Reserved: set once
+	// deadline-aware search lands.)
+	Partial bool `json:"partial,omitempty"`
+	// SampleReason records why the tail sampler retained the trace:
+	// "slow", "error", "partial", or "sampled" for the deterministic
+	// 1-in-N of normal traffic. Empty on traces not yet classified.
+	SampleReason string `json:"sampleReason,omitempty"`
+}
+
+// Reset zeroes the trace for reuse, keeping the span slice's capacity
+// so pooled traces record without reallocating.
+func (t *Trace) Reset() {
+	shards := t.Shards[:0]
+	*t = Trace{Shards: shards}
 }
 
 // Finish aggregates the spans into Total and the derived ratios.
-// kth is the merged global bound (0 when no results).
+// kth is the merged global bound (0 when no results). Finish is
+// idempotent: Total is rebuilt from the spans on every call.
 func (t *Trace) Finish(kth float64, durationNanos int64) {
 	t.Total.Reset()
 	for i := range t.Shards {
@@ -188,17 +241,99 @@ func (t *Trace) Finish(kth float64, durationNanos int64) {
 	t.DurationNanos = durationNanos
 }
 
-// reqCounter disambiguates request IDs generated in the same process
-// when the entropy source is unavailable.
-var reqCounter atomic.Uint64
+// CheckInvariants verifies the trace's internal accounting: phase
+// nanos are non-negative and respect the documented subset relations
+// (QuantNanos ⊆ ScanNanos, RouteNanos ⊆ OrderNanos, DeltaNanos
+// disjoint), each span's phase breakdown fits inside the span's wall
+// time, every span fits inside the request's wall time, and — for
+// sequentially recorded spans — the span durations plus the gather
+// merge sum to no more than the request duration.
+func (t *Trace) CheckInvariants() error {
+	checkPhases := func(what string, s *SearchStats, wall int64) error {
+		for _, p := range []struct {
+			name string
+			v    int64
+		}{
+			{"orderNanos", s.OrderNanos}, {"scanNanos", s.ScanNanos},
+			{"quantNanos", s.QuantNanos}, {"routeNanos", s.RouteNanos},
+			{"deltaNanos", s.DeltaNanos},
+		} {
+			if p.v < 0 {
+				return fmt.Errorf("%s: negative %s %d", what, p.name, p.v)
+			}
+		}
+		if s.QuantNanos > s.ScanNanos {
+			return fmt.Errorf("%s: quantNanos %d exceeds scanNanos %d (must be a subset)", what, s.QuantNanos, s.ScanNanos)
+		}
+		if s.RouteNanos > s.OrderNanos {
+			return fmt.Errorf("%s: routeNanos %d exceeds orderNanos %d (must be a subset)", what, s.RouteNanos, s.OrderNanos)
+		}
+		if wall > 0 {
+			if sum := s.OrderNanos + s.ScanNanos + s.DeltaNanos; sum > wall {
+				return fmt.Errorf("%s: phase sum %d exceeds wall time %d", what, sum, wall)
+			}
+		}
+		return nil
+	}
+	var spanSum int64
+	for i := range t.Shards {
+		sp := &t.Shards[i]
+		if sp.DurationNanos < 0 {
+			return fmt.Errorf("span %d: negative duration %d", i, sp.DurationNanos)
+		}
+		if err := checkPhases(fmt.Sprintf("span %d (shard %d)", i, sp.Shard), &sp.Stats, sp.DurationNanos); err != nil {
+			return err
+		}
+		if t.DurationNanos > 0 && sp.DurationNanos > t.DurationNanos {
+			return fmt.Errorf("span %d (shard %d): duration %d exceeds trace duration %d", i, sp.Shard, sp.DurationNanos, t.DurationNanos)
+		}
+		spanSum += sp.DurationNanos
+	}
+	if t.GatherNanos < 0 {
+		return fmt.Errorf("negative gatherNanos %d", t.GatherNanos)
+	}
+	if !t.Parallel && t.DurationNanos > 0 && spanSum+t.GatherNanos > t.DurationNanos {
+		return fmt.Errorf("sequential span durations %d + gather %d exceed trace duration %d", spanSum, t.GatherNanos, t.DurationNanos)
+	}
+	return checkPhases("total", &t.Total, 0)
+}
+
+// reqCounter and reqFallbackBase drive the monotonic fallback for
+// request IDs generated while the entropy source is unavailable:
+// a clock-seeded base (set once) plus a process-local counter.
+var (
+	reqCounter      atomic.Uint64
+	reqFallbackBase atomic.Uint64
+)
 
 // NewRequestID returns a short unique identifier for correlating one
-// query's trace, spans, and log lines: 16 hex chars of entropy, falling
-// back to a process-local counter if the source fails.
+// query's trace, spans, and log lines: 16 lowercase hex chars from
+// crypto/rand, falling back to a monotonic clock-seeded counter in the
+// same format, so downstream parsing and log grepping never see a
+// second shape.
 func NewRequestID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return fmt.Sprintf("req-%016x", reqCounter.Add(1))
+	if _, err := rand.Read(b[:]); err == nil {
+		return hex.EncodeToString(b[:])
 	}
+	return fallbackRequestID()
+}
+
+// fallbackRequestID is NewRequestID's entropy-free path: the top bits
+// come from the wall clock at first use (distinguishing processes),
+// the bottom from a monotonic counter (distinguishing requests within
+// one process). Same 16-hex format as the random path.
+func fallbackRequestID() string {
+	base := reqFallbackBase.Load()
+	if base == 0 {
+		seed := uint64(time.Now().UnixNano()) << 20
+		if seed == 0 {
+			seed = 1 << 20
+		}
+		reqFallbackBase.CompareAndSwap(0, seed)
+		base = reqFallbackBase.Load()
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], base+reqCounter.Add(1))
 	return hex.EncodeToString(b[:])
 }

@@ -1,0 +1,87 @@
+package obs
+
+import "sync/atomic"
+
+// TraceRing is a lock-free fixed-capacity ring of retained traces.
+// Writers claim a slot with a single atomic cursor increment and store
+// the trace pointer; concurrent readers load slot pointers without
+// coordination, so a snapshot is a consistent set of recently retained
+// traces rather than a serialized log — exactly what post-hoc
+// forensics needs. A trace stored in the ring is immutable from that
+// point on and is never returned to the sink's pool (readers may hold
+// references across overwrites); the memory bound is therefore
+// capacity × trace size plus whatever snapshots readers still hold.
+type TraceRing struct {
+	slots  []atomic.Pointer[Trace]
+	cursor atomic.Uint64
+}
+
+// NewTraceRing returns a ring holding up to capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *TraceRing) Cap() int { return len(r.slots) }
+
+// Len counts the currently occupied slots (≤ Cap, growing until the
+// ring first wraps).
+func (r *TraceRing) Len() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Put stores t, overwriting the oldest retained trace once the ring is
+// full. t must not be mutated after Put.
+func (r *TraceRing) Put(t *Trace) {
+	if t == nil {
+		return
+	}
+	slot := (r.cursor.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[slot].Store(t)
+}
+
+// Snapshot returns up to limit retained traces, newest first (limit ≤ 0
+// means all). Concurrent Puts may race individual slot loads; each
+// returned trace is complete and immutable regardless.
+func (r *TraceRing) Snapshot(limit int) []*Trace {
+	n := len(r.slots)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]*Trace, 0, limit)
+	cur := r.cursor.Load()
+	for i := 0; i < n && len(out) < limit; i++ {
+		// Walk backwards from the most recently claimed slot.
+		slot := (cur + uint64(n) - 1 - uint64(i)) % uint64(n)
+		if t := r.slots[slot].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Lookup returns the newest retained trace whose RequestID or TraceID
+// equals id, or nil.
+func (r *TraceRing) Lookup(id string) *Trace {
+	if id == "" {
+		return nil
+	}
+	n := len(r.slots)
+	cur := r.cursor.Load()
+	for i := 0; i < n; i++ {
+		slot := (cur + uint64(n) - 1 - uint64(i)) % uint64(n)
+		if t := r.slots[slot].Load(); t != nil && (t.RequestID == id || t.TraceID == id) {
+			return t
+		}
+	}
+	return nil
+}

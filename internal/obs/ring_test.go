@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingBasics(t *testing.T) {
+	r := NewTraceRing(4)
+	if r.Cap() != 4 || r.Len() != 0 {
+		t.Fatalf("new ring: cap %d len %d, want 4/0", r.Cap(), r.Len())
+	}
+	for i := 0; i < 3; i++ {
+		r.Put(&Trace{RequestID: fmt.Sprintf("%016x", i+1)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d, want 3", r.Len())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 3 {
+		t.Fatalf("snapshot %d traces, want 3", len(snap))
+	}
+	// Newest first.
+	if snap[0].RequestID != fmt.Sprintf("%016x", 3) {
+		t.Fatalf("snapshot[0] = %q, want newest", snap[0].RequestID)
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0] != snap[0] {
+		t.Fatalf("limited snapshot wrong: %v", got)
+	}
+
+	// Overwrite on wrap: after 6 puts into capacity 4, IDs 3..6 remain.
+	for i := 3; i < 6; i++ {
+		r.Put(&Trace{RequestID: fmt.Sprintf("%016x", i+1)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("wrapped len %d, want 4", r.Len())
+	}
+	if r.Lookup(fmt.Sprintf("%016x", 1)) != nil || r.Lookup(fmt.Sprintf("%016x", 2)) != nil {
+		t.Fatal("overwritten traces still found")
+	}
+	for i := 3; i <= 6; i++ {
+		if r.Lookup(fmt.Sprintf("%016x", i)) == nil {
+			t.Fatalf("trace %d not found after wrap", i)
+		}
+	}
+}
+
+func TestTraceRingLookupByTraceID(t *testing.T) {
+	r := NewTraceRing(2)
+	tr := &Trace{RequestID: "aaaaaaaaaaaaaaaa", TraceID: "0af7651916cd43dd8448eb211c80319c"}
+	r.Put(tr)
+	if r.Lookup(tr.RequestID) != tr {
+		t.Fatal("lookup by request ID failed")
+	}
+	if r.Lookup(tr.TraceID) != tr {
+		t.Fatal("lookup by trace ID failed")
+	}
+	if r.Lookup("") != nil {
+		t.Fatal("empty id matched")
+	}
+	if r.Lookup("nope") != nil {
+		t.Fatal("unknown id matched")
+	}
+}
+
+func TestTraceRingMinimumCapacity(t *testing.T) {
+	r := NewTraceRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap %d, want 1", r.Cap())
+	}
+	r.Put(&Trace{RequestID: "aaaaaaaaaaaaaaaa"})
+	r.Put(&Trace{RequestID: "bbbbbbbbbbbbbbbb"})
+	if got := r.Snapshot(0); len(got) != 1 || got[0].RequestID != "bbbbbbbbbbbbbbbb" {
+		t.Fatalf("capacity-1 ring holds %v", got)
+	}
+}
+
+// TestTraceRingConcurrent races writers against Snapshot/Lookup readers
+// (run under -race in CI): every trace a reader observes must be a
+// complete, immutable value even while slots are concurrently
+// overwritten.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8)
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Put(&Trace{
+					RequestID:     fmt.Sprintf("%08x%08x", w, i),
+					DurationNanos: int64(i),
+				})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range r.Snapshot(0) {
+					// A complete trace: the ID always matches the 16-hex
+					// writer/sequence encoding it was stored with.
+					if len(tr.RequestID) != 16 {
+						t.Errorf("torn trace: id %q", tr.RequestID)
+						return
+					}
+				}
+				r.Lookup(fmt.Sprintf("%08x%08x", 0, perWriter-1))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if r.Len() != 8 {
+		t.Fatalf("ring len %d after %d puts, want full (8)", r.Len(), writers*perWriter)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceParent(t *testing.T) {
+	tid := "0af7651916cd43dd8448eb211c80319c"
+	pid := "b7ad6b7169203331"
+	valid := "00-" + tid + "-" + pid + "-01"
+	cases := []struct {
+		name    string
+		h       string
+		wantTID string
+		wantPID string
+		wantOK  bool
+	}{
+		{"valid", valid, tid, pid, true},
+		{"valid flags 00", "00-" + tid + "-" + pid + "-00", tid, pid, true},
+		{"empty", "", "", "", false},
+		{"too short", valid[:54], "", "", false},
+		{"uppercase hex", "00-" + strings.ToUpper(tid) + "-" + pid + "-01", "", "", false},
+		{"bad dash", "00_" + tid + "-" + pid + "-01", "", "", false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + pid + "-01", "", "", false},
+		{"all-zero parent id", "00-" + tid + "-" + strings.Repeat("0", 16) + "-01", "", "", false},
+		{"version ff", "ff-" + tid + "-" + pid + "-01", "", "", false},
+		{"version 00 with trailing", valid + "-extra", "", "", false},
+		{"future version with trailing", "01-" + tid + "-" + pid + "-01-xyz", tid, pid, true},
+		{"future version trailing without dash", "01-" + tid + "-" + pid + "-01xyz", "", "", false},
+		{"non-hex version", "zz-" + tid + "-" + pid + "-01", "", "", false},
+		{"non-hex flags", "00-" + tid + "-" + pid + "-0g", "", "", false},
+	}
+	for _, c := range cases {
+		gotTID, gotPID, ok := ParseTraceParent(c.h)
+		if ok != c.wantOK || gotTID != c.wantTID || gotPID != c.wantPID {
+			t.Errorf("%s: ParseTraceParent(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.name, c.h, gotTID, gotPID, ok, c.wantTID, c.wantPID, c.wantOK)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if len(tid) != 32 || !isLowerHex(tid) {
+			t.Fatalf("NewTraceID() = %q, want 32 lowercase hex chars", tid)
+		}
+		h := FormatTraceParent(tid, sid)
+		gotTID, gotPID, ok := ParseTraceParent(h)
+		if !ok || gotTID != tid || gotPID != sid {
+			t.Fatalf("round trip %q = (%q, %q, %v), want (%q, %q, true)", h, gotTID, gotPID, ok, tid, sid)
+		}
+	}
+}
+
+func TestValidSpanID(t *testing.T) {
+	cases := []struct {
+		id   string
+		want bool
+	}{
+		{"b7ad6b7169203331", true},
+		{strings.Repeat("0", 16), false}, // all-zero forbidden by the spec
+		{"B7AD6B7169203331", false},      // uppercase
+		{"b7ad6b71692033", false},        // short
+		{"b7ad6b7169203331ff", false},    // long
+		{"", false},
+		{"req-12345-abcdef", false}, // honored external X-Request-Id shapes
+	}
+	for _, c := range cases {
+		if got := ValidSpanID(c.id); got != c.want {
+			t.Errorf("ValidSpanID(%q) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // metrics is a minimal, dependency-free Prometheus-style registry for
@@ -37,6 +38,21 @@ type metrics struct {
 	clustersOrdered    histogram // per search request: ordering-phase pops / clusters considered
 	clustersRouted     histogram // per search request: router-placed clusters / clusters considered
 	rerankRatio        histogram // per search request: SQ8 survivors reranked / candidates filtered
+	shardImbalance     histogram // per traced scatter request: max/mean shard span duration
+
+	// sloBounds are the latency objectives (seconds, ascending) the SLO
+	// block counts query and mutation requests against; sloLabels are
+	// their preformatted objective label values. Set before Handler.
+	sloBounds []float64
+	sloLabels []string
+
+	// imbalanceLast is the most recent max/mean shard-span ratio
+	// (float64 bits), exposed as the shard-imbalance gauge.
+	imbalanceLast atomic.Uint64
+
+	// sink, when non-nil, contributes the tail sampler's lifetime counts
+	// and ring occupancy to the scrape.
+	sink *obs.Sink
 
 	start time.Time // process-uptime epoch (registry creation)
 }
@@ -44,6 +60,11 @@ type metrics struct {
 type endpointCounters struct {
 	requests atomic.Int64
 	errors   atomic.Int64
+	// sloMeasured counts the query/mutation requests measured against
+	// the latency objectives; sloViol has one violation counter per
+	// objective (same order as metrics.sloBounds).
+	sloMeasured atomic.Int64
+	sloViol     []atomic.Int64
 }
 
 // Bucket upper bounds per histogram. The +Inf bucket is implicit (the
@@ -74,6 +95,15 @@ var (
 		0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
 		0.9, 0.95, 0.99, 0.999, 1,
 	}
+	// imbalanceBuckets cover the max/mean shard-span ratio: 1 is a
+	// perfectly balanced scatter, 2 means the slowest shard took twice
+	// the mean (the gather waits on it), and the tail flags a hot shard.
+	imbalanceBuckets = []float64{
+		1, 1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2, 2.5, 3, 4, 6, 8,
+	}
+	// defaultSLOBounds are the latency objectives (seconds) the SLO
+	// block ships with: 5ms, 25ms, 100ms.
+	defaultSLOBounds = []float64{0.005, 0.025, 0.1}
 )
 
 // histogram is a fixed-bucket atomic histogram. Bucket counts are
@@ -86,6 +116,19 @@ type histogram struct {
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum, updated by CAS
+
+	// exemplars, when enabled via initExemplars, holds the most recent
+	// exemplar per bucket (last slot = +Inf), emitted on OpenMetrics
+	// scrapes to tie tail buckets to recent request/trace IDs.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar ties one observation to the request that produced it.
+type exemplar struct {
+	requestID string
+	traceID   string
+	value     float64
+	unixSecs  float64
 }
 
 func (h *histogram) init(bounds []float64) {
@@ -93,14 +136,28 @@ func (h *histogram) init(bounds []float64) {
 	h.counts = make([]atomic.Int64, len(bounds))
 }
 
-func (h *histogram) observe(v float64) {
+// initExemplars turns on per-bucket exemplar capture (one extra slot
+// for the +Inf bucket).
+func (h *histogram) initExemplars() {
+	h.exemplars = make([]atomic.Pointer[exemplar], len(h.bounds)+1)
+}
+
+// bucketIndex returns the index of the bucket v falls into, with
+// len(bounds) standing for +Inf.
+func (h *histogram) bucketIndex(v float64) int {
 	// Linear scan: ≤14 comparisons, branch-predicted, cheaper than
 	// anything clever at these bucket counts.
 	for i, ub := range h.bounds {
 		if v <= ub {
-			h.counts[i].Add(1)
-			break
+			return i
 		}
+	}
+	return len(h.bounds)
+}
+
+func (h *histogram) observe(v float64) {
+	if i := h.bucketIndex(v); i < len(h.bounds) {
+		h.counts[i].Add(1)
 	}
 	h.count.Add(1)
 	for {
@@ -112,24 +169,64 @@ func (h *histogram) observe(v float64) {
 	}
 }
 
+// observeExemplar records v and, when exemplar capture is on and the
+// observation carries an ID, stamps it as the bucket's latest exemplar.
+func (h *histogram) observeExemplar(v float64, requestID, traceID string) {
+	h.observe(v)
+	if h.exemplars == nil || requestID == "" {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(&exemplar{
+		requestID: requestID,
+		traceID:   traceID,
+		value:     v,
+		unixSecs:  float64(time.Now().UnixNano()) / 1e9,
+	})
+}
+
 func (h *histogram) observeDuration(d time.Duration) { h.observe(d.Seconds()) }
 
 // write emits the full histogram exposition (HELP, TYPE, cumulative
 // buckets, +Inf, sum, count). An empty histogram still emits every
 // series — scrapers and recording rules must see the metric exist from
-// the first scrape, not only after the first observation.
-func (h *histogram) write(b *strings.Builder, name, help string) {
+// the first scrape, not only after the first observation. With om set
+// (an OpenMetrics scrape) each bucket line additionally carries its
+// latest exemplar, pointing at the request/trace ID of a recent
+// observation in that bucket.
+func (h *histogram) write(b *strings.Builder, name, help string, om bool) {
 	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
 	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
 	cum := int64(0)
 	for i, ub := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum)
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d", name, formatBound(ub), cum)
+		h.writeExemplar(b, i, om)
+		b.WriteByte('\n')
 	}
 	total := h.count.Load()
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d", name, total)
+	h.writeExemplar(b, len(h.bounds), om)
+	b.WriteByte('\n')
 	fmt.Fprintf(b, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
 	fmt.Fprintf(b, "%s_count %d\n", name, total)
+}
+
+// writeExemplar appends bucket i's exemplar in OpenMetrics syntax
+// (" # {labels} value timestamp"), or nothing when exemplars are off,
+// the scrape is plain Prometheus text, or the bucket has none yet.
+func (h *histogram) writeExemplar(b *strings.Builder, i int, om bool) {
+	if !om || h.exemplars == nil {
+		return
+	}
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return
+	}
+	if ex.traceID != "" {
+		fmt.Fprintf(b, " # {request_id=%q,trace_id=%q} %g %.3f", ex.requestID, ex.traceID, ex.value, ex.unixSecs)
+		return
+	}
+	fmt.Fprintf(b, " # {request_id=%q} %g %.3f", ex.requestID, ex.value, ex.unixSecs)
 }
 
 func newMetrics() *metrics {
@@ -149,20 +246,82 @@ func newMetrics() *metrics {
 	m.clustersOrdered.init(ratioBuckets)
 	m.clustersRouted.init(ratioBuckets)
 	m.rerankRatio.init(ratioBuckets)
+	m.shardImbalance.init(imbalanceBuckets)
+	// Query latency carries exemplars: an OpenMetrics scrape sees which
+	// request/trace ID last landed in each bucket, which is the entry
+	// point of the p999 chase (bucket → /debug/traces/<id>).
+	m.latency.initExemplars()
+	m.setSLOBoundsSeconds(defaultSLOBounds)
 	return m
 }
 
-// counters returns (registering on first use) the counter pair for an
+// setSLOBounds replaces the latency objectives. Bounds must be
+// positive and strictly ascending. Call before the handler tree is
+// built: existing endpoints' violation counters are reset to match.
+func (m *metrics) setSLOBounds(objectives []time.Duration) error {
+	secs := make([]float64, len(objectives))
+	for i, o := range objectives {
+		if o <= 0 {
+			return fmt.Errorf("slo objective %v must be positive", o)
+		}
+		if i > 0 && objectives[i] <= objectives[i-1] {
+			return fmt.Errorf("slo objectives must be strictly ascending, got %v after %v", o, objectives[i-1])
+		}
+		secs[i] = o.Seconds()
+	}
+	m.setSLOBoundsSeconds(secs)
+	return nil
+}
+
+func (m *metrics) setSLOBoundsSeconds(secs []float64) {
+	labels := make([]string, len(secs))
+	for i, s := range secs {
+		labels[i] = formatBound(s)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sloBounds = secs
+	m.sloLabels = labels
+	for _, c := range m.endpoints {
+		c.sloViol = make([]atomic.Int64, len(secs))
+	}
+}
+
+// counters returns (registering on first use) the counter set for an
 // endpoint label.
 func (m *metrics) counters(endpoint string) *endpointCounters {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c, ok := m.endpoints[endpoint]
 	if !ok {
-		c = &endpointCounters{}
+		c = &endpointCounters{sloViol: make([]atomic.Int64, len(m.sloBounds))}
 		m.endpoints[endpoint] = c
 	}
 	return c
+}
+
+// observeTrace runs on every finished trace (the sink observer): it
+// feeds the shard-imbalance series from multi-span scatters — the
+// ratio of the slowest shard span to the mean span, i.e. how long the
+// gather idled waiting on the straggler.
+func (m *metrics) observeTrace(t *obs.Trace) {
+	if len(t.Shards) < 2 {
+		return
+	}
+	var max, sum int64
+	for i := range t.Shards {
+		d := t.Shards[i].DurationNanos
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum <= 0 {
+		return
+	}
+	ratio := float64(max) * float64(len(t.Shards)) / float64(sum)
+	m.shardImbalance.observe(ratio)
+	m.imbalanceLast.Store(math.Float64bits(ratio))
 }
 
 // observeSearchStats feeds the search-internals histograms from the
@@ -228,6 +387,9 @@ const (
 
 // instrument wraps a handler with request/error counting under the
 // given endpoint label, recording wall time into the kind's histogram.
+// Query and mutation requests are additionally measured against the
+// SLO latency objectives, and query latency carries the request/trace
+// ID as the bucket's exemplar.
 func (m *metrics) instrument(endpoint string, kind endpointKind, h http.HandlerFunc) http.HandlerFunc {
 	c := m.counters(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -235,11 +397,21 @@ func (m *metrics) instrument(endpoint string, kind endpointKind, h http.HandlerF
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
+		elapsed := time.Since(start)
 		switch kind {
 		case kindQuery:
-			m.latency.observeDuration(time.Since(start))
+			m.latency.observeExemplar(elapsed.Seconds(), requestIDFrom(r.Context()), traceIDFrom(r.Context()))
 		case kindMutation:
-			m.mutationLatency.observeDuration(time.Since(start))
+			m.mutationLatency.observe(elapsed.Seconds())
+		}
+		if kind != kindPlain {
+			c.sloMeasured.Add(1)
+			secs := elapsed.Seconds()
+			for i := range m.sloBounds {
+				if i < len(c.sloViol) && secs > m.sloBounds[i] {
+					c.sloViol[i].Add(1)
+				}
+			}
 		}
 		if rec.status >= 400 {
 			c.errors.Add(1)
@@ -271,9 +443,13 @@ func sampleValue(v rtmetrics.Value) string {
 // handler serves the Prometheus text exposition format (version 0.0.4)
 // with only the standard library. sampler supplies the per-shard
 // gauges, read fresh at every scrape; buildVersion labels
-// cssi_build_info.
+// cssi_build_info. A scrape whose Accept header asks for
+// application/openmetrics-text is answered in OpenMetrics form
+// instead: same series, plus per-bucket exemplars on the query latency
+// histogram and a closing # EOF.
 func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersion string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		om := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
 		var b strings.Builder
 
 		b.WriteString("# HELP cssi_http_requests_total HTTP requests received, by endpoint.\n")
@@ -283,24 +459,58 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 		b.WriteString("# TYPE cssi_http_request_errors_total counter\n")
 		m.writeEndpointCounters(&b, "cssi_http_request_errors_total", func(c *endpointCounters) int64 { return c.errors.Load() })
 
+		// SLO accounting: every query/mutation request is measured against
+		// each latency objective; the violation counters split the
+		// fast-enough from the too-slow per endpoint and objective.
+		b.WriteString("# HELP cssi_slo_requests_total Requests measured against the latency objectives, by endpoint.\n")
+		b.WriteString("# TYPE cssi_slo_requests_total counter\n")
+		m.writeEndpointCounters(&b, "cssi_slo_requests_total", func(c *endpointCounters) int64 { return c.sloMeasured.Load() })
+		b.WriteString("# HELP cssi_slo_violations_total Requests exceeding the latency objective, by endpoint and objective (seconds).\n")
+		b.WriteString("# TYPE cssi_slo_violations_total counter\n")
+		m.writeSLOViolations(&b)
+
 		m.latency.write(&b, "cssi_search_latency_seconds",
-			"Wall time of query endpoint requests.")
+			"Wall time of query endpoint requests.", om)
 		m.mutationLatency.write(&b, "cssi_mutation_latency_seconds",
-			"Wall time of mutation endpoint requests (insert/update/delete).")
+			"Wall time of mutation endpoint requests (insert/update/delete).", om)
 		m.rebuildDuration.write(&b, "cssi_rebuild_duration_seconds",
-			"Wall time of background index rebuilds, build through publication.")
+			"Wall time of background index rebuilds, build through publication.", om)
 		m.compactionDuration.write(&b, "cssi_compaction_duration_seconds",
-			"Wall time of overlay compactions, fold through publication.")
+			"Wall time of overlay compactions, fold through publication.", om)
 		m.readEfficiency.write(&b, "cssi_search_read_efficiency",
-			"Per search request: fraction of accounted objects skipped by pruning (1 = everything pruned).")
+			"Per search request: fraction of accounted objects skipped by pruning (1 = everything pruned).", om)
 		m.clustersPruned.write(&b, "cssi_search_clusters_pruned_ratio",
-			"Per search request: fraction of clusters dismissed wholesale by the lower-bound cut.")
+			"Per search request: fraction of clusters dismissed wholesale by the lower-bound cut.", om)
 		m.clustersOrdered.write(&b, "cssi_search_clusters_ordered_ratio",
-			"Per search request: lazy ordering-phase heap pops over clusters considered (re-pushed clusters pop twice, so >1 lands in +Inf).")
+			"Per search request: lazy ordering-phase heap pops over clusters considered (re-pushed clusters pop twice, so >1 lands in +Inf).", om)
 		m.clustersRouted.write(&b, "cssi_search_clusters_routed_ratio",
-			"Per search request: fraction of considered clusters placed by the learned router (observed only when routing ran).")
+			"Per search request: fraction of considered clusters placed by the learned router (observed only when routing ran).", om)
 		m.rerankRatio.write(&b, "cssi_search_rerank_ratio",
-			"Per search request: fraction of SQ8-filtered candidates surviving to the exact rerank (observed only when the quantized filter ran).")
+			"Per search request: fraction of SQ8-filtered candidates surviving to the exact rerank (observed only when the quantized filter ran).", om)
+		m.shardImbalance.write(&b, "cssi_shard_imbalance_ratio",
+			"Per traced scatter request: slowest shard span over the mean span (1 = balanced; the gather waits on the max).", om)
+		b.WriteString("# HELP cssi_shard_imbalance_last Max/mean shard span ratio of the most recent traced scatter request.\n")
+		b.WriteString("# TYPE cssi_shard_imbalance_last gauge\n")
+		fmt.Fprintf(&b, "cssi_shard_imbalance_last %g\n", math.Float64frombits(m.imbalanceLast.Load()))
+
+		if m.sink != nil {
+			seen, retained, sampledOut := m.sink.Counts()
+			b.WriteString("# HELP cssi_traces_seen_total Traces completed by the tail sampler.\n")
+			b.WriteString("# TYPE cssi_traces_seen_total counter\n")
+			fmt.Fprintf(&b, "cssi_traces_seen_total %d\n", seen)
+			b.WriteString("# HELP cssi_traces_retained_total Traces retained in the ring (slow, errored, partial, or 1-in-N sampled).\n")
+			b.WriteString("# TYPE cssi_traces_retained_total counter\n")
+			fmt.Fprintf(&b, "cssi_traces_retained_total %d\n", retained)
+			b.WriteString("# HELP cssi_traces_sampled_out_total Normal traces dropped by the tail sampler and recycled.\n")
+			b.WriteString("# TYPE cssi_traces_sampled_out_total counter\n")
+			fmt.Fprintf(&b, "cssi_traces_sampled_out_total %d\n", sampledOut)
+			b.WriteString("# HELP cssi_trace_ring_entries Retained traces currently in the ring.\n")
+			b.WriteString("# TYPE cssi_trace_ring_entries gauge\n")
+			fmt.Fprintf(&b, "cssi_trace_ring_entries %d\n", m.sink.Ring().Len())
+			b.WriteString("# HELP cssi_trace_ring_capacity Trace ring capacity (the retained-trace memory bound).\n")
+			b.WriteString("# TYPE cssi_trace_ring_capacity gauge\n")
+			fmt.Fprintf(&b, "cssi_trace_ring_capacity %d\n", m.sink.Ring().Cap())
+		}
 
 		stats := sampler()
 		b.WriteString("# HELP cssi_shard_objects Live objects per shard.\n")
@@ -356,9 +566,39 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 		b.WriteString("# TYPE cssi_process_uptime_seconds gauge\n")
 		fmt.Fprintf(&b, "cssi_process_uptime_seconds %g\n", time.Since(m.start).Seconds())
 
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		contentType := "text/plain; version=0.0.4; charset=utf-8"
+		if om {
+			b.WriteString("# EOF\n")
+			contentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", contentType)
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte(b.String()))
+	}
+}
+
+// writeSLOViolations emits one series per endpoint × objective in
+// sorted endpoint order.
+func (m *metrics) writeSLOViolations(b *strings.Builder) {
+	m.mu.Lock()
+	labels := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		labels = append(labels, ep)
+	}
+	sort.Strings(labels)
+	counters := make([]*endpointCounters, len(labels))
+	for i, ep := range labels {
+		counters[i] = m.endpoints[ep]
+	}
+	objectives := m.sloLabels
+	m.mu.Unlock()
+	for i, ep := range labels {
+		for j, obj := range objectives {
+			if j >= len(counters[i].sloViol) {
+				break
+			}
+			fmt.Fprintf(b, "cssi_slo_violations_total{endpoint=%q,objective=%q} %d\n", ep, obj, counters[i].sloViol[j].Load())
+		}
 	}
 }
 

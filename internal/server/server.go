@@ -16,6 +16,8 @@
 //	DELETE /objects?id=N      delete an object
 //	POST /rebuild             non-blocking index rebuild (?wait=1 blocks)
 //	POST /debug/explain       k-NN query with a per-shard explain trace
+//	GET  /debug/traces        recently retained request traces (tail-sampled)
+//	GET  /debug/traces/{id}   one trace by request ID or W3C trace ID
 //	GET  /metrics             Prometheus text-format metrics
 //
 // Every endpoint is also served under the versioned /v1/ prefix
@@ -39,6 +41,18 @@
 // generated otherwise, always echoed in the response); the structured
 // request log and the /debug/explain trace both carry it, so one slow
 // query can be chased from the access log into its per-shard spans.
+//
+// Tracing is always on: every query records a compact span tree into a
+// lock-free ring, the tail sampler retains every slow, errored, or
+// partial trace plus a deterministic 1-in-N of normal traffic, and
+// retained traces are served at /debug/traces. W3C trace context is
+// honored on every route — an inbound traceparent's trace ID joins the
+// stored trace, and the response echoes a traceparent for the next hop.
+// Slow queries are additionally emitted on a structured slog channel
+// with their full span tree, and /metrics carries an SLO block
+// (per-endpoint latency-objective counters), a shard-imbalance
+// histogram, and — for OpenMetrics scrapes — latency-histogram
+// exemplars pointing at recent trace IDs.
 package server
 
 import (
@@ -64,6 +78,12 @@ type Server struct {
 	model *embed.Model // may be nil: text queries then return an error
 	met   *metrics
 	log   *slog.Logger
+
+	// sink is the always-on tail-sampling trace collector — created
+	// with defaults by NewSharded, reconfigured or disabled via
+	// SetTraceOptions — that /debug/traces reads and the slow-query
+	// log channel feeds from.
+	sink *obs.Sink
 
 	// routeDefault turns the learned cluster router on for every /search,
 	// /search/batch and /debug/explain request that does not set "route"
@@ -115,7 +135,75 @@ func NewSharded(idx *cssi.ShardedIndex, model *embed.Model) *Server {
 	// (compactions run on background goroutines; the histogram is
 	// atomic, so the concurrent observer calls are safe).
 	idx.SetCompactionObserver(s.met.compactionDuration.observeDuration)
+	// Tracing is always-on by default: every Do records a span tree and
+	// the tail sampler retains the slow/errored/partial traces plus a
+	// deterministic 1-in-N of normal traffic. SetTraceOptions(0, ...)
+	// opts out.
+	s.installSink(obs.NewSink(obs.SinkConfig{}))
 	return s
+}
+
+// installSink wires sink into the index, the slow-query log channel,
+// and the shard-imbalance metrics (nil uninstalls tracing entirely).
+func (s *Server) installSink(sink *obs.Sink) {
+	s.sink = sink
+	s.met.sink = sink
+	if sink == nil {
+		s.idx.SetTraceSink(nil)
+		return
+	}
+	sink.SetObserver(s.met.observeTrace)
+	sink.SetSlowHandler(s.logOffendingTrace)
+	s.idx.SetTraceSink(sink)
+}
+
+// SetTraceOptions reconfigures the always-on tracer: bufferSize is the
+// retained-trace ring capacity (≤ 0 disables tracing entirely), slow
+// the latency at which a trace is always retained and logged (0 keeps
+// the 100ms default, negative disables the slow rule), and sampleEvery
+// the deterministic 1-in-N normal-traffic sample (0 keeps the default
+// 128, negative keeps only slow/errored/partial traces). Call before
+// Handler.
+func (s *Server) SetTraceOptions(bufferSize int, slow time.Duration, sampleEvery int) {
+	if bufferSize <= 0 {
+		s.installSink(nil)
+		return
+	}
+	s.installSink(obs.NewSink(obs.SinkConfig{
+		BufferSize:    bufferSize,
+		SlowThreshold: slow,
+		SampleEvery:   sampleEvery,
+	}))
+}
+
+// SetSLOObjectives replaces the per-endpoint latency objectives the
+// /metrics SLO block counts against (default 5ms/25ms/100ms). Bounds
+// must be positive and ascending. Call before Handler.
+func (s *Server) SetSLOObjectives(objectives []time.Duration) error {
+	return s.met.setSLOBounds(objectives)
+}
+
+// logOffendingTrace is the structured slow-query log channel: every
+// slow, errored, or partial trace the tail sampler retains is emitted
+// with its full span tree, so the forensic loop works from the log
+// alone (the same trace stays retrievable at /debug/traces/<id>).
+func (s *Server) logOffendingTrace(t *obs.Trace) {
+	spans, _ := json.Marshal(t.Shards)
+	s.log.Warn("slow query",
+		"requestId", t.RequestID,
+		"traceId", t.TraceID,
+		"reason", t.SampleReason,
+		"op", t.Op,
+		"algo", t.Algo,
+		"flavor", t.Flavor,
+		"k", t.K,
+		"lambda", t.Lambda,
+		"queries", t.Queries,
+		"durationMs", float64(t.DurationNanos)/1e6,
+		"gatherUs", float64(t.GatherNanos)/1e3,
+		"error", t.Error,
+		"spans", string(spans),
+	)
 }
 
 // SetLogger replaces the server's structured logger (default
@@ -130,10 +218,20 @@ func (s *Server) SetLogger(l *slog.Logger) {
 // ctxKeyRequestID keys the per-request ID in the request context.
 type ctxKeyRequestID struct{}
 
+// ctxKeyTraceID keys the W3C trace ID in the request context.
+type ctxKeyTraceID struct{}
+
 // requestIDFrom extracts the middleware-assigned request ID, or ""
 // when the handler runs outside the middleware (direct tests).
 func requestIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// traceIDFrom extracts the middleware-assigned W3C trace ID, or ""
+// when the handler runs outside the middleware (direct tests).
+func traceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyTraceID{}).(string)
 	return id
 }
 
@@ -159,18 +257,41 @@ func buildVersionInfo() (version, goVersion string) {
 // structured log line per request. Debug level keeps production and
 // test output quiet by default; run cssiserve with -log-level=debug
 // for an access log.
+//
+// It also speaks W3C trace context: an inbound traceparent header is
+// parsed and its trace ID joined to the request (so the stored trace
+// is retrievable by the caller's own distributed trace ID), a fresh
+// trace ID is minted otherwise, and the response echoes a traceparent
+// whose span ID is this server's request ID — tying the two
+// correlation schemes together.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
 		if id == "" {
 			id = obs.NewRequestID()
 		}
+		traceID, parentSpan, ok := obs.ParseTraceParent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = obs.NewTraceID()
+		}
+		// The request ID doubles as this hop's span ID when it has the
+		// right shape; an honored inbound X-Request-Id of another format
+		// gets a fresh span ID so the echoed traceparent stays valid.
+		spanID := id
+		if !obs.ValidSpanID(spanID) {
+			spanID = obs.NewSpanID()
+		}
 		w.Header().Set("X-Request-Id", id)
+		w.Header().Set("traceparent", obs.FormatTraceParent(traceID, spanID))
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, id)
+		ctx = context.WithValue(ctx, ctxKeyTraceID{}, traceID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id)))
+		next.ServeHTTP(rec, r.WithContext(ctx))
 		s.log.Debug("http request",
 			"requestId", id,
+			"traceId", traceID,
+			"parentSpan", parentSpan,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
@@ -216,6 +337,8 @@ func (s *Server) Handler() http.Handler {
 	both("PUT /objects", mutation("update", s.handleUpdate))
 	both("DELETE /objects", mutation("delete", s.handleDelete))
 	both("POST /rebuild", plain("rebuild", s.handleRebuild))
+	both("GET /debug/traces", plain("traces", s.handleTraces))
+	both("GET /debug/traces/{id}", plain("trace_get", s.handleTraceByID))
 	version, goVersion := buildVersionInfo()
 	both("GET /metrics", plain("metrics", s.met.handler(s.idx.ShardStats, version, goVersion)))
 	return s.withRequestID(withErrorEnvelope(mux))
@@ -350,6 +473,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	rs, err := s.idx.Do(cssi.SearchRequest{
 		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
 		Route: route, RouteTarget: target, Stats: &st,
+		RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -392,7 +516,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	rs, err := s.idx.Do(cssi.SearchRequest{
 		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
 		Route: route, RouteTarget: target,
-		Trace: &trace, RequestID: requestIDFrom(r.Context()),
+		Trace: &trace, RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -476,6 +600,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		Queries: queries, K: req.K, Lambda: req.Lambda,
 		Approx: req.Approx, Route: route, RouteTarget: target,
 		Parallelism: req.Workers, Stats: &st,
+		RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -510,7 +635,10 @@ func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rs, err := s.idx.Do(cssi.SearchRequest{Query: q, K: req.K, Lambda: req.Lambda, Keywords: req.Keywords})
+	rs, err := s.idx.Do(cssi.SearchRequest{
+		Query: q, K: req.K, Lambda: req.Lambda, Keywords: req.Keywords,
+		RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
+	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "keywords unusable (stop words only?)")
 		return

@@ -85,9 +85,16 @@ type SearchRequest struct {
 	// ErrUnsupportedRequest (wrap the index with ShardedFrom to trace
 	// it as a single shard).
 	Trace *SearchTrace
-	// RequestID stamps the Trace (a fresh ID is generated when empty).
-	// Ignored unless Trace is set.
+	// RequestID stamps the Trace and the always-on tracer's recorded
+	// trace (a fresh ID is generated when empty). The server passes its
+	// X-Request-Id here, which is what makes /debug/traces lookups by
+	// request ID work.
 	RequestID string
+	// TraceID stamps the recorded trace with the W3C trace-context
+	// trace ID the request arrived with, joining distributed traces to
+	// the in-process span tree. Ignored when no trace sink is
+	// installed.
+	TraceID string
 }
 
 // BatchSearchRequest describes one batched k-NN workload for DoBatch:
@@ -120,6 +127,11 @@ type BatchSearchRequest struct {
 	// Stats, when non-nil, accumulates the summed work counters of the
 	// whole batch.
 	Stats *Stats
+	// RequestID and TraceID stamp the always-on tracer's recorded
+	// trace, with the same contract as the SearchRequest fields of the
+	// same names. Ignored when no trace sink is installed.
+	RequestID string
+	TraceID   string
 }
 
 // ErrUnusableKeywords is returned by Do when a keyword-constrained
@@ -228,6 +240,15 @@ func (req *SearchRequest) searchOptions() core.SearchOptions {
 	}
 }
 
+// searchOptions translates the batch request's algorithm knobs into
+// the core dispatch options.
+func (req *BatchSearchRequest) searchOptions() core.SearchOptions {
+	return core.SearchOptions{
+		Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
+		Route: req.Route, RouteTarget: req.RouteTarget,
+	}
+}
+
 // Do answers one k-NN query described by req — the single search entry
 // point every legacy Search* variant now delegates to. Programmer
 // errors (nil query, K < 1, wrong vector dimensionality, Keywords
@@ -237,7 +258,19 @@ func (req *SearchRequest) searchOptions() core.SearchOptions {
 // ErrInvalidLambda (Lambda NaN or outside [0,1]), ErrInvalidQuery
 // (non-finite query coordinates or vector components),
 // ErrUnusableKeywords, ErrUnsupportedRequest.
+//
+// With a trace sink installed (SetTraceSink) every Do records a
+// single-span trace into the sink's tail sampler; without one the
+// request pays no tracing cost at all.
 func (x *Index) Do(req SearchRequest) ([]Result, error) {
+	if x.sink != nil {
+		return x.doTraced(x.sink, "index", req)
+	}
+	return x.do(req)
+}
+
+// do is the untraced request dispatch behind Do.
+func (x *Index) do(req SearchRequest) ([]Result, error) {
 	if err := validateNumerics(req.Query, req.Lambda, req.RouteTarget); err != nil {
 		return nil, err
 	}
@@ -281,6 +314,14 @@ func (x *Index) Do(req SearchRequest) ([]Result, error) {
 // without spinning up workers; wrong vector dimensionality panics on
 // the caller's goroutine, as the legacy entry points did.
 func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
+	if x.sink != nil {
+		return x.doBatchTraced(x.sink, "index", req)
+	}
+	return x.doBatch(req)
+}
+
+// doBatch is the untraced batch dispatch behind DoBatch.
+func (x *Index) doBatch(req BatchSearchRequest) ([][]Result, error) {
 	if req.K < 1 {
 		return nil, ErrInvalidK
 	}
@@ -301,8 +342,7 @@ func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 		}
 	}
 	out, err := x.core.SearchBatchOptions(req.Queries, req.K, req.Lambda, req.Parallelism,
-		core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
-			Route: req.Route, RouteTarget: req.RouteTarget}, req.Stats)
+		req.searchOptions(), req.Stats)
 	if err != nil {
 		// Unreachable: K < 1, the only input the core entry point
 		// refuses, was rejected above.
@@ -312,9 +352,15 @@ func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 }
 
 // Do answers one k-NN query against the current snapshot (lock-free);
-// see Index.Do for the request contract.
+// see Index.Do for the request contract. A trace sink installed on the
+// wrapper (SetTraceSink) records every Do regardless of which snapshot
+// serves it.
 func (c *ConcurrentIndex) Do(req SearchRequest) ([]Result, error) {
-	return c.cur.Load().Do(req)
+	snap := c.cur.Load()
+	if sink := c.sink.Load(); sink != nil {
+		return snap.doTraced(sink, "concurrent", req)
+	}
+	return snap.Do(req)
 }
 
 // DoBatch answers a batched workload against the current snapshot: the
@@ -322,7 +368,11 @@ func (c *ConcurrentIndex) Do(req SearchRequest) ([]Result, error) {
 // even while writers publish newer ones concurrently. See Index.DoBatch
 // for the request contract.
 func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
-	return c.cur.Load().DoBatch(req)
+	snap := c.cur.Load()
+	if sink := c.sink.Load(); sink != nil {
+		return snap.doBatchTraced(sink, "concurrent", req)
+	}
+	return snap.DoBatch(req)
 }
 
 // Do answers one k-NN query across the shards — scatter/gather (or the
@@ -332,6 +382,27 @@ func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 // Index.Do for the request contract; exact results are bit-identical
 // to a flat index over the same objects.
 func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
+	sink := s.sink.Load()
+	if sink == nil {
+		return s.do(req, nil)
+	}
+	op := "search"
+	if len(req.Keywords) > 0 {
+		op = "keyword"
+	}
+	t, start := beginTrace(sink, "sharded", op, 1, req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
+	// One ID across the recorded trace and any caller-visible
+	// SearchTrace the explain path fills.
+	req.RequestID = t.RequestID
+	res, err := s.do(req, t)
+	endTrace(sink, t, res, err, start)
+	return res, err
+}
+
+// do is the request dispatch behind ShardedIndex.Do. With tr non-nil
+// (a trace sink is installed) the search paths record per-shard spans
+// into it; results are bit-identical either way.
+func (s *ShardedIndex) do(req SearchRequest, tr *SearchTrace) ([]Result, error) {
 	if err := validateNumerics(req.Query, req.Lambda, req.RouteTarget); err != nil {
 		return nil, err
 	}
@@ -353,16 +424,21 @@ func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
 		return res, nil
 	}
 	if req.Explain != nil || req.Trace != nil {
-		res, tr := s.searchExplain(req.Query, req.K, req.Lambda, req.searchOptions(), req.RequestID)
+		res, trc := s.searchExplain(req.Query, req.K, req.Lambda, req.searchOptions(), req.RequestID)
 		if req.Trace != nil {
-			*req.Trace = *tr
+			*req.Trace = *trc
+		}
+		if tr != nil {
+			tr.Shards = append(tr.Shards, trc.Shards...)
+			tr.Parallel = trc.Parallel
+			tr.GatherNanos = trc.GatherNanos
 		}
 		if req.Explain != nil {
-			req.Explain.Merge(&tr.Total)
-			req.Explain.KthDistance = tr.Total.KthDistance
+			req.Explain.Merge(&trc.Total)
+			req.Explain.KthDistance = trc.Total.KthDistance
 		}
 		if req.Stats != nil {
-			req.Stats.Add(&tr.Total.Stats)
+			req.Stats.Add(&trc.Total.Stats)
 		}
 		if req.Dst != nil {
 			return append(req.Dst, res...), nil
@@ -370,14 +446,21 @@ func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
 		return res, nil
 	}
 	if req.Approx {
-		return s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats), nil
+		return s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, tr), nil
 	}
-	return s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats), nil
+	return s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, tr), nil
 }
 
 // DoBatch answers a batched workload with one scatter (or the chained
 // sequential path on a single-core host); see Index.DoBatch for the
 // request contract.
 func (s *ShardedIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
-	return s.doBatch(req)
+	sink := s.sink.Load()
+	if sink == nil {
+		return s.doBatch(req, nil)
+	}
+	t, start := beginTrace(sink, "sharded", "batch", len(req.Queries), req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
+	out, err := s.doBatch(req, t)
+	endTrace(sink, t, nil, err, start)
+	return out, err
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand/v2"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // searchAPI adapts the three index flavors to one shape so the
@@ -17,6 +19,7 @@ type searchAPI struct {
 	approx      func(q *Object, k int, lambda float64) []Result
 	batch       func(queries []Object, k int, lambda float64, approx bool, par int, st *Stats) ([][]Result, error)
 	keywords    func(q *Object, k int, lambda float64, kws ...string) ([]Result, bool)
+	setSink     func(sink *obs.Sink)
 }
 
 // requestFixtures builds one flat, one concurrent, and two sharded
@@ -46,6 +49,7 @@ func requestFixtures(t *testing.T, ds *Dataset) []searchAPI {
 				return flat.BatchSearch(qs, k, l, ap, par, st), nil
 			},
 			keywords: flat.SearchWithKeywords,
+			setSink:  flat.SetTraceSink,
 		},
 		{
 			name:    "concurrent",
@@ -58,6 +62,7 @@ func requestFixtures(t *testing.T, ds *Dataset) []searchAPI {
 			approx:   conc.SearchApprox,
 			batch:    conc.BatchSearch,
 			keywords: conc.SearchWithKeywords,
+			setSink:  conc.SetTraceSink,
 		},
 	}
 	for _, p := range []int{1, 4} {
@@ -72,6 +77,7 @@ func requestFixtures(t *testing.T, ds *Dataset) []searchAPI {
 			approx:      s.SearchApprox,
 			batch:       s.BatchSearch,
 			keywords:    s.SearchWithKeywords,
+			setSink:     s.SetTraceSink,
 		})
 		apis[len(apis)-1].name = "sharded-P" + string(rune('0'+p))
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,6 +49,10 @@ import (
 type ShardedIndex struct {
 	shards []*ConcurrentIndex
 	dim    int
+
+	// sink is the optional always-on trace collector (SetTraceSink),
+	// swapped atomically so it can be (un)installed while serving.
+	sink atomic.Pointer[obs.Sink]
 }
 
 // shardOf maps an object ID to its owning shard: a multiplicative
@@ -265,9 +270,12 @@ func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) 
 // global top-k — no merge step. Because the shards share one metric
 // space's normalizers, distances are globally comparable and the result
 // is the same exact top-k the parallel scatter+merge produces.
-func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats) []Result {
+func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace) []Result {
 	s.checkRead(q, k, lambda)
 	if s.scatterDegree() == 1 {
+		if tr != nil {
+			return s.searchExactChainTraced(dst, q, k, lambda, opts, st, tr)
+		}
 		var local Stats
 		pst := &local
 		if st == nil {
@@ -289,14 +297,77 @@ func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float6
 	}
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
-	s.scatter(func(i int, snap *Index) {
-		lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
-	})
+	if tr != nil {
+		tr.Parallel = true
+		tr.Shards = appendSpans(tr.Shards, len(s.shards))
+		s.scatter(func(i int, snap *Index) {
+			sp := &tr.Shards[i]
+			sp.Shard, sp.Objects = i, snap.Len()
+			spanStart := time.Now()
+			lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
+			sp.DurationNanos = time.Since(spanStart).Nanoseconds()
+			per[i] = sp.Stats.Stats
+		})
+	} else {
+		s.scatter(func(i int, snap *Index) {
+			lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
+		})
+	}
 	gatherStats(st, per)
 	if dst == nil {
 		dst = make([]Result, 0, k)
 	}
+	if tr != nil {
+		g := time.Now()
+		dst = knn.MergeSorted(dst, lists, k)
+		tr.GatherNanos += time.Since(g).Nanoseconds()
+		return dst
+	}
 	return knn.MergeSorted(dst, lists, k)
+}
+
+// appendSpans grows spans to n zeroed entries, reusing a pooled
+// trace's capacity so the steady-state traced scatter allocates
+// nothing for its span tree.
+func appendSpans(spans []SearchSpan, n int) []SearchSpan {
+	for i := 0; i < n; i++ {
+		spans = append(spans, SearchSpan{})
+	}
+	return spans
+}
+
+// searchExactChainTraced is the single-core bound-carrying chain with
+// per-shard span recording: same shard order and carried bound as the
+// untraced chain — results stay bit-identical — with each shard's
+// phase stats collected through the seeded explain entry point instead
+// of forcing the standalone explain scatter (which would give up the
+// chain's bound tightening and distort the very latencies being
+// traced).
+func (s *ShardedIndex) searchExactChainTraced(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace) []Result {
+	snap := s.shards[0].Snapshot()
+	tr.Shards = append(tr.Shards, SearchSpan{Shard: 0, Objects: snap.Len()})
+	spanStart := time.Now()
+	cur := snap.core.SearchExplainOptionsSeededInto(make([]Result, 0, k), nil, q, k, lambda, opts, &tr.Shards[0].Stats)
+	tr.Shards[0].DurationNanos = time.Since(spanStart).Nanoseconds()
+	buf := make([]Result, 0, k)
+	for i := 1; i < len(s.shards); i++ {
+		snap = s.shards[i].Snapshot()
+		tr.Shards = append(tr.Shards, SearchSpan{Shard: i, Objects: snap.Len()})
+		sp := &tr.Shards[i]
+		spanStart = time.Now()
+		next := snap.core.SearchExplainOptionsSeededInto(buf[:0], cur, q, k, lambda, opts, &sp.Stats)
+		sp.DurationNanos = time.Since(spanStart).Nanoseconds()
+		buf, cur = cur, next
+	}
+	if st != nil {
+		for i := range tr.Shards {
+			st.Add(&tr.Shards[i].Stats.Stats)
+		}
+	}
+	if dst != nil {
+		return append(dst, cur...)
+	}
+	return cur
 }
 
 // SearchApprox returns approximate (CSSIA) k nearest neighbors. Each
@@ -320,16 +391,35 @@ func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *S
 
 // searchApprox is the approximate scatter/gather search behind Do,
 // appending the merged top-k to dst.
-func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats) []Result {
+func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace) []Result {
 	s.checkRead(q, k, lambda)
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
-	s.scatter(func(i int, snap *Index) {
-		lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
-	})
+	if tr != nil {
+		tr.Parallel = s.scatterDegree() > 1
+		tr.Shards = appendSpans(tr.Shards, len(s.shards))
+		s.scatter(func(i int, snap *Index) {
+			sp := &tr.Shards[i]
+			sp.Shard, sp.Objects = i, snap.Len()
+			spanStart := time.Now()
+			lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
+			sp.DurationNanos = time.Since(spanStart).Nanoseconds()
+			per[i] = sp.Stats.Stats
+		})
+	} else {
+		s.scatter(func(i int, snap *Index) {
+			lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
+		})
+	}
 	gatherStats(st, per)
 	if dst == nil {
 		dst = make([]Result, 0, k)
+	}
+	if tr != nil {
+		g := time.Now()
+		dst = knn.MergeSorted(dst, lists, k)
+		tr.GatherNanos += time.Since(g).Nanoseconds()
+		return dst
 	}
 	return knn.MergeSorted(dst, lists, k)
 }
@@ -359,26 +449,16 @@ func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core
 	if requestID == "" {
 		requestID = obs.NewRequestID()
 	}
-	algo := "cssi"
-	if opts.Approx {
-		algo = "cssia"
-		if opts.Quant == core.QuantOnly {
-			algo = "cssia-sq8"
-		}
-		if opts.Route {
-			algo = "cssia-routed"
-		}
-	} else if opts.Route {
-		algo = "cssi-routed"
-	}
 	t := &SearchTrace{
 		RequestID: requestID,
-		Algo:      algo,
+		Algo:      algoName(opts),
 		K:         k,
 		Lambda:    lambda,
 		Shards:    make([]SearchSpan, len(s.shards)),
+		Parallel:  s.scatterDegree() > 1,
 	}
 	start := time.Now()
+	t.StartUnixNanos = start.UnixNano()
 	lists := make([][]Result, len(s.shards))
 	s.scatter(func(i int, snap *Index) {
 		sp := &t.Shards[i]
@@ -388,7 +468,9 @@ func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core
 		lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
 		sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 	})
+	g := time.Now()
 	res := knn.MergeSorted(make([]Result, 0, k), lists, k)
+	t.GatherNanos = time.Since(g).Nanoseconds()
 	var kth float64
 	if len(res) > 0 {
 		kth = res[len(res)-1].Dist
@@ -463,12 +545,14 @@ func (s *ShardedIndex) BatchSearch(queries []Object, k int, lambda float64, appr
 	return s.DoBatch(BatchSearchRequest{Queries: queries, K: k, Lambda: lambda, Approx: approx, Parallelism: parallelism, Stats: st})
 }
 
-// doBatch is the batched scatter/gather behind DoBatch.
-func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
+// doBatch is the batched scatter/gather behind DoBatch. With tr
+// non-nil it records one span per shard — full phase stats on the
+// sequential chain, work counters and wall time on the parallel
+// scatter — plus the gather merge time.
+func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Result, error) {
 	queries, k, lambda := req.Queries, req.K, req.Lambda
 	approx, parallelism, st := req.Approx, req.Parallelism, req.Stats
-	opts := core.SearchOptions{Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
-		Route: req.Route, RouteTarget: req.RouteTarget}
+	opts := req.searchOptions()
 	if k < 1 {
 		return nil, ErrInvalidK
 	}
@@ -500,6 +584,12 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 		for i, sh := range s.shards {
 			snaps[i] = sh.Snapshot()
 		}
+		if tr != nil {
+			tr.Shards = appendSpans(tr.Shards, len(snaps))
+			for i, snap := range snaps {
+				tr.Shards[i].Shard, tr.Shards[i].Objects = i, snap.Len()
+			}
+		}
 		var local Stats
 		pst := &local
 		if st == nil {
@@ -509,14 +599,20 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 		cur := make([]Result, 0, k)
 		buf := make([]Result, 0, k)
 		for qi := range queries {
-			cur = snaps[0].core.SearchOptionsSeededInto(cur[:0], nil, &queries[qi], k, lambda, opts, pst)
+			cur = s.chainShard(snaps[0], tr, 0, cur[:0], nil, &queries[qi], k, lambda, opts, pst)
 			for si := 1; si < len(snaps); si++ {
-				next := snaps[si].core.SearchOptionsSeededInto(buf[:0], cur, &queries[qi], k, lambda, opts, pst)
+				next := s.chainShard(snaps[si], tr, si, buf[:0], cur, &queries[qi], k, lambda, opts, pst)
 				buf, cur = cur, next
 			}
 			out[qi] = append(make([]Result, 0, len(cur)), cur...)
 		}
-		if st != nil {
+		if tr != nil {
+			if st != nil {
+				for i := range tr.Shards {
+					st.Add(&tr.Shards[i].Stats.Stats)
+				}
+			}
+		} else if st != nil {
 			st.Add(&local)
 		}
 		return out, nil
@@ -524,13 +620,30 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 	perShard := make([][][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
 	errs := make([]error, len(s.shards))
+	if tr != nil {
+		tr.Parallel = s.scatterDegree() > 1
+		tr.Shards = appendSpans(tr.Shards, len(s.shards))
+	}
 	s.scatter(func(i int, snap *Index) {
+		if tr != nil {
+			sp := &tr.Shards[i]
+			sp.Shard, sp.Objects = i, snap.Len()
+			spanStart := time.Now()
+			perShard[i], errs[i] = snap.core.SearchBatchOptions(queries, k, lambda, parallelism, opts, &per[i])
+			sp.DurationNanos = time.Since(spanStart).Nanoseconds()
+			sp.Stats.Stats = per[i]
+			return
+		}
 		perShard[i], errs[i] = snap.core.SearchBatchOptions(queries, k, lambda, parallelism, opts, &per[i])
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	gatherStats(st, per)
+	var g time.Time
+	if tr != nil {
+		g = time.Now()
+	}
 	out := make([][]Result, len(queries))
 	lists := make([][]Result, len(s.shards))
 	for qi := range queries {
@@ -539,7 +652,25 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest) ([][]Result, error) {
 		}
 		out[qi] = knn.MergeSorted(make([]Result, 0, k), lists, k)
 	}
+	if tr != nil {
+		tr.GatherNanos += time.Since(g).Nanoseconds()
+	}
 	return out, nil
+}
+
+// chainShard runs one shard link of the sequential batch chain,
+// recording the span when tracing is on: the traced call goes through
+// the seeded explain entry point so the span accumulates full phase
+// stats across the batch's queries, at identical results.
+func (s *ShardedIndex) chainShard(snap *Index, tr *SearchTrace, si int, dst, seed []Result, q *Object, k int, lambda float64, opts core.SearchOptions, pst *Stats) []Result {
+	if tr == nil {
+		return snap.core.SearchOptionsSeededInto(dst, seed, q, k, lambda, opts, pst)
+	}
+	sp := &tr.Shards[si]
+	t0 := time.Now()
+	res := snap.core.SearchExplainOptionsSeededInto(dst, seed, q, k, lambda, opts, &sp.Stats)
+	sp.DurationNanos += time.Since(t0).Nanoseconds()
+	return res
 }
 
 // checkRead validates a read's inputs on the caller's goroutine, before

@@ -1,0 +1,152 @@
+package cssi
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// This file wires the always-on tail-sampled tracer into the three
+// index flavors: when a trace sink is installed, every Do/DoBatch
+// records a compact span tree — per-shard phase nanos reusing the
+// existing SearchStats collection — into a pooled obs.Trace and hands
+// it to the sink, whose tail sampler retains the slow, errored, and
+// partial traces (plus a deterministic 1-in-N of normal traffic) in a
+// lock-free ring for /debug/traces. With no sink installed (the
+// library default) the traced paths are never entered and searches pay
+// nothing.
+
+// SetTraceSink installs sink as the always-on trace collector for this
+// index's Do/DoBatch calls (nil disables tracing). The sink survives
+// the copy-on-write clones ConcurrentIndex publishes, so installing it
+// once traces every future snapshot. Not safe to call concurrently
+// with searches on a bare *Index; install before serving (the
+// Concurrent and Sharded wrappers swap atomically instead).
+func (x *Index) SetTraceSink(sink *obs.Sink) { x.sink = sink }
+
+// TraceSink returns the installed trace sink, or nil.
+func (x *Index) TraceSink() *obs.Sink { return x.sink }
+
+// SetTraceSink atomically installs sink as the always-on trace
+// collector for this wrapper's Do/DoBatch calls (nil disables). Safe
+// to call concurrently with searches.
+func (c *ConcurrentIndex) SetTraceSink(sink *obs.Sink) { c.sink.Store(sink) }
+
+// TraceSink returns the installed trace sink, or nil.
+func (c *ConcurrentIndex) TraceSink() *obs.Sink { return c.sink.Load() }
+
+// SetTraceSink atomically installs sink as the always-on trace
+// collector for this index's Do/DoBatch calls (nil disables). Safe to
+// call concurrently with searches.
+func (s *ShardedIndex) SetTraceSink(sink *obs.Sink) { s.sink.Store(sink) }
+
+// TraceSink returns the installed trace sink, or nil.
+func (s *ShardedIndex) TraceSink() *obs.Sink { return s.sink.Load() }
+
+// algoName names the algorithm opts select, matching the explain
+// path's naming: "cssi"/"cssia" with -routed/-sq8 mode suffixes.
+func algoName(opts core.SearchOptions) string {
+	if opts.Approx {
+		switch {
+		case opts.Route:
+			return "cssia-routed"
+		case opts.Quant == core.QuantOnly:
+			return "cssia-sq8"
+		}
+		return "cssia"
+	}
+	if opts.Route {
+		return "cssi-routed"
+	}
+	return "cssi"
+}
+
+// beginTrace checks a pooled trace out of sink and stamps the request
+// envelope on it, generating a request ID when the caller brought
+// none. Returns the trace and the start instant endTrace closes
+// against.
+func beginTrace(sink *obs.Sink, flavor, op string, queries, k int, lambda float64, opts core.SearchOptions, requestID, traceID string) (*obs.Trace, time.Time) {
+	t := sink.Get()
+	t.RequestID = requestID
+	if t.RequestID == "" {
+		t.RequestID = obs.NewRequestID()
+	}
+	t.TraceID = traceID
+	t.Flavor = flavor
+	t.Op = op
+	t.Queries = queries
+	t.Algo = algoName(opts)
+	t.K = k
+	t.Lambda = lambda
+	start := time.Now()
+	t.StartUnixNanos = start.UnixNano()
+	return t, start
+}
+
+// endTrace finalizes t (aggregate, derived ratios, error, duration)
+// and submits it to the sink's tail sampler. The caller must not touch
+// t afterward: dropped traces are recycled immediately.
+func endTrace(sink *obs.Sink, t *obs.Trace, res []Result, err error, start time.Time) {
+	var kth float64
+	if len(res) > 0 {
+		kth = res[len(res)-1].Dist
+	}
+	if err != nil {
+		t.Error = err.Error()
+	}
+	t.Finish(kth, time.Since(start).Nanoseconds())
+	sink.Finish(t)
+}
+
+// doTraced runs req against the flat index while recording a
+// single-span trace into sink. The span's phase stats ride the same
+// nil-guarded scratch collection SearchExplain uses, injected into the
+// pooled span so the caller-visible behavior (results, Stats, Explain
+// accumulation) is unchanged.
+func (x *Index) doTraced(sink *obs.Sink, flavor string, req SearchRequest) ([]Result, error) {
+	if len(req.Keywords) > 0 {
+		// The keyword path's brute-force arm bypasses the instrumented
+		// cluster scan (and rejects Explain), so its trace is the
+		// request envelope and wall time only.
+		t, start := beginTrace(sink, flavor, "keyword", 1, req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
+		res, err := x.do(req)
+		endTrace(sink, t, res, err, start)
+		return res, err
+	}
+	t, start := beginTrace(sink, flavor, "search", 1, req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
+	t.Shards = append(t.Shards, SearchSpan{Objects: x.Len()})
+	sp := &t.Shards[0]
+	req2 := req
+	req2.Explain = &sp.Stats
+	res, err := x.do(req2)
+	sp.DurationNanos = time.Since(start).Nanoseconds()
+	if req.Explain != nil {
+		// Fold the span's per-query stats into the caller's Explain so
+		// its accumulate-across-queries contract holds (x.do already
+		// folded them into req.Stats).
+		req.Explain.Merge(&sp.Stats)
+		req.Explain.KthDistance = sp.Stats.KthDistance
+	}
+	endTrace(sink, t, res, err, start)
+	return res, err
+}
+
+// doBatchTraced runs the batch while recording a single-span trace
+// with the batch's aggregate work counters.
+func (x *Index) doBatchTraced(sink *obs.Sink, flavor string, req BatchSearchRequest) ([][]Result, error) {
+	t, start := beginTrace(sink, flavor, "batch", len(req.Queries), req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
+	t.Shards = append(t.Shards, SearchSpan{Objects: x.Len()})
+	sp := &t.Shards[0]
+	var local Stats
+	req2 := req
+	req2.Stats = &local
+	out, err := x.doBatch(req2)
+	sp.Stats.Stats = local
+	sp.DurationNanos = time.Since(start).Nanoseconds()
+	if req.Stats != nil {
+		req.Stats.Add(&local)
+	}
+	endTrace(sink, t, nil, err, start)
+	return out, err
+}
