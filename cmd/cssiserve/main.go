@@ -54,6 +54,11 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 100*time.Millisecond, "latency at which a query trace is always retained and logged (0 disables the slow rule)")
 		traceSamp = flag.Int("trace-sample", 128, "keep 1 in N normal (fast, successful) traces (0 keeps only slow/errored traces, 1 keeps everything)")
 		slo       = flag.String("slo", "5ms,25ms,100ms", "comma-separated ascending latency objectives for the /metrics SLO block")
+		cacheCap  = flag.Int("cache", 0, "result cache capacity in entries (>0 enables the snapshot-keyed result cache, -1 selects the library default capacity)")
+		deadline  = flag.Duration("deadline", 0, "default time budget for query requests that omit deadlineMs (0 = unbounded); exhausted budgets answer partial results")
+		inflight  = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests per query endpoint (0 disables admission control, -1 selects GOMAXPROCS)")
+		maxQueue  = flag.Int("max-queue", 64, "admission control: max requests queued per endpoint beyond max-inflight; the excess is shed with 429")
+		queueWait = flag.Duration("queue-wait", 0, "admission control: max time a queued request waits for a slot before being shed (0 = 100ms default)")
 	)
 	flag.Parse()
 
@@ -123,6 +128,26 @@ func main() {
 	}
 	if *route && !idx.RouterTrained() {
 		logger.Warn("router default requested but not every shard carries a trained router; untrained shards run unrouted")
+	}
+	if *cacheCap != 0 {
+		capacity := *cacheCap
+		if capacity < 0 {
+			capacity = 0 // library default capacity
+		}
+		api.EnableResultCache(capacity)
+		logger.Info("result cache enabled", "capacity", capacity)
+	}
+	api.SetDefaultDeadline(*deadline)
+	if *inflight != 0 {
+		n := *inflight
+		if n < 0 {
+			n = 0 // GOMAXPROCS
+		}
+		if err := api.SetAdmissionLimits(n, *maxQueue, *queueWait); err != nil {
+			fatal(logger, "invalid admission limits", "error", err)
+		}
+		logger.Info("admission control enabled",
+			"maxInFlight", n, "maxQueue", *maxQueue, "queueWait", *queueWait)
 	}
 
 	if *opsAddr != "" {

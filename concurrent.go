@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/rescache"
 )
 
 // ConcurrentIndex serves searches and maintenance from many goroutines
@@ -46,6 +47,11 @@ type ConcurrentIndex struct {
 	// sink is the optional always-on trace collector (SetTraceSink),
 	// swapped atomically so it can be (un)installed while serving.
 	sink atomic.Pointer[obs.Sink]
+
+	// resCache is the optional snapshot-keyed result cache
+	// (EnableResultCache), swapped atomically so it can be
+	// (un)installed while serving.
+	resCache atomic.Pointer[rescache.Cache]
 
 	// publishedNS is the wall-clock (UnixNano) instant of the last
 	// snapshot publication — written together with every cur.Store and
@@ -130,15 +136,22 @@ func Concurrent(idx *Index) *ConcurrentIndex {
 
 // publish installs idx as the current snapshot and stamps the
 // publication instant. Callers that mutate must hold c.mu; the initial
-// Concurrent call has no readers yet.
+// Concurrent call has no readers yet. Publication also stamps the
+// snapshot's sequence number (ResponseMeta.SnapshotID) and clears the
+// result cache — the pointer comparison already guarantees no stale
+// hit, the eager clear just releases the superseded snapshot promptly.
 func (c *ConcurrentIndex) publish(idx *Index) {
 	now := time.Now().UnixNano()
+	idx.snapID = uint64(c.publishes.Load()) + 1
 	c.cur.Store(idx)
 	c.publishedNS.Store(now)
 	if idx.DeltaOps() == 0 {
 		c.baseNS.Store(now)
 	}
 	c.publishes.Add(1)
+	if cache := c.resCache.Load(); cache != nil {
+		cache.Invalidate()
+	}
 }
 
 // Publications returns how many snapshots have been published since the

@@ -173,6 +173,10 @@ type Index struct {
 	// shared — not cloned — across snapshots so one sink observes the
 	// whole serving lifetime.
 	sink *obs.Sink
+	// snapID is the publication sequence number stamped by
+	// ConcurrentIndex.publish — the ResponseMeta.SnapshotID of answers
+	// this snapshot serves. 0 on an index never published.
+	snapID uint64
 }
 
 // coreConfig translates the public options into the internal build

@@ -34,6 +34,19 @@ func (x *Index) SearchBatch(queries []dataset.Object, k int, lambda float64, wor
 // touched by one query stay cache-resident for the next, so candidate
 // loads amortize across the batch.
 func (x *Index) SearchBatchOptions(queries []dataset.Object, k int, lambda float64, workers int, opts SearchOptions, st *metric.Stats) ([][]knn.Result, error) {
+	return x.SearchBatchOptionsMeta(queries, k, lambda, workers, opts, st, nil)
+}
+
+// SearchBatchOptionsMeta is SearchBatchOptions reporting per-query
+// execution metadata: when partial is non-nil it must have one slot
+// per query and partial[i] is set when query i stopped at its time
+// budget (see SearchOptions.Deadline); slots of complete queries are
+// left untouched. Each worker writes only its own queries' slots, so
+// the slice needs no synchronization.
+func (x *Index) SearchBatchOptionsMeta(queries []dataset.Object, k int, lambda float64, workers int, opts SearchOptions, st *metric.Stats, partial []bool) ([][]knn.Result, error) {
+	if partial != nil && len(partial) != len(queries) {
+		panic(fmt.Sprintf("core: batch partial slice has %d slots for %d queries", len(partial), len(queries)))
+	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: batch k = %d, want >= 1", k)
 	}
@@ -93,6 +106,9 @@ func (x *Index) SearchBatchOptions(queries []dataset.Object, k int, lambda float
 					break
 				}
 				out[qi] = x.searchOptionsWith(sc, nil, nil, &queries[qi], k, lambda, opts, local)
+				if partial != nil && sc.partial {
+					partial[qi] = true
+				}
 			}
 			x.putScratch(sc)
 		}(w)

@@ -234,6 +234,9 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 		h.Push(r)
 	}
 	for i := 0; i < routedPrefix; i++ {
+		if sc.budgetExpired() {
+			break
+		}
 		e := &sc.order[i]
 		c := e.c
 		if st != nil {
@@ -269,6 +272,12 @@ func (x *Index) searchWithSeed(sc *searchScratch, dst, seed []knn.Result, q *dat
 			// Pruning property 1 (Lemma 4.4): every remaining entry's key
 			// is ≥ the head's, and keys only under-estimate true bounds.
 			f.pruneRemaining(st)
+			break
+		}
+		if sc.budgetExpired() {
+			// Time budget fired: stop consuming the frontier and return
+			// the heap as-is — an admissible truncated prefix (see
+			// deadline.go), flagged Partial by the Meta entry points.
 			break
 		}
 		e := f.pop()

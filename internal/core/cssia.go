@@ -153,6 +153,9 @@ func (x *Index) searchApproxWith(sc *searchScratch, dst []knn.Result, q *dataset
 			f.pruneRemaining(st)
 			break
 		}
+		if sc.budgetExpired() {
+			break
+		}
 		e := f.pop()
 		if st != nil {
 			st.ClustersOrdered++

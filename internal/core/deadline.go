@@ -1,0 +1,134 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/metric"
+	"repro/internal/obs"
+)
+
+// Deadline-aware search: SearchOptions can carry an absolute time
+// budget (and a cancellation signal), and every cluster-consuming loop
+// — the exact frontier, the routed exact prefix, CSSIA's projected
+// frontier, the routed approximate visit loop, and the QuantOnly bulk
+// scan — polls it once per cluster pop, reading the wall clock only
+// every deadlineCheckEvery pops so the hot path stays branch-cheap.
+// When the budget fires the loop stops consuming clusters and the
+// query returns the heap accumulated so far with SearchMeta.Partial
+// set.
+//
+// Admissibility of the truncated answer: the k-NN heap is at every
+// instant the exact top-k of the candidate set offered so far, and
+// every offered candidate's distance is its true distance — truncation
+// withholds candidates, it never corrupts kept ones. A partial answer
+// is therefore a sound upper bound on the true k-NN distances (each
+// returned distance ≥ its true rank's distance, result k's distance
+// bounds the true k-th from above); it is only the completeness claim
+// — "no unvisited object is closer" — that is surrendered, which is
+// exactly what Partial flags.
+
+// deadlineCheckEvery is the stride, in cluster pops, between wall-clock
+// reads of a budgeted query. Cluster scans between two checks bound the
+// budget overshoot; at benchmark cluster sizes that keeps the overshoot
+// far below a millisecond while unbudgeted-path cost stays one untaken
+// branch per pop.
+const deadlineCheckEvery = 32
+
+// budgetExpired is polled once per cluster pop by the search loops.
+// It latches: once the deadline passes or the cancel channel fires,
+// every later call reports true without touching the clock again.
+func (sc *searchScratch) budgetExpired() bool {
+	if !sc.budgeted {
+		return false
+	}
+	if sc.partial {
+		return true
+	}
+	n := sc.pops
+	sc.pops++
+	if n%deadlineCheckEvery != 0 {
+		return false
+	}
+	if sc.cancel != nil {
+		select {
+		case <-sc.cancel:
+			sc.partial = true
+			return true
+		default:
+		}
+	}
+	if !sc.deadline.IsZero() && !time.Now().Before(sc.deadline) {
+		sc.partial = true
+		return true
+	}
+	return false
+}
+
+// SearchMeta reports per-query execution facts the plain result slice
+// cannot carry. The *Meta* entry points fill it; m may be nil when the
+// caller only wants the results.
+type SearchMeta struct {
+	// Partial reports that the query stopped at its time budget (or
+	// cancellation signal) before proving completeness: the results are
+	// the exact top-k of the candidates examined so far — an admissible
+	// prefix — but closer objects may remain unvisited.
+	Partial bool
+}
+
+func fillMeta(m *SearchMeta, sc *searchScratch) {
+	if m != nil {
+		m.Partial = sc.partial
+	}
+}
+
+// SearchOptionsMetaInto is SearchOptionsInto reporting execution
+// metadata into m (which may be nil). It is the entry point for
+// budgeted queries: without a Deadline or Cancel in opts, m.Partial is
+// always false and the call is exactly SearchOptionsInto.
+func (x *Index) SearchOptionsMetaInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats, m *SearchMeta) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchOptionsWith(sc, dst, nil, q, k, lambda, opts, st)
+	fillMeta(m, sc)
+	x.putScratch(sc)
+	return out
+}
+
+// SearchOptionsSeededMetaInto is SearchOptionsSeededInto reporting
+// execution metadata into m; the sharded single-core chain uses it so
+// a budget cut on any link marks the whole chained answer partial.
+func (x *Index) SearchOptionsSeededMetaInto(dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats, m *SearchMeta) []knn.Result {
+	sc := x.getScratch()
+	out := x.searchOptionsWith(sc, dst, seed, q, k, lambda, opts, st)
+	fillMeta(m, sc)
+	x.putScratch(sc)
+	return out
+}
+
+// SearchExplainOptionsMetaInto is SearchExplainOptionsInto reporting
+// execution metadata into m, so traced/explained queries can carry a
+// budget too.
+func (x *Index) SearchExplainOptionsMetaInto(dst []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, es *obs.SearchStats, m *SearchMeta) []knn.Result {
+	return x.searchExplainSeededMeta(dst, nil, q, k, lambda, opts, es, m)
+}
+
+// SearchExplainOptionsSeededMetaInto is the seeded form of
+// SearchExplainOptionsMetaInto (see SearchExplainOptionsSeededInto).
+func (x *Index) SearchExplainOptionsSeededMetaInto(dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, es *obs.SearchStats, m *SearchMeta) []knn.Result {
+	return x.searchExplainSeededMeta(dst, seed, q, k, lambda, opts, es, m)
+}
+
+func (x *Index) searchExplainSeededMeta(dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, es *obs.SearchStats, m *SearchMeta) []knn.Result {
+	sc := x.getScratch()
+	sc.obs = es
+	n := len(dst)
+	dst = x.searchOptionsWith(sc, dst, seed, q, k, lambda, opts, &es.Stats)
+	fillMeta(m, sc)
+	sc.obs = nil
+	x.putScratch(sc)
+	if len(dst) > n {
+		es.KthDistance = dst[len(dst)-1].Dist
+	}
+	return dst
+}

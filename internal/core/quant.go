@@ -85,6 +85,16 @@ type SearchOptions struct {
 	// coverage in (0,1]; <= 0 selects DefaultRouteTarget. Ignored
 	// outside Route+Approx.
 	RouteTarget float64
+	// Deadline, when non-zero, is the absolute instant past which the
+	// query stops consuming clusters and returns the admissible prefix
+	// accumulated so far (see deadline.go); the Meta entry points
+	// report the truncation via SearchMeta.Partial. The zero value
+	// means no budget.
+	Deadline time.Time
+	// Cancel, when non-nil, stops the query at the next budget check
+	// once the channel is closed, with the same partial-prefix
+	// semantics as Deadline (the facade threads ctx.Done() here).
+	Cancel <-chan struct{}
 }
 
 // quantArena is the SQ8 companion of vecArena: row i of codes is the
@@ -204,6 +214,11 @@ func (x *Index) SearchOptionsSeededInto(dst, seed []knn.Result, q *dataset.Objec
 func (x *Index) searchOptionsWith(sc *searchScratch, dst, seed []knn.Result, q *dataset.Object, k int, lambda float64, opts SearchOptions, st *metric.Stats) []knn.Result {
 	sc.quantOff = opts.Quant == QuantOff
 	sc.routeOn = opts.Route && x.router != nil
+	sc.deadline = opts.Deadline
+	sc.cancel = opts.Cancel
+	sc.budgeted = !opts.Deadline.IsZero() || opts.Cancel != nil
+	sc.pops = 0
+	sc.partial = false
 	if opts.Approx {
 		if sc.routeOn {
 			return x.searchRoutedWith(sc, dst, q, k, lambda, routeTargetOrDefault(opts.RouteTarget), st)
@@ -411,6 +426,9 @@ func (x *Index) searchQuantWith(sc *searchScratch, dst []knn.Result, q *dataset.
 	for len(*f) > 0 {
 		if len(cands) >= kq && (*f)[0].lb >= uPrime {
 			f.pruneRemaining(st)
+			break
+		}
+		if sc.budgetExpired() {
 			break
 		}
 		e := f.pop()

@@ -380,6 +380,9 @@ func (x *Index) searchRoutedWith(sc *searchScratch, dst []knn.Result, q *dataset
 			}
 			break
 		}
+		if sc.budgetExpired() {
+			break
+		}
 		ci := uint32(keys[0])
 		left--
 		keys[0] = keys[left]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/knn"
 	"repro/internal/obs"
@@ -68,6 +69,18 @@ type searchScratch struct {
 	routeOn    bool
 	routeScore []float64
 	routeKey   []uint64
+	// Time-budget state (see deadline.go). budgeted arms the per-pop
+	// budget polling for the current query — false (the normal case)
+	// keeps every check a single untaken branch; deadline and cancel
+	// are the query's absolute cut-off instant and cancellation signal;
+	// pops counts cluster pops so the wall clock is read only every
+	// deadlineCheckEvery pops; partial latches once the budget fires,
+	// marking the returned heap a truncated (but admissible) prefix.
+	budgeted bool
+	deadline time.Time
+	cancel   <-chan struct{}
+	pops     int
+	partial  bool
 	// obs, when non-nil, receives the search-internals trace of the
 	// current query (explain path only). nil — the normal case — keeps
 	// every instrumentation site an untaken branch: zero extra work,
@@ -100,6 +113,11 @@ func (x *Index) getScratch() *searchScratch {
 	sc.quantScans = 0
 	sc.quantSampledNanos = 0
 	sc.routeOn = false
+	sc.budgeted = false
+	sc.deadline = time.Time{}
+	sc.cancel = nil
+	sc.pops = 0
+	sc.partial = false
 	sc.obs = nil
 	return sc
 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestServeOverloadSmoke runs the serving-under-load experiment at tiny
+// scale and gates on its deterministic contracts: the protected config
+// sheds load (and the experiment itself verifies in-run that every 429
+// carried Retry-After), the cache table clears its built-in exactness
+// oracle and the 0.5 hit-ratio floor (both enforced inside Serve — a
+// violation surfaces here as an error), and the protected non-shed tail
+// stays bounded relative to its own median. Timing cells are otherwise
+// ignored. Guarded behind CSSI_SERVE_SMOKE=1 so a regular
+// `go test ./...` stays fast and scheduler-noise-free.
+func TestServeOverloadSmoke(t *testing.T) {
+	if os.Getenv("CSSI_SERVE_SMOKE") == "" {
+		t.Skip("set CSSI_SERVE_SMOKE=1 to run the closed-loop overload smoke")
+	}
+	tables, err := Serve(Setup{Scale: 0.05, Queries: 40, K: 10, Lambda: 0.5, Dim: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("serve produced %d tables, want 2", len(tables))
+	}
+
+	tail := tables[0]
+	if len(tail.Rows) != 2 {
+		t.Fatalf("tail table has %d rows, want 2 (unprotected, protected):\n%v", len(tail.Rows), tail.Rows)
+	}
+	var protected []string
+	for _, row := range tail.Rows {
+		if row[0] == "protected" {
+			protected = row
+		}
+	}
+	if protected == nil {
+		t.Fatalf("no protected row in tail table: %v", tail.Rows)
+	}
+	cell := func(row []string, i int) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "%"), 64)
+		if err != nil {
+			t.Fatalf("cell %d = %q: %v", i, row[i], err)
+		}
+		return v
+	}
+	// Columns: config, requests, shed, shed %, partial %, p50, p99, p999, max.
+	if shed := cell(protected, 2); shed < 1 {
+		t.Fatalf("protected config shed %v requests under sustained overload, want >= 1", shed)
+	}
+	// Tail sanity, not the ratio: at this tiny scale a query costs
+	// ~0.1ms, so a single scheduler-starvation event (~10ms on a busy
+	// single-core CI host) dwarfs the median in BOTH configs and a
+	// p999/p50 ratio measures the host, not the server. The 5x-of-p50
+	// acceptance shape is pinned by the recorded scale-1 run, where the
+	// per-query work is large enough to dominate that noise. Here the
+	// absolute bound catches the failure mode protections exist for —
+	// an unbounded backlog pushing the non-shed tail toward seconds.
+	if p999 := cell(protected, 7); p999 > 250 {
+		t.Fatalf("protected non-shed p999 %.2fms: bounded queue + deadline should keep the tail far below 250ms", p999)
+	}
+
+	cache := tables[1]
+	if len(cache.Rows) != 1 {
+		t.Fatalf("cache table has %d rows, want 1", len(cache.Rows))
+	}
+	// Columns: requests, hits, misses, hit ratio, hit µs, miss µs, speedup, oracle checks.
+	row := cache.Rows[0]
+	if ratio := cell(row, 3); ratio < 0.5 {
+		t.Fatalf("cache hit ratio %.3f below 0.5 (Serve should have failed in-run)", ratio)
+	}
+	if checks := cell(row, 7); checks < 1 {
+		t.Fatalf("exactness oracle ran %v checks, want >= 1", checks)
+	}
+}

@@ -175,6 +175,10 @@ type Trace struct {
 	// Queries is the number of queries the request carried (1 for a
 	// single search, the batch length for DoBatch).
 	Queries int `json:"queries,omitempty"`
+	// Results is the total number of results the request returned —
+	// the single query's result count, or the per-query result counts
+	// summed across a batch.
+	Results int `json:"results,omitempty"`
 	// Algo names the search algorithm: "cssi" (exact) or "cssia"
 	// (approximate), with -sq8/-routed suffixes for the quantized and
 	// routed modes.
@@ -209,9 +213,8 @@ type Trace struct {
 	// Error carries the request's error string when it failed; the
 	// tail sampler always retains errored traces.
 	Error string `json:"error,omitempty"`
-	// Partial marks responses truncated by a deadline or partial
-	// shard failure; always retained. (Reserved: set once
-	// deadline-aware search lands.)
+	// Partial marks responses truncated by the request's time budget
+	// (SearchRequest.Deadline or a context deadline); always retained.
 	Partial bool `json:"partial,omitempty"`
 	// SampleReason records why the tail sampler retained the trace:
 	// "slow", "error", "partial", or "sampled" for the deterministic

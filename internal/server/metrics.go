@@ -54,6 +54,15 @@ type metrics struct {
 	// and ring occupancy to the scrape.
 	sink *obs.Sink
 
+	// admissionStats, when non-nil, samples the per-endpoint admission
+	// gates (queue depth, inflight, shed counts) at scrape time; set by
+	// Handler when admission control is enabled.
+	admissionStats func() []gateStat
+
+	// cacheStats, when non-nil, samples the index's result cache at
+	// scrape time (ok=false until EnableResultCache); set by Handler.
+	cacheStats func() (cssi.CacheStats, bool)
+
 	start time.Time // process-uptime epoch (registry creation)
 }
 
@@ -510,6 +519,53 @@ func (m *metrics) handler(sampler func() []cssi.ShardStat, buildVersion, goVersi
 			b.WriteString("# HELP cssi_trace_ring_capacity Trace ring capacity (the retained-trace memory bound).\n")
 			b.WriteString("# TYPE cssi_trace_ring_capacity gauge\n")
 			fmt.Fprintf(&b, "cssi_trace_ring_capacity %d\n", m.sink.Ring().Cap())
+		}
+
+		// Admission control: live gate occupancy and lifetime shed counts,
+		// sampled per query endpoint. Only present once SetAdmissionLimits
+		// enabled the gates.
+		if m.admissionStats != nil {
+			gates := m.admissionStats()
+			b.WriteString("# HELP cssi_admission_inflight Requests currently executing behind the endpoint's admission gate.\n")
+			b.WriteString("# TYPE cssi_admission_inflight gauge\n")
+			for _, g := range gates {
+				fmt.Fprintf(&b, "cssi_admission_inflight{endpoint=%q} %d\n", g.endpoint, g.inflight)
+			}
+			b.WriteString("# HELP cssi_admission_queue_depth Requests currently queued for an execution slot.\n")
+			b.WriteString("# TYPE cssi_admission_queue_depth gauge\n")
+			for _, g := range gates {
+				fmt.Fprintf(&b, "cssi_admission_queue_depth{endpoint=%q} %d\n", g.endpoint, g.queued)
+			}
+			b.WriteString("# HELP cssi_requests_shed_total Requests shed by admission control (429 Too Many Requests), by endpoint.\n")
+			b.WriteString("# TYPE cssi_requests_shed_total counter\n")
+			for _, g := range gates {
+				fmt.Fprintf(&b, "cssi_requests_shed_total{endpoint=%q} %d\n", g.endpoint, g.shed)
+			}
+		}
+
+		// Result cache: counters sampled from the index's cache. Only
+		// present once EnableResultCache installed one.
+		if m.cacheStats != nil {
+			if cs, ok := m.cacheStats(); ok {
+				b.WriteString("# HELP cssi_result_cache_hits_total Result cache probes answered from the cache.\n")
+				b.WriteString("# TYPE cssi_result_cache_hits_total counter\n")
+				fmt.Fprintf(&b, "cssi_result_cache_hits_total %d\n", cs.Hits)
+				b.WriteString("# HELP cssi_result_cache_misses_total Result cache probes that executed the search.\n")
+				b.WriteString("# TYPE cssi_result_cache_misses_total counter\n")
+				fmt.Fprintf(&b, "cssi_result_cache_misses_total %d\n", cs.Misses)
+				b.WriteString("# HELP cssi_result_cache_hit_ratio Hits over probes since the cache was enabled (0 before any probe).\n")
+				b.WriteString("# TYPE cssi_result_cache_hit_ratio gauge\n")
+				fmt.Fprintf(&b, "cssi_result_cache_hit_ratio %g\n", cs.HitRatio())
+				b.WriteString("# HELP cssi_result_cache_entries Live result cache entries.\n")
+				b.WriteString("# TYPE cssi_result_cache_entries gauge\n")
+				fmt.Fprintf(&b, "cssi_result_cache_entries %d\n", cs.Entries)
+				b.WriteString("# HELP cssi_result_cache_invalidations_total Wholesale cache clears triggered by snapshot publications.\n")
+				b.WriteString("# TYPE cssi_result_cache_invalidations_total counter\n")
+				fmt.Fprintf(&b, "cssi_result_cache_invalidations_total %d\n", cs.Invalidations)
+				b.WriteString("# HELP cssi_result_cache_evictions_total LRU displacements from a full cache.\n")
+				b.WriteString("# TYPE cssi_result_cache_evictions_total counter\n")
+				fmt.Fprintf(&b, "cssi_result_cache_evictions_total %d\n", cs.Evictions)
+			}
 		}
 
 		stats := sampler()

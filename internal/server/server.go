@@ -53,6 +53,17 @@
 // (per-endpoint latency-objective counters), a shard-imbalance
 // histogram, and — for OpenMetrics scrapes — latency-histogram
 // exemplars pointing at recent trace IDs.
+//
+// Serving under load: every query response carries a uniform "meta"
+// block ({"partial","cacheHit","requestId",...}); query requests may
+// set "deadlineMs" (exhausting the budget returns the exact top-k of
+// the work done so far with meta.partial=true) and "cache" ("on"/
+// "off") to steer the optional snapshot-keyed result cache
+// (EnableResultCache / cssiserve -cache). With admission control
+// enabled (SetAdmissionLimits / -max-inflight,-max-queue,-queue-wait)
+// each query endpoint runs behind a bounded queue and sheds the excess
+// with 429 + Retry-After, keeping admitted-request latency bounded
+// past saturation; /metrics grows admission and result-cache blocks.
 package server
 
 import (
@@ -91,6 +102,18 @@ type Server struct {
 	// SetRouteDefaults (the cssiserve -route/-route-target flags).
 	routeDefault       bool
 	routeTargetDefault float64
+
+	// admit sizes the per-endpoint admission gates Handler installs on
+	// the query endpoints (nil = no admission control, the default);
+	// gates holds the installed gates for the /metrics sampler. Set via
+	// SetAdmissionLimits.
+	admit *admissionConfig
+	gates []*admissionGate
+
+	// defaultDeadline is the time budget given to query requests that
+	// omit deadlineMs (0 = unbounded, the default). Set via
+	// SetDefaultDeadline.
+	defaultDeadline time.Duration
 }
 
 // SetRouteDefaults sets the server-wide routing defaults: with route
@@ -313,7 +336,18 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 // come out in the JSON envelope) and the request-ID/logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	query := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, kindQuery, h) }
+	// Query endpoints sit behind an admission gate when one is
+	// configured (gate inside the instrumentation so shed 429s land in
+	// the endpoint's request/error counters and latency histogram).
+	s.gates = nil
+	query := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		if s.admit != nil {
+			g := newGate(name, s.admit)
+			s.gates = append(s.gates, g)
+			h = s.admitted(g, h)
+		}
+		return s.met.instrument(name, kindQuery, h)
+	}
 	plain := func(name string, h http.HandlerFunc) http.HandlerFunc { return s.met.instrument(name, kindPlain, h) }
 	mutation := func(name string, h http.HandlerFunc) http.HandlerFunc {
 		return s.met.instrument(name, kindMutation, h)
@@ -340,8 +374,24 @@ func (s *Server) Handler() http.Handler {
 	both("GET /debug/traces", plain("traces", s.handleTraces))
 	both("GET /debug/traces/{id}", plain("trace_get", s.handleTraceByID))
 	version, goVersion := buildVersionInfo()
+	// The metrics scrape samples the admission gates and the result
+	// cache live (both nil-tolerant: the blocks only appear once the
+	// features are enabled).
+	if len(s.gates) > 0 {
+		s.met.admissionStats = s.gateStats
+	}
+	s.met.cacheStats = s.idx.ResultCacheStats
 	both("GET /metrics", plain("metrics", s.met.handler(s.idx.ShardStats, version, goVersion)))
 	return s.withRequestID(withErrorEnvelope(mux))
+}
+
+// gateStats samples every admission gate for the metrics scrape.
+func (s *Server) gateStats() []gateStat {
+	out := make([]gateStat, len(s.gates))
+	for i, g := range s.gates {
+		out[i] = g.stat()
+	}
+	return out
 }
 
 // queryRequest is the shared request body of the query endpoints.
@@ -370,6 +420,16 @@ type queryRequest struct {
 	LoY float64 `json:"loY,omitempty"`
 	HiX float64 `json:"hiX,omitempty"`
 	HiY float64 `json:"hiY,omitempty"`
+	// DeadlineMs is the request's time budget in milliseconds (/search,
+	// /search/batch, /keyword-search, /debug/explain): 0 falls back to
+	// the server's -deadline default, then unbounded. A request that
+	// exhausts its budget answers with the exact top-k of the candidates
+	// examined so far and meta.partial=true instead of running long.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+	// Cache selects result-cache participation: "" follows the server
+	// default (the cache, when -cache enabled it), "on" asks explicitly,
+	// "off" bypasses the cache for this request.
+	Cache string `json:"cache,omitempty"`
 }
 
 // resultItem is one answer row.
@@ -384,6 +444,70 @@ type resultItem struct {
 type queryResponse struct {
 	Results []resultItem `json:"results"`
 	Visited int64        `json:"visited"`
+	Meta    *respMeta    `json:"meta,omitempty"`
+}
+
+// respMeta is the uniform response metadata block every query endpoint
+// returns: what the serving machinery did to the request, surfaced so
+// clients can tell a complete answer from a deadline-truncated one and
+// a cached answer from a computed one.
+type respMeta struct {
+	// RequestID echoes the request's X-Request-Id (the same ID the error
+	// envelope, access log, and retained traces carry).
+	RequestID string `json:"requestId"`
+	// Partial reports the answer was truncated by the request's time
+	// budget: the results are the exact top-k of the candidates examined
+	// before the deadline fired, but more may exist.
+	Partial bool `json:"partial"`
+	// CacheHit reports the answer was served from the result cache
+	// (bit-identical to the uncached answer by construction).
+	CacheHit bool `json:"cacheHit"`
+	// SnapshotID identifies the index publication the answer was
+	// computed against (monotone per serving process; 0 for endpoints
+	// that bypass the snapshot machinery).
+	SnapshotID uint64 `json:"snapshotId,omitempty"`
+	// QueueWaitMs is the time the request spent queued at the admission
+	// gate before executing (absent when admitted immediately).
+	QueueWaitMs float64 `json:"queueWaitMs,omitempty"`
+}
+
+// respMetaFrom assembles the meta block from the index-filled
+// ResponseMeta (nil for endpoints that bypass Do) and the request
+// context's admission queue wait.
+func (s *Server) respMetaFrom(r *http.Request, m *cssi.ResponseMeta) *respMeta {
+	out := &respMeta{RequestID: requestIDFrom(r.Context())}
+	if m != nil {
+		out.Partial, out.CacheHit, out.SnapshotID = m.Partial, m.CacheHit, m.SnapshotID
+	}
+	if wait := queueWaitFrom(r.Context()); wait > 0 {
+		out.QueueWaitMs = float64(wait.Nanoseconds()) / 1e6
+	}
+	return out
+}
+
+// queryBudget resolves a request's deadlineMs against the server
+// default.
+func (s *Server) queryBudget(ms int64) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("deadlineMs must be >= 0, got %d", ms)
+	}
+	if ms == 0 {
+		return s.defaultDeadline, nil
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// cacheModeFrom parses the request's cache field.
+func cacheModeFrom(c string) (cssi.CacheMode, error) {
+	switch c {
+	case "":
+		return cssi.CacheDefault, nil
+	case "on":
+		return cssi.CacheOn, nil
+	case "off":
+		return cssi.CacheOff, nil
+	}
+	return cssi.CacheDefault, fmt.Errorf(`cache must be "on" or "off", got %q`, c)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -466,13 +590,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	budget, err := s.queryBudget(req.DeadlineMs)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	cacheMode, err := cacheModeFrom(req.Cache)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
 	// The scatter pins one immutable snapshot per shard; the metadata
 	// decoration afterwards resolves each result ID on its owning shard.
 	route, target := s.routeKnobs(req.Route, req.RouteTarget)
 	var st cssi.Stats
-	rs, err := s.idx.Do(cssi.SearchRequest{
+	var meta cssi.ResponseMeta
+	rs, err := s.idx.DoContext(r.Context(), cssi.SearchRequest{
 		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
 		Route: route, RouteTarget: target, Stats: &st,
+		Deadline: budget, Cache: cacheMode, Meta: &meta,
 		RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
@@ -480,7 +616,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.observeSearchStats(&st)
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	resp := s.respond(rs, &st)
+	resp.Meta = s.respMetaFrom(r, &meta)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // explainResponse is the body of /debug/explain: the same k-NN answer
@@ -488,6 +626,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 type explainResponse struct {
 	Results []resultItem      `json:"results"`
 	Trace   *cssi.SearchTrace `json:"trace"`
+	Meta    *respMeta         `json:"meta,omitempty"`
 }
 
 // handleExplain answers one k-NN query exactly like /search (the exact
@@ -511,11 +650,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	budget, err := s.queryBudget(req.DeadlineMs)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
 	route, target := s.routeKnobs(req.Route, req.RouteTarget)
 	var trace cssi.SearchTrace
-	rs, err := s.idx.Do(cssi.SearchRequest{
+	var meta cssi.ResponseMeta
+	// Explain requests never touch the result cache (a cached answer has
+	// no per-shard trace to attach), so the cache field is ignored here.
+	rs, err := s.idx.DoContext(r.Context(), cssi.SearchRequest{
 		Query: q, K: req.K, Lambda: req.Lambda, Approx: req.Approx,
 		Route: route, RouteTarget: target,
+		Deadline: budget, Meta: &meta,
 		Trace: &trace, RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
@@ -526,6 +674,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, explainResponse{
 		Results: s.respond(rs, &trace.Total.Stats).Results,
 		Trace:   &trace,
+		Meta:    s.respMetaFrom(r, &meta),
 	})
 }
 
@@ -545,6 +694,12 @@ type batchRequest struct {
 	// it to GOMAXPROCS regardless, so a client cannot request goroutine
 	// amplification.
 	Workers int `json:"workers,omitempty"`
+	// DeadlineMs and Cache carry the /search semantics for the whole
+	// batch: the budget covers the batch end to end (meta.partial
+	// reports any query truncated), and the cache is probed per query —
+	// only the misses execute.
+	DeadlineMs int64  `json:"deadlineMs,omitempty"`
+	Cache      string `json:"cache,omitempty"`
 }
 
 // maxBatchQueries caps the number of queries one /search/batch request
@@ -556,6 +711,7 @@ const maxBatchQueries = 4096
 type batchResponse struct {
 	Results [][]resultItem `json:"results"`
 	Visited int64          `json:"visited"`
+	Meta    *respMeta      `json:"meta,omitempty"`
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -594,12 +750,24 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = *q
 	}
+	budget, err := s.queryBudget(req.DeadlineMs)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	cacheMode, err := cacheModeFrom(req.Cache)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
 	route, target := s.routeKnobs(req.Route, req.RouteTarget)
 	var st cssi.Stats
-	batches, err := s.idx.DoBatch(cssi.BatchSearchRequest{
+	var meta cssi.ResponseMeta
+	batches, err := s.idx.DoBatchContext(r.Context(), cssi.BatchSearchRequest{
 		Queries: queries, K: req.K, Lambda: req.Lambda,
 		Approx: req.Approx, Route: route, RouteTarget: target,
 		Parallelism: req.Workers, Stats: &st,
+		Deadline: budget, Cache: cacheMode, Meta: &meta,
 		RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
@@ -607,7 +775,8 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.observeSearchStats(&st)
-	resp := batchResponse{Results: make([][]resultItem, len(batches)), Visited: st.VisitedObjects}
+	resp := batchResponse{Results: make([][]resultItem, len(batches)), Visited: st.VisitedObjects,
+		Meta: s.respMetaFrom(r, &meta)}
 	for i, rs := range batches {
 		resp.Results[i] = s.respond(rs, &st).Results
 	}
@@ -635,8 +804,20 @@ func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rs, err := s.idx.Do(cssi.SearchRequest{
+	budget, err := s.queryBudget(req.DeadlineMs)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	cacheMode, err := cacheModeFrom(req.Cache)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	var meta cssi.ResponseMeta
+	rs, err := s.idx.DoContext(r.Context(), cssi.SearchRequest{
 		Query: q, K: req.K, Lambda: req.Lambda, Keywords: req.Keywords,
+		Deadline: budget, Cache: cacheMode, Meta: &meta,
 		RequestID: requestIDFrom(r.Context()), TraceID: traceIDFrom(r.Context()),
 	})
 	if err != nil {
@@ -644,7 +825,9 @@ func (s *Server) handleKeywordSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var st cssi.Stats
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	resp := s.respond(rs, &st)
+	resp.Meta = s.respMetaFrom(r, &meta)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -667,7 +850,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	var st cssi.Stats
 	rs := s.idx.RangeSearchStats(q, req.Radius, req.Lambda, &st)
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	resp := s.respond(rs, &st)
+	resp.Meta = s.respMetaFrom(r, nil)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
@@ -689,7 +874,9 @@ func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
 	}
 	var st cssi.Stats
 	rs := s.idx.SearchInBoxStats(q, req.LoX, req.LoY, req.HiX, req.HiY, req.K, &st)
-	writeJSON(w, http.StatusOK, s.respond(rs, &st))
+	resp := s.respond(rs, &st)
+	resp.Meta = s.respMetaFrom(r, nil)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // respond decorates results with object metadata, each ID resolved on

@@ -30,8 +30,42 @@ func rawPost(t *testing.T, url string, body interface{}) (int, []byte) {
 	return resp.StatusCode, b
 }
 
+// stripRequestID blanks the meta block's per-request requestId so two
+// responses to identical queries compare byte-identical (every request
+// gets a fresh ID; everything else in the body must match exactly).
+func stripRequestID(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("response is not a JSON object: %v\n%s", err, body)
+	}
+	raw, ok := m["meta"]
+	if !ok {
+		return body
+	}
+	var meta map[string]interface{}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatalf("meta is not a JSON object: %v\n%s", err, body)
+	}
+	if _, ok := meta["requestId"]; !ok {
+		t.Fatalf("meta block has no requestId:\n%s", body)
+	}
+	meta["requestId"] = ""
+	normalized, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m["meta"] = normalized
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // TestV1RoutesMatchLegacy asserts every /v1 route returns a
-// byte-identical success body to its legacy unversioned alias.
+// byte-identical success body to its legacy unversioned alias (modulo
+// the per-request meta.requestId, blanked before comparing).
 func TestV1RoutesMatchLegacy(t *testing.T) {
 	ts, ds := newTestServer(t)
 	q := ds.Objects[5]
@@ -53,7 +87,7 @@ func TestV1RoutesMatchLegacy(t *testing.T) {
 		if legacyStatus != http.StatusOK || v1Status != http.StatusOK {
 			t.Fatalf("%s: status legacy=%d v1=%d", c.path, legacyStatus, v1Status)
 		}
-		if !bytes.Equal(legacyBody, v1Body) {
+		if !bytes.Equal(stripRequestID(t, legacyBody), stripRequestID(t, v1Body)) {
 			t.Fatalf("%s: body differs between legacy and /v1:\n%s\nvs\n%s", c.path, legacyBody, v1Body)
 		}
 	}

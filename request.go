@@ -1,9 +1,11 @@
 package cssi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 )
@@ -95,6 +97,27 @@ type SearchRequest struct {
 	// the in-process span tree. Ignored when no trace sink is
 	// installed.
 	TraceID string
+	// Deadline, when > 0, is the query's time budget: past it the
+	// search stops consuming clusters and returns the exact top-k of
+	// the candidates examined so far — an admissible partial prefix,
+	// flagged via Meta.Partial (see ResponseMeta.Partial for the
+	// precise guarantee). 0 means no budget; negative fails with
+	// ErrInvalidDeadline. Under DoContext the tighter of Deadline and
+	// the context's deadline applies. The keyword path ignores the
+	// budget (its brute-force arm is not cluster-driven).
+	Deadline time.Duration
+	// Cache selects the request's result-cache participation; the zero
+	// value follows the index default (EnableResultCache). See
+	// CacheMode.
+	Cache CacheMode
+	// Meta, when non-nil, receives the response metadata (partial,
+	// cache hit, snapshot ID) for this request; see ResponseMeta.
+	Meta *ResponseMeta
+
+	// deadline and cancel are the context-resolved budget (see
+	// resolveBudget); requests reach do() only after resolution.
+	deadline time.Time
+	cancel   <-chan struct{}
 }
 
 // BatchSearchRequest describes one batched k-NN workload for DoBatch:
@@ -132,6 +155,25 @@ type BatchSearchRequest struct {
 	// same names. Ignored when no trace sink is installed.
 	RequestID string
 	TraceID   string
+	// Deadline is the whole batch's time budget — one absolute instant
+	// shared by every query, not a per-query allowance — with the same
+	// contract as SearchRequest.Deadline. Queries cut by the budget
+	// return admissible partial prefixes; Meta.Partial reports whether
+	// any query was cut.
+	Deadline time.Duration
+	// Cache selects the batch's result-cache participation (probed per
+	// query); see CacheMode.
+	Cache CacheMode
+	// Meta, when non-nil, receives the response metadata for the whole
+	// batch; see ResponseMeta.
+	Meta *ResponseMeta
+
+	// deadline and cancel are the context-resolved budget; partialOut,
+	// when non-nil (one slot per query), receives per-query partial
+	// flags — the cache layer uses it to fill only complete answers.
+	deadline   time.Time
+	cancel     <-chan struct{}
+	partialOut []bool
 }
 
 // ErrUnusableKeywords is returned by Do when a keyword-constrained
@@ -237,6 +279,7 @@ func (req *SearchRequest) searchOptions() core.SearchOptions {
 	return core.SearchOptions{
 		Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
 		Route: req.Route, RouteTarget: req.RouteTarget,
+		Deadline: req.deadline, Cancel: req.cancel,
 	}
 }
 
@@ -246,6 +289,7 @@ func (req *BatchSearchRequest) searchOptions() core.SearchOptions {
 	return core.SearchOptions{
 		Approx: req.Approx, Quant: req.Quant, QuantRerank: req.QuantRerank,
 		Route: req.Route, RouteTarget: req.RouteTarget,
+		Deadline: req.deadline, Cancel: req.cancel,
 	}
 }
 
@@ -262,11 +306,11 @@ func (req *BatchSearchRequest) searchOptions() core.SearchOptions {
 // With a trace sink installed (SetTraceSink) every Do records a
 // single-span trace into the sink's tail sampler; without one the
 // request pays no tracing cost at all.
+//
+// Do is exactly DoContext(context.Background(), req); use DoContext to
+// compose the request with a context's deadline and cancellation.
 func (x *Index) Do(req SearchRequest) ([]Result, error) {
-	if x.sink != nil {
-		return x.doTraced(x.sink, "index", req)
-	}
-	return x.do(req)
+	return x.DoContext(context.Background(), req)
 }
 
 // do is the untraced request dispatch behind Do.
@@ -279,6 +323,7 @@ func (x *Index) do(req SearchRequest) ([]Result, error) {
 	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
 		return nil, err
 	}
+	req.metaReset(x.snapID)
 	if len(req.Keywords) > 0 {
 		if err := checkKeywordRequest(&req); err != nil {
 			return nil, err
@@ -295,14 +340,18 @@ func (x *Index) do(req SearchRequest) ([]Result, error) {
 	if req.Trace != nil {
 		return nil, fmt.Errorf("%w: Trace requires a ShardedIndex (wrap with ShardedFrom)", ErrUnsupportedRequest)
 	}
+	var pm core.SearchMeta
 	if req.Explain != nil {
-		res := x.core.SearchExplainOptionsInto(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Explain)
+		res := x.core.SearchExplainOptionsMetaInto(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Explain, &pm)
+		req.metaPartial(pm.Partial)
 		if req.Stats != nil {
 			req.Stats.Add(&req.Explain.Stats)
 		}
 		return res, nil
 	}
-	return x.core.SearchOptionsInto(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats), nil
+	res := x.core.SearchOptionsMetaInto(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, &pm)
+	req.metaPartial(pm.Partial)
+	return res, nil
 }
 
 // DoBatch answers the batched workload described by req — the single
@@ -313,11 +362,10 @@ func (x *Index) do(req SearchRequest) ([]Result, error) {
 // both before any fan-out; an empty batch returns an empty result
 // without spinning up workers; wrong vector dimensionality panics on
 // the caller's goroutine, as the legacy entry points did.
+//
+// DoBatch is exactly DoBatchContext(context.Background(), req).
 func (x *Index) DoBatch(req BatchSearchRequest) ([][]Result, error) {
-	if x.sink != nil {
-		return x.doBatchTraced(x.sink, "index", req)
-	}
-	return x.doBatch(req)
+	return x.DoBatchContext(context.Background(), req)
 }
 
 // doBatch is the untraced batch dispatch behind DoBatch.
@@ -332,6 +380,7 @@ func (x *Index) doBatch(req BatchSearchRequest) ([][]Result, error) {
 		return nil, err
 	}
 	if len(req.Queries) == 0 {
+		req.metaFill(x.snapID, nil)
 		return [][]Result{}, nil
 	}
 	checkQuery(&req.Queries[0], req.K, req.Lambda)
@@ -341,38 +390,41 @@ func (x *Index) doBatch(req BatchSearchRequest) ([][]Result, error) {
 				i, len(req.Queries[i].Vec), x.core.Dim()))
 		}
 	}
-	out, err := x.core.SearchBatchOptions(req.Queries, req.K, req.Lambda, req.Parallelism,
-		req.searchOptions(), req.Stats)
+	partials := req.partialOut
+	if partials == nil && req.Meta != nil && req.budgeted() {
+		partials = make([]bool, len(req.Queries))
+	}
+	out, err := x.core.SearchBatchOptionsMeta(req.Queries, req.K, req.Lambda, req.Parallelism,
+		req.searchOptions(), req.Stats, partials)
 	if err != nil {
 		// Unreachable: K < 1, the only input the core entry point
 		// refuses, was rejected above.
 		panic(err)
 	}
+	req.metaFill(x.snapID, partials)
 	return out, nil
 }
 
 // Do answers one k-NN query against the current snapshot (lock-free);
 // see Index.Do for the request contract. A trace sink installed on the
 // wrapper (SetTraceSink) records every Do regardless of which snapshot
-// serves it.
+// serves it. With a result cache enabled (EnableResultCache) repeated
+// queries are served from it, bit-identical to an uncached search of
+// the same snapshot.
+//
+// Do is exactly DoContext(context.Background(), req).
 func (c *ConcurrentIndex) Do(req SearchRequest) ([]Result, error) {
-	snap := c.cur.Load()
-	if sink := c.sink.Load(); sink != nil {
-		return snap.doTraced(sink, "concurrent", req)
-	}
-	return snap.Do(req)
+	return c.DoContext(context.Background(), req)
 }
 
 // DoBatch answers a batched workload against the current snapshot: the
 // whole batch runs to completion against the one snapshot it loaded,
 // even while writers publish newer ones concurrently. See Index.DoBatch
 // for the request contract.
+//
+// DoBatch is exactly DoBatchContext(context.Background(), req).
 func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
-	snap := c.cur.Load()
-	if sink := c.sink.Load(); sink != nil {
-		return snap.doBatchTraced(sink, "concurrent", req)
-	}
-	return snap.DoBatch(req)
+	return c.DoBatchContext(context.Background(), req)
 }
 
 // Do answers one k-NN query across the shards — scatter/gather (or the
@@ -381,11 +433,20 @@ func (c *ConcurrentIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
 // and the keyword scatter for keyword-constrained requests. See
 // Index.Do for the request contract; exact results are bit-identical
 // to a flat index over the same objects.
+//
+// Do is exactly DoContext(context.Background(), req).
 func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
+	return s.DoContext(context.Background(), req)
+}
+
+// doSinked dispatches a budget-resolved request, recording a trace
+// when a sink is installed.
+func (s *ShardedIndex) doSinked(req SearchRequest) ([]Result, error) {
 	sink := s.sink.Load()
 	if sink == nil {
 		return s.do(req, nil)
 	}
+	req.ensureMeta()
 	op := "search"
 	if len(req.Keywords) > 0 {
 		op = "keyword"
@@ -395,6 +456,7 @@ func (s *ShardedIndex) Do(req SearchRequest) ([]Result, error) {
 	// SearchTrace the explain path fills.
 	req.RequestID = t.RequestID
 	res, err := s.do(req, t)
+	t.Partial = req.Meta.Partial
 	endTrace(sink, t, res, err, start)
 	return res, err
 }
@@ -409,6 +471,7 @@ func (s *ShardedIndex) do(req SearchRequest, tr *SearchTrace) ([]Result, error) 
 	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
 		return nil, err
 	}
+	req.metaReset(s.snapshotID())
 	if len(req.Keywords) > 0 {
 		s.checkRead(req.Query, req.K, req.Lambda)
 		if err := checkKeywordRequest(&req); err != nil {
@@ -423,8 +486,10 @@ func (s *ShardedIndex) do(req SearchRequest, tr *SearchTrace) ([]Result, error) 
 		}
 		return res, nil
 	}
+	var pm core.SearchMeta
 	if req.Explain != nil || req.Trace != nil {
-		res, trc := s.searchExplain(req.Query, req.K, req.Lambda, req.searchOptions(), req.RequestID)
+		res, trc := s.searchExplain(req.Query, req.K, req.Lambda, req.searchOptions(), req.RequestID, &pm)
+		req.metaPartial(pm.Partial)
 		if req.Trace != nil {
 			*req.Trace = *trc
 		}
@@ -446,21 +511,35 @@ func (s *ShardedIndex) do(req SearchRequest, tr *SearchTrace) ([]Result, error) 
 		return res, nil
 	}
 	if req.Approx {
-		return s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, tr), nil
+		res := s.searchApprox(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, tr, &pm)
+		req.metaPartial(pm.Partial)
+		return res, nil
 	}
-	return s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, tr), nil
+	res := s.searchExact(req.Dst, req.Query, req.K, req.Lambda, req.searchOptions(), req.Stats, tr, &pm)
+	req.metaPartial(pm.Partial)
+	return res, nil
 }
 
 // DoBatch answers a batched workload with one scatter (or the chained
 // sequential path on a single-core host); see Index.DoBatch for the
 // request contract.
+//
+// DoBatch is exactly DoBatchContext(context.Background(), req).
 func (s *ShardedIndex) DoBatch(req BatchSearchRequest) ([][]Result, error) {
+	return s.DoBatchContext(context.Background(), req)
+}
+
+// doBatchSinked dispatches a budget-resolved batch, recording a trace
+// when a sink is installed.
+func (s *ShardedIndex) doBatchSinked(req BatchSearchRequest) ([][]Result, error) {
 	sink := s.sink.Load()
 	if sink == nil {
 		return s.doBatch(req, nil)
 	}
+	req.ensureMeta()
 	t, start := beginTrace(sink, "sharded", "batch", len(req.Queries), req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
 	out, err := s.doBatch(req, t)
-	endTrace(sink, t, nil, err, start)
+	t.Partial = req.Meta.Partial
+	endTraceBatch(sink, t, out, err, start)
 	return out, err
 }

@@ -1,0 +1,691 @@
+package cssi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rescache"
+)
+
+// This file is the request-level serving layer added for traffic
+// serving: per-request time budgets (Deadline / DoContext), the
+// snapshot-keyed result cache (CacheMode, EnableResultCache), and the
+// response metadata block (ResponseMeta) that surfaces what the
+// serving machinery did to a request.
+
+// ErrInvalidDeadline is returned by Do/DoContext/DoBatch when
+// SearchRequest.Deadline (or BatchSearchRequest.Deadline) is negative
+// — a budget either exists (> 0) or doesn't (0); a negative one is a
+// caller bug worth a typed error rather than silent treatment as
+// "already expired". Test with errors.Is.
+var ErrInvalidDeadline = errors.New("cssi: negative deadline")
+
+// CacheMode selects a request's participation in the index's result
+// cache, following the zero-value-means-default contract of the rest
+// of SearchRequest.
+type CacheMode int
+
+const (
+	// CacheDefault (the zero value) follows the index: the request uses
+	// the result cache iff one is enabled (EnableResultCache). A bare
+	// *Index never caches — it publishes no immutable snapshots whose
+	// identity could invalidate entries.
+	CacheDefault CacheMode = iota
+	// CacheOn asks for cache participation explicitly; a no-op when the
+	// index has no cache enabled.
+	CacheOn
+	// CacheOff bypasses the cache for this request: no probe, no fill.
+	CacheOff
+)
+
+// CacheStats is a point-in-time snapshot of a result cache's counters
+// (see ResultCacheStats).
+type CacheStats = rescache.Stats
+
+// ResponseMeta is the optional per-request response metadata block:
+// point SearchRequest.Meta (or BatchSearchRequest.Meta) at one and Do
+// fills it. Do overwrites Partial, CacheHit and SnapshotID on every
+// request; QueueWait is left untouched — it belongs to serving layers
+// that queue requests ahead of the index (the bundled HTTP server's
+// admission gate stamps it).
+type ResponseMeta struct {
+	// Partial reports the answer was truncated by the request's time
+	// budget (Deadline, or a context deadline): the results are the
+	// exact top-k of the candidates examined before the budget fired —
+	// an admissible prefix, every distance is a true distance — but
+	// closer objects may remain unvisited. Partial answers are never
+	// cached.
+	Partial bool
+	// CacheHit reports the answer was served from the result cache —
+	// bit-identical to what searching the current snapshot would
+	// return, by the cache's snapshot-identity contract. For a batch,
+	// CacheHit reports that every query of the batch was served from
+	// the cache.
+	CacheHit bool
+	// SnapshotID is the publication sequence number of the snapshot
+	// that answered the request: 0 on a bare *Index, the publication
+	// count on a *ConcurrentIndex, and the sum across shards on a
+	// *ShardedIndex. It changes whenever a write, compaction, or
+	// rebuild publishes — the same event that invalidates the cache.
+	SnapshotID uint64
+	// QueueWait is the time the request spent queued before execution.
+	// The index never fills it; admission-controlled servers do.
+	QueueWait time.Duration
+}
+
+// resolveBudget validates the serving knobs and converts the relative
+// Deadline plus the context's deadline/cancellation into the absolute
+// budget the core loops poll. The tighter of the two deadlines wins,
+// so ctx deadline and Deadline compose.
+func resolveBudget(ctx context.Context, d time.Duration, cache CacheMode) (deadline time.Time, cancel <-chan struct{}, err error) {
+	if d < 0 {
+		return time.Time{}, nil, fmt.Errorf("%w: got %v", ErrInvalidDeadline, d)
+	}
+	if cache < CacheDefault || cache > CacheOff {
+		return time.Time{}, nil, fmt.Errorf("%w: unknown CacheMode %d", ErrUnsupportedRequest, cache)
+	}
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	if cd, ok := ctx.Deadline(); ok && (deadline.IsZero() || cd.Before(deadline)) {
+		deadline = cd
+	}
+	return deadline, ctx.Done(), nil
+}
+
+func (req *SearchRequest) resolveBudget(ctx context.Context) error {
+	dl, cancel, err := resolveBudget(ctx, req.Deadline, req.Cache)
+	req.deadline, req.cancel = dl, cancel
+	return err
+}
+
+func (req *BatchSearchRequest) resolveBudget(ctx context.Context) error {
+	dl, cancel, err := resolveBudget(ctx, req.Deadline, req.Cache)
+	req.deadline, req.cancel = dl, cancel
+	return err
+}
+
+func (req *BatchSearchRequest) budgeted() bool {
+	return !req.deadline.IsZero() || req.cancel != nil
+}
+
+// orBackground tolerates a nil ctx (DoContext's documented lenience,
+// matching net/http's Request.Context never-nil discipline loosely).
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// finishCtx maps a mid-flight context cancellation to the context's
+// error: explicit cancellation surfaces as ctx.Err() (the budget
+// machinery already stopped the search), while a context deadline
+// behaves exactly like SearchRequest.Deadline — partial results, no
+// error.
+func finishCtx[T any](ctx context.Context, res T, err error) (T, error) {
+	if err == nil && ctx.Err() == context.Canceled {
+		var zero T
+		return zero, ctx.Err()
+	}
+	return res, err
+}
+
+// metaReset initializes the caller's Meta block for this request.
+func (req *SearchRequest) metaReset(snapID uint64) {
+	if req.Meta != nil {
+		req.Meta.Partial, req.Meta.CacheHit, req.Meta.SnapshotID = false, false, snapID
+	}
+}
+
+// metaPartial latches the Partial flag.
+func (req *SearchRequest) metaPartial(partial bool) {
+	if req.Meta != nil && partial {
+		req.Meta.Partial = true
+	}
+}
+
+// ensureMeta gives the (by-value) request a Meta block when the caller
+// brought none, so internal layers (tracer Partial stamping, the cache
+// fill gate) can read it uniformly.
+func (req *SearchRequest) ensureMeta() {
+	if req.Meta == nil {
+		req.Meta = new(ResponseMeta)
+	}
+}
+
+func (req *BatchSearchRequest) ensureMeta() {
+	if req.Meta == nil {
+		req.Meta = new(ResponseMeta)
+	}
+}
+
+// metaFill initializes the batch Meta block and folds the per-query
+// partial flags in.
+func (req *BatchSearchRequest) metaFill(snapID uint64, partials []bool) {
+	if req.Meta == nil {
+		return
+	}
+	req.Meta.CacheHit, req.Meta.SnapshotID = false, snapID
+	req.Meta.Partial = anyTrue(partials)
+}
+
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheable reports whether the request shape may touch the result
+// cache at all: Explain and Trace callers explicitly want the search
+// internals of a real execution, so they always execute.
+func (req *SearchRequest) cacheable() bool {
+	return req.Explain == nil && req.Trace == nil
+}
+
+// cacheKey builds the request's cache key. Knobs that provably do not
+// affect the answer in the request's mode are canonicalized so
+// equivalent requests share an entry (QuantRerank outside QuantOnly,
+// RouteTarget outside routed-approx, and their documented defaults).
+func (req *SearchRequest) cacheKey() rescache.Key {
+	return cacheKey(req.Query, req.K, req.Lambda, req.Approx, req.Quant, req.QuantRerank,
+		req.Route, req.RouteTarget, req.Keywords)
+}
+
+func cacheKey(q *Object, k int, lambda float64, approx bool, quant QuantMode, rerank int, route bool, routeTarget float64, keywords []string) rescache.Key {
+	key := rescache.Key{
+		Hash:   rescache.HashQuery(q.X, q.Y, q.Vec),
+		K:      k,
+		Lambda: lambda,
+		Approx: approx,
+		Quant:  int(quant),
+		Route:  route,
+	}
+	if approx && quant == core.QuantOnly {
+		if rerank <= 0 {
+			rerank = DefaultQuantRerank
+		}
+		key.Rerank = rerank
+	}
+	if approx && route {
+		switch {
+		case routeTarget <= 0:
+			key.RouteTarget = DefaultRouteTarget
+		case routeTarget > 1:
+			key.RouteTarget = 1
+		default:
+			key.RouteTarget = routeTarget
+		}
+	}
+	if len(keywords) > 0 {
+		key.Keywords = canonicalKeywords(keywords)
+	}
+	return key
+}
+
+// canonicalKeywords lowercases, sorts and joins the keyword list so
+// order and case variations of one keyword set share a cache entry
+// (the keyword filter's AND semantics are order-insensitive).
+func canonicalKeywords(keywords []string) string {
+	kw := make([]string, len(keywords))
+	for i, w := range keywords {
+		kw[i] = strings.ToLower(w)
+	}
+	sort.Strings(kw)
+	return strings.Join(kw, "\x00")
+}
+
+// precheck runs exactly the validations do() would run before the
+// search, so a cache probe can never front-run request validation:
+// probes happen only for requests that would have executed.
+func (x *Index) precheck(req *SearchRequest) error {
+	if err := validateNumerics(req.Query, req.Lambda, req.RouteTarget); err != nil {
+		return err
+	}
+	checkQuery(req.Query, req.K, req.Lambda)
+	x.checkQueryVec(req.Query)
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return err
+	}
+	if len(req.Keywords) > 0 {
+		return checkKeywordRequest(req)
+	}
+	return nil
+}
+
+// precheckBatch is precheck for a batch request.
+func (x *Index) precheckBatch(req *BatchSearchRequest) error {
+	if req.K < 1 {
+		return ErrInvalidK
+	}
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return err
+	}
+	if err := validateBatchNumerics(req.Queries, req.Lambda, req.RouteTarget); err != nil {
+		return err
+	}
+	for i := range req.Queries {
+		if len(req.Queries[i].Vec) != x.core.Dim() {
+			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
+				i, len(req.Queries[i].Vec), x.core.Dim()))
+		}
+	}
+	return nil
+}
+
+// ---- ConcurrentIndex result cache ----
+
+// EnableResultCache installs a snapshot-keyed result cache holding at
+// most capacity entries (<= 0 selects rescache.DefaultCapacity) and
+// makes it the index default (CacheDefault requests use it). Safe to
+// call concurrently with searches; entries are invalidated wholesale
+// whenever a write, compaction, or rebuild publishes a new snapshot —
+// a cached answer is served only against the very snapshot pointer it
+// was computed from, so hits are bit-identical to uncached searches by
+// construction.
+func (c *ConcurrentIndex) EnableResultCache(capacity int) {
+	c.resCache.Store(rescache.New(capacity))
+}
+
+// DisableResultCache removes the result cache (requests execute
+// normally, CacheOn becomes a no-op).
+func (c *ConcurrentIndex) DisableResultCache() {
+	c.resCache.Store(nil)
+}
+
+// ResultCacheStats returns the cache's counters; ok is false when no
+// cache is enabled.
+func (c *ConcurrentIndex) ResultCacheStats() (CacheStats, bool) {
+	if cache := c.resCache.Load(); cache != nil {
+		return cache.Stats(), true
+	}
+	return CacheStats{}, false
+}
+
+// ---- ShardedIndex result cache ----
+
+// shardEpoch is the composite snapshot identity of a ShardedIndex: the
+// vector of per-shard snapshot pointers, interned so one epoch object
+// (whose pointer is the cache token) stands for one combination of
+// shard snapshots. Holding the snapshots pins them, which is what
+// makes pointer identity collision-free (see package rescache).
+type shardEpoch struct {
+	snaps []*Index
+	id    uint64 // sum of the per-shard publication sequence numbers
+}
+
+// epochToken returns the current epoch, reusing the interned one while
+// no shard has republished. Two racing refreshes may mint two distinct
+// epochs for the same snapshot vector; that costs one wholesale cache
+// invalidation (a fresh epoch never matches old entries), never a
+// stale hit — and publication monotonicity guarantees an entry filled
+// under an epoch was computed on exactly that epoch's snapshots
+// whenever the epoch is still current.
+func (s *ShardedIndex) epochToken() *shardEpoch {
+	cur := s.epoch.Load()
+	if cur != nil {
+		same := true
+		for i, sh := range s.shards {
+			if sh.cur.Load() != cur.snaps[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return cur
+		}
+	}
+	e := &shardEpoch{snaps: make([]*Index, len(s.shards))}
+	for i, sh := range s.shards {
+		snap := sh.cur.Load()
+		e.snaps[i] = snap
+		e.id += snap.snapID
+	}
+	s.epoch.CompareAndSwap(cur, e)
+	return e
+}
+
+// snapshotID sums the per-shard publication sequence numbers — the
+// ResponseMeta.SnapshotID of a sharded answer.
+func (s *ShardedIndex) snapshotID() uint64 {
+	var id uint64
+	for _, sh := range s.shards {
+		id += sh.cur.Load().snapID
+	}
+	return id
+}
+
+// EnableResultCache installs a snapshot-keyed result cache over the
+// whole sharded index (see ConcurrentIndex.EnableResultCache). The
+// cache key's snapshot identity is the vector of per-shard snapshots,
+// so a write to any shard invalidates wholesale.
+func (s *ShardedIndex) EnableResultCache(capacity int) {
+	s.resCache.Store(rescache.New(capacity))
+}
+
+// DisableResultCache removes the result cache.
+func (s *ShardedIndex) DisableResultCache() {
+	s.resCache.Store(nil)
+}
+
+// ResultCacheStats returns the cache's counters; ok is false when no
+// cache is enabled.
+func (s *ShardedIndex) ResultCacheStats() (CacheStats, bool) {
+	if cache := s.resCache.Load(); cache != nil {
+		return cache.Stats(), true
+	}
+	return CacheStats{}, false
+}
+
+// ---- DoContext: flat ----
+
+// DoContext is Do under a context: ctx cancellation and deadline
+// compose with SearchRequest.Deadline. A context that is already Done
+// fails fast with ctx.Err(); a context deadline tightens the request's
+// budget (the partial-results semantics of Deadline apply); explicit
+// cancellation mid-search stops the query at the next budget check and
+// returns ctx.Err(). Do is exactly DoContext(context.Background(), …).
+func (x *Index) DoContext(ctx context.Context, req SearchRequest) ([]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := req.resolveBudget(ctx); err != nil {
+		return nil, err
+	}
+	res, err := x.doResolved(req)
+	return finishCtx(ctx, res, err)
+}
+
+// doResolved dispatches a budget-resolved request, through the traced
+// path when a sink is installed.
+func (x *Index) doResolved(req SearchRequest) ([]Result, error) {
+	if x.sink != nil {
+		return x.doTraced(x.sink, "index", req)
+	}
+	return x.do(req)
+}
+
+// DoBatchContext is DoBatch under a context, composing exactly like
+// DoContext; the budget is shared by the whole batch (one absolute
+// instant, not per query), so queries that start late inherit a
+// tighter slice and are truncated to partial prefixes.
+func (x *Index) DoBatchContext(ctx context.Context, req BatchSearchRequest) ([][]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := req.resolveBudget(ctx); err != nil {
+		return nil, err
+	}
+	out, err := x.doBatchResolved(req)
+	return finishCtx(ctx, out, err)
+}
+
+func (x *Index) doBatchResolved(req BatchSearchRequest) ([][]Result, error) {
+	if x.sink != nil {
+		return x.doBatchTraced(x.sink, "index", req)
+	}
+	return x.doBatch(req)
+}
+
+// ---- DoContext: concurrent ----
+
+// DoContext is ConcurrentIndex.Do under a context (see Index.DoContext
+// for the composition contract). When a result cache is enabled and
+// the request participates (CacheMode), the probe and fill happen
+// here, keyed to the loaded snapshot: a hit is returned without
+// executing (bit-identical by snapshot identity), a miss executes
+// against that same snapshot and fills the cache unless the answer
+// was partial or errored.
+func (c *ConcurrentIndex) DoContext(ctx context.Context, req SearchRequest) ([]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := req.resolveBudget(ctx); err != nil {
+		return nil, err
+	}
+	snap := c.cur.Load()
+	cache := c.resCache.Load()
+	if cache == nil || req.Cache == CacheOff || !req.cacheable() {
+		res, err := c.doSnap(snap, req)
+		return finishCtx(ctx, res, err)
+	}
+	if err := snap.precheck(&req); err != nil {
+		return nil, err
+	}
+	key := req.cacheKey()
+	if res, ok := cache.Get(snap, key, req.Query.X, req.Query.Y, req.Query.Vec, req.Dst); ok {
+		req.metaReset(snap.snapID)
+		if req.Meta != nil {
+			req.Meta.CacheHit = true
+		}
+		return res, nil
+	}
+	req.ensureMeta()
+	n := len(req.Dst)
+	res, err := c.doSnap(snap, req)
+	if err == nil && !req.Meta.Partial {
+		cache.Put(snap, key, req.Query.X, req.Query.Y, req.Query.Vec, res[n:])
+	}
+	return finishCtx(ctx, res, err)
+}
+
+// doSnap runs the request against one pinned snapshot, through the
+// wrapper's traced path when its sink is installed (falling back to
+// the snapshot's own sink discipline otherwise).
+func (c *ConcurrentIndex) doSnap(snap *Index, req SearchRequest) ([]Result, error) {
+	if sink := c.sink.Load(); sink != nil {
+		return snap.doTraced(sink, "concurrent", req)
+	}
+	return snap.doResolved(req)
+}
+
+// DoBatchContext is ConcurrentIndex.DoBatch under a context. With a
+// participating cache each query of the batch is probed individually;
+// only the misses execute (as one smaller batch against the same
+// snapshot) and their complete answers fill the cache.
+func (c *ConcurrentIndex) DoBatchContext(ctx context.Context, req BatchSearchRequest) ([][]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := req.resolveBudget(ctx); err != nil {
+		return nil, err
+	}
+	snap := c.cur.Load()
+	cache := c.resCache.Load()
+	if cache == nil || req.Cache == CacheOff || len(req.Queries) == 0 {
+		out, err := c.doBatchSnap(snap, req)
+		return finishCtx(ctx, out, err)
+	}
+	if err := snap.precheckBatch(&req); err != nil {
+		return nil, err
+	}
+	out, err := batchThroughCache(cache, snap, snap.snapID, &req, func(sub BatchSearchRequest) ([][]Result, error) {
+		return c.doBatchSnap(snap, sub)
+	})
+	return finishCtx(ctx, out, err)
+}
+
+func (c *ConcurrentIndex) doBatchSnap(snap *Index, req BatchSearchRequest) ([][]Result, error) {
+	if sink := c.sink.Load(); sink != nil {
+		return snap.doBatchTraced(sink, "concurrent", req)
+	}
+	return snap.doBatchResolved(req)
+}
+
+// batchThroughCache probes each query of the batch against the cache
+// and executes only the misses via run (a smaller batch with the same
+// knobs). Complete (non-partial) miss answers fill the cache; the
+// caller's Meta reports Partial when any executed query was truncated
+// and CacheHit when the whole batch was served from the cache.
+func batchThroughCache(cache *rescache.Cache, token any, snapID uint64, req *BatchSearchRequest, run func(BatchSearchRequest) ([][]Result, error)) ([][]Result, error) {
+	queries := req.Queries
+	out := make([][]Result, len(queries))
+	keys := make([]rescache.Key, len(queries))
+	var missIdx []int
+	for i := range queries {
+		q := &queries[i]
+		keys[i] = cacheKey(q, req.K, req.Lambda, req.Approx, req.Quant, req.QuantRerank,
+			req.Route, req.RouteTarget, nil)
+		res, ok := cache.Get(token, keys[i], q.X, q.Y, q.Vec, nil)
+		if ok {
+			out[i] = res
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		// Validation must still reject what an executing batch would
+		// have rejected (and fill the partial-out contract's zeroes).
+		if req.Meta != nil {
+			req.Meta.Partial, req.Meta.CacheHit, req.Meta.SnapshotID = false, true, snapID
+		}
+		return out, nil
+	}
+	sub := *req
+	sub.Meta = nil
+	sub.Stats = req.Stats
+	if len(missIdx) < len(queries) {
+		sub.Queries = make([]Object, len(missIdx))
+		for j, i := range missIdx {
+			sub.Queries[j] = queries[i]
+		}
+	}
+	sub.partialOut = make([]bool, len(sub.Queries))
+	subOut, err := run(sub)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = subOut[j]
+		if !sub.partialOut[j] {
+			q := &queries[i]
+			cache.Put(token, keys[i], q.X, q.Y, q.Vec, subOut[j])
+		}
+	}
+	if req.Meta != nil {
+		req.Meta.CacheHit, req.Meta.SnapshotID = false, snapID
+		req.Meta.Partial = anyTrue(sub.partialOut)
+	}
+	if req.partialOut != nil {
+		for j, i := range missIdx {
+			req.partialOut[i] = sub.partialOut[j]
+		}
+	}
+	return out, nil
+}
+
+// ---- DoContext: sharded ----
+
+// DoContext is ShardedIndex.Do under a context (see Index.DoContext).
+// The cache's snapshot identity is the interned vector of per-shard
+// snapshots (see epochToken), so a hit proves no shard has republished
+// since the entry was computed.
+func (s *ShardedIndex) DoContext(ctx context.Context, req SearchRequest) ([]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := req.resolveBudget(ctx); err != nil {
+		return nil, err
+	}
+	cache := s.resCache.Load()
+	if cache == nil || req.Cache == CacheOff || !req.cacheable() {
+		res, err := s.doSinked(req)
+		return finishCtx(ctx, res, err)
+	}
+	if err := s.precheckSharded(&req); err != nil {
+		return nil, err
+	}
+	ep := s.epochToken()
+	key := req.cacheKey()
+	if res, ok := cache.Get(ep, key, req.Query.X, req.Query.Y, req.Query.Vec, req.Dst); ok {
+		req.metaReset(ep.id)
+		if req.Meta != nil {
+			req.Meta.CacheHit = true
+		}
+		return res, nil
+	}
+	req.ensureMeta()
+	n := len(req.Dst)
+	res, err := s.doSinked(req)
+	if err == nil && !req.Meta.Partial {
+		cache.Put(ep, key, req.Query.X, req.Query.Y, req.Query.Vec, res[n:])
+	}
+	return finishCtx(ctx, res, err)
+}
+
+// precheckSharded mirrors Index.precheck for the sharded flavor.
+func (s *ShardedIndex) precheckSharded(req *SearchRequest) error {
+	if err := validateNumerics(req.Query, req.Lambda, req.RouteTarget); err != nil {
+		return err
+	}
+	s.checkRead(req.Query, req.K, req.Lambda)
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return err
+	}
+	if len(req.Keywords) > 0 {
+		return checkKeywordRequest(req)
+	}
+	return nil
+}
+
+// precheckBatchSharded mirrors Index.precheckBatch for the sharded
+// flavor, running every rejection (and misuse panic) the executing
+// batch would raise so an all-hit cache probe cannot front-run
+// validation.
+func (s *ShardedIndex) precheckBatchSharded(req *BatchSearchRequest) error {
+	if req.K < 1 {
+		return ErrInvalidK
+	}
+	if err := checkQuantMode(req.Approx, req.Quant); err != nil {
+		return err
+	}
+	if err := validateBatchNumerics(req.Queries, req.Lambda, req.RouteTarget); err != nil {
+		return err
+	}
+	if len(req.Queries) > 0 {
+		s.checkRead(&req.Queries[0], req.K, req.Lambda)
+	}
+	for i := range req.Queries {
+		if len(req.Queries[i].Vec) != s.dim {
+			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
+				i, len(req.Queries[i].Vec), s.dim))
+		}
+	}
+	return nil
+}
+
+// DoBatchContext is ShardedIndex.DoBatch under a context, with the
+// same per-query cache probing as ConcurrentIndex.DoBatchContext.
+func (s *ShardedIndex) DoBatchContext(ctx context.Context, req BatchSearchRequest) ([][]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := req.resolveBudget(ctx); err != nil {
+		return nil, err
+	}
+	cache := s.resCache.Load()
+	if cache == nil || req.Cache == CacheOff || len(req.Queries) == 0 {
+		out, err := s.doBatchSinked(req)
+		return finishCtx(ctx, out, err)
+	}
+	if err := s.precheckBatchSharded(&req); err != nil {
+		return nil, err
+	}
+	ep := s.epochToken()
+	out, err := batchThroughCache(cache, ep, ep.id, &req, s.doBatchSinked)
+	return finishCtx(ctx, out, err)
+}

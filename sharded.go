@@ -12,6 +12,7 @@ import (
 	"repro/internal/knn"
 	"repro/internal/metric"
 	"repro/internal/obs"
+	"repro/internal/rescache"
 )
 
 // ShardedIndex partitions one logical CSSI index across P independent
@@ -53,6 +54,13 @@ type ShardedIndex struct {
 	// sink is the optional always-on trace collector (SetTraceSink),
 	// swapped atomically so it can be (un)installed while serving.
 	sink atomic.Pointer[obs.Sink]
+
+	// resCache is the optional snapshot-keyed result cache
+	// (EnableResultCache) and epoch its interned composite snapshot
+	// token — the vector of per-shard snapshots a cached entry was
+	// computed against (see epochToken).
+	resCache atomic.Pointer[rescache.Cache]
+	epoch    atomic.Pointer[shardEpoch]
 }
 
 // shardOf maps an object ID to its owning shard: a multiplicative
@@ -242,6 +250,19 @@ func gatherStats(st *Stats, per []Stats) {
 	}
 }
 
+// gatherMetas folds the per-shard execution metas into pm: the merged
+// answer is partial when any shard's contribution was cut by the time
+// budget (each scatter goroutine writes only its own slot, so the
+// slice needs no synchronization).
+func gatherMetas(pm *core.SearchMeta, metas []core.SearchMeta) {
+	for i := range metas {
+		if metas[i].Partial {
+			pm.Partial = true
+			return
+		}
+	}
+}
+
 // Search returns the exact k nearest neighbors of q, scattering the
 // query to every shard and merging the per-shard top-k lists. The
 // result — order included — is bit-identical to an unsharded Search
@@ -270,21 +291,27 @@ func (s *ShardedIndex) SearchStats(q *Object, k int, lambda float64, st *Stats) 
 // global top-k — no merge step. Because the shards share one metric
 // space's normalizers, distances are globally comparable and the result
 // is the same exact top-k the parallel scatter+merge produces.
-func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace) []Result {
+func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace, pm *core.SearchMeta) []Result {
 	s.checkRead(q, k, lambda)
 	if s.scatterDegree() == 1 {
 		if tr != nil {
-			return s.searchExactChainTraced(dst, q, k, lambda, opts, st, tr)
+			return s.searchExactChainTraced(dst, q, k, lambda, opts, st, tr, pm)
 		}
 		var local Stats
 		pst := &local
 		if st == nil {
 			pst = nil
 		}
-		cur := s.shards[0].Snapshot().core.SearchOptionsSeededInto(make([]Result, 0, k), nil, q, k, lambda, opts, pst)
+		// Per-link metas OR into pm: a budget cut on any link leaves
+		// later shards' candidates unexamined, so the whole chained
+		// answer is partial.
+		var lm core.SearchMeta
+		cur := s.shards[0].Snapshot().core.SearchOptionsSeededMetaInto(make([]Result, 0, k), nil, q, k, lambda, opts, pst, &lm)
+		pm.Partial = pm.Partial || lm.Partial
 		buf := make([]Result, 0, k)
 		for i := 1; i < len(s.shards); i++ {
-			next := s.shards[i].Snapshot().core.SearchOptionsSeededInto(buf[:0], cur, q, k, lambda, opts, pst)
+			next := s.shards[i].Snapshot().core.SearchOptionsSeededMetaInto(buf[:0], cur, q, k, lambda, opts, pst, &lm)
+			pm.Partial = pm.Partial || lm.Partial
 			buf, cur = cur, next
 		}
 		if st != nil {
@@ -297,6 +324,7 @@ func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float6
 	}
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
+	metas := make([]core.SearchMeta, len(s.shards))
 	if tr != nil {
 		tr.Parallel = true
 		tr.Shards = appendSpans(tr.Shards, len(s.shards))
@@ -304,15 +332,16 @@ func (s *ShardedIndex) searchExact(dst []Result, q *Object, k int, lambda float6
 			sp := &tr.Shards[i]
 			sp.Shard, sp.Objects = i, snap.Len()
 			spanStart := time.Now()
-			lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
+			lists[i] = snap.core.SearchExplainOptionsMetaInto(nil, q, k, lambda, opts, &sp.Stats, &metas[i])
 			sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 			per[i] = sp.Stats.Stats
 		})
 	} else {
 		s.scatter(func(i int, snap *Index) {
-			lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
+			lists[i] = snap.core.SearchOptionsMetaInto(nil, q, k, lambda, opts, &per[i], &metas[i])
 		})
 	}
+	gatherMetas(pm, metas)
 	gatherStats(st, per)
 	if dst == nil {
 		dst = make([]Result, 0, k)
@@ -343,11 +372,13 @@ func appendSpans(spans []SearchSpan, n int) []SearchSpan {
 // of forcing the standalone explain scatter (which would give up the
 // chain's bound tightening and distort the very latencies being
 // traced).
-func (s *ShardedIndex) searchExactChainTraced(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace) []Result {
+func (s *ShardedIndex) searchExactChainTraced(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace, pm *core.SearchMeta) []Result {
 	snap := s.shards[0].Snapshot()
 	tr.Shards = append(tr.Shards, SearchSpan{Shard: 0, Objects: snap.Len()})
 	spanStart := time.Now()
-	cur := snap.core.SearchExplainOptionsSeededInto(make([]Result, 0, k), nil, q, k, lambda, opts, &tr.Shards[0].Stats)
+	var lm core.SearchMeta
+	cur := snap.core.SearchExplainOptionsSeededMetaInto(make([]Result, 0, k), nil, q, k, lambda, opts, &tr.Shards[0].Stats, &lm)
+	pm.Partial = pm.Partial || lm.Partial
 	tr.Shards[0].DurationNanos = time.Since(spanStart).Nanoseconds()
 	buf := make([]Result, 0, k)
 	for i := 1; i < len(s.shards); i++ {
@@ -355,7 +386,8 @@ func (s *ShardedIndex) searchExactChainTraced(dst []Result, q *Object, k int, la
 		tr.Shards = append(tr.Shards, SearchSpan{Shard: i, Objects: snap.Len()})
 		sp := &tr.Shards[i]
 		spanStart = time.Now()
-		next := snap.core.SearchExplainOptionsSeededInto(buf[:0], cur, q, k, lambda, opts, &sp.Stats)
+		next := snap.core.SearchExplainOptionsSeededMetaInto(buf[:0], cur, q, k, lambda, opts, &sp.Stats, &lm)
+		pm.Partial = pm.Partial || lm.Partial
 		sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 		buf, cur = cur, next
 	}
@@ -391,10 +423,11 @@ func (s *ShardedIndex) SearchApproxStats(q *Object, k int, lambda float64, st *S
 
 // searchApprox is the approximate scatter/gather search behind Do,
 // appending the merged top-k to dst.
-func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace) []Result {
+func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float64, opts core.SearchOptions, st *Stats, tr *SearchTrace, pm *core.SearchMeta) []Result {
 	s.checkRead(q, k, lambda)
 	lists := make([][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
+	metas := make([]core.SearchMeta, len(s.shards))
 	if tr != nil {
 		tr.Parallel = s.scatterDegree() > 1
 		tr.Shards = appendSpans(tr.Shards, len(s.shards))
@@ -402,15 +435,16 @@ func (s *ShardedIndex) searchApprox(dst []Result, q *Object, k int, lambda float
 			sp := &tr.Shards[i]
 			sp.Shard, sp.Objects = i, snap.Len()
 			spanStart := time.Now()
-			lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
+			lists[i] = snap.core.SearchExplainOptionsMetaInto(nil, q, k, lambda, opts, &sp.Stats, &metas[i])
 			sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 			per[i] = sp.Stats.Stats
 		})
 	} else {
 		s.scatter(func(i int, snap *Index) {
-			lists[i] = snap.core.SearchOptionsInto(nil, q, k, lambda, opts, &per[i])
+			lists[i] = snap.core.SearchOptionsMetaInto(nil, q, k, lambda, opts, &per[i], &metas[i])
 		})
 	}
+	gatherMetas(pm, metas)
 	gatherStats(st, per)
 	if dst == nil {
 		dst = make([]Result, 0, k)
@@ -444,7 +478,7 @@ func (s *ShardedIndex) SearchExplain(q *Object, k int, lambda float64, approx bo
 
 // searchExplain is the per-shard-instrumented scatter behind Do's
 // Explain/Trace path.
-func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core.SearchOptions, requestID string) ([]Result, *SearchTrace) {
+func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core.SearchOptions, requestID string, pm *core.SearchMeta) ([]Result, *SearchTrace) {
 	s.checkRead(q, k, lambda)
 	if requestID == "" {
 		requestID = obs.NewRequestID()
@@ -460,17 +494,20 @@ func (s *ShardedIndex) searchExplain(q *Object, k int, lambda float64, opts core
 	start := time.Now()
 	t.StartUnixNanos = start.UnixNano()
 	lists := make([][]Result, len(s.shards))
+	metas := make([]core.SearchMeta, len(s.shards))
 	s.scatter(func(i int, snap *Index) {
 		sp := &t.Shards[i]
 		sp.Shard = i
 		sp.Objects = snap.Len()
 		spanStart := time.Now()
-		lists[i] = snap.core.SearchExplainOptionsInto(nil, q, k, lambda, opts, &sp.Stats)
+		lists[i] = snap.core.SearchExplainOptionsMetaInto(nil, q, k, lambda, opts, &sp.Stats, &metas[i])
 		sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 	})
+	gatherMetas(pm, metas)
 	g := time.Now()
 	res := knn.MergeSorted(make([]Result, 0, k), lists, k)
 	t.GatherNanos = time.Since(g).Nanoseconds()
+	t.Partial = pm.Partial
 	var kth float64
 	if len(res) > 0 {
 		kth = res[len(res)-1].Dist
@@ -563,6 +600,7 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Res
 		return nil, err
 	}
 	if len(queries) == 0 {
+		req.metaFill(s.snapshotID(), nil)
 		return [][]Result{}, nil
 	}
 	s.checkRead(&queries[0], k, lambda)
@@ -571,6 +609,10 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Res
 			panic(fmt.Sprintf("cssi: batch query %d has vector dim %d, index expects %d",
 				i, len(queries[i].Vec), s.dim))
 		}
+	}
+	partials := req.partialOut
+	if partials == nil && req.Meta != nil && req.budgeted() {
+		partials = make([]bool, len(queries))
 	}
 	// Sequential scatter (single-core host): chain each query through
 	// the shards with the heap carried forward, exactly as SearchStats
@@ -598,11 +640,16 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Res
 		out := make([][]Result, len(queries))
 		cur := make([]Result, 0, k)
 		buf := make([]Result, 0, k)
+		var lm core.SearchMeta
 		for qi := range queries {
-			cur = s.chainShard(snaps[0], tr, 0, cur[:0], nil, &queries[qi], k, lambda, opts, pst)
+			lm.Partial = false
+			cur = s.chainShard(snaps[0], tr, 0, cur[:0], nil, &queries[qi], k, lambda, opts, pst, &lm)
 			for si := 1; si < len(snaps); si++ {
-				next := s.chainShard(snaps[si], tr, si, buf[:0], cur, &queries[qi], k, lambda, opts, pst)
+				next := s.chainShard(snaps[si], tr, si, buf[:0], cur, &queries[qi], k, lambda, opts, pst, &lm)
 				buf, cur = cur, next
+			}
+			if partials != nil && lm.Partial {
+				partials[qi] = true
 			}
 			out[qi] = append(make([]Result, 0, len(cur)), cur...)
 		}
@@ -615,29 +662,49 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Res
 		} else if st != nil {
 			st.Add(&local)
 		}
+		req.metaFill(s.snapshotID(), partials)
 		return out, nil
 	}
 	perShard := make([][][]Result, len(s.shards))
 	per := make([]Stats, len(s.shards))
 	errs := make([]error, len(s.shards))
+	var perPartial [][]bool
+	if partials != nil {
+		perPartial = make([][]bool, len(s.shards))
+		for i := range perPartial {
+			perPartial[i] = make([]bool, len(queries))
+		}
+	}
 	if tr != nil {
 		tr.Parallel = s.scatterDegree() > 1
 		tr.Shards = appendSpans(tr.Shards, len(s.shards))
 	}
 	s.scatter(func(i int, snap *Index) {
+		var shardPartial []bool
+		if perPartial != nil {
+			shardPartial = perPartial[i]
+		}
 		if tr != nil {
 			sp := &tr.Shards[i]
 			sp.Shard, sp.Objects = i, snap.Len()
 			spanStart := time.Now()
-			perShard[i], errs[i] = snap.core.SearchBatchOptions(queries, k, lambda, parallelism, opts, &per[i])
+			perShard[i], errs[i] = snap.core.SearchBatchOptionsMeta(queries, k, lambda, parallelism, opts, &per[i], shardPartial)
 			sp.DurationNanos = time.Since(spanStart).Nanoseconds()
 			sp.Stats.Stats = per[i]
 			return
 		}
-		perShard[i], errs[i] = snap.core.SearchBatchOptions(queries, k, lambda, parallelism, opts, &per[i])
+		perShard[i], errs[i] = snap.core.SearchBatchOptionsMeta(queries, k, lambda, parallelism, opts, &per[i], shardPartial)
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
+	}
+	// A query's merged answer is partial when any shard cut it short.
+	for si := range perPartial {
+		for qi, p := range perPartial[si] {
+			if p {
+				partials[qi] = true
+			}
+		}
 	}
 	gatherStats(st, per)
 	var g time.Time
@@ -655,6 +722,7 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Res
 	if tr != nil {
 		tr.GatherNanos += time.Since(g).Nanoseconds()
 	}
+	req.metaFill(s.snapshotID(), partials)
 	return out, nil
 }
 
@@ -662,14 +730,18 @@ func (s *ShardedIndex) doBatch(req BatchSearchRequest, tr *SearchTrace) ([][]Res
 // recording the span when tracing is on: the traced call goes through
 // the seeded explain entry point so the span accumulates full phase
 // stats across the batch's queries, at identical results.
-func (s *ShardedIndex) chainShard(snap *Index, tr *SearchTrace, si int, dst, seed []Result, q *Object, k int, lambda float64, opts core.SearchOptions, pst *Stats) []Result {
+func (s *ShardedIndex) chainShard(snap *Index, tr *SearchTrace, si int, dst, seed []Result, q *Object, k int, lambda float64, opts core.SearchOptions, pst *Stats, pm *core.SearchMeta) []Result {
+	var lm core.SearchMeta
 	if tr == nil {
-		return snap.core.SearchOptionsSeededInto(dst, seed, q, k, lambda, opts, pst)
+		res := snap.core.SearchOptionsSeededMetaInto(dst, seed, q, k, lambda, opts, pst, &lm)
+		pm.Partial = pm.Partial || lm.Partial
+		return res
 	}
 	sp := &tr.Shards[si]
 	t0 := time.Now()
-	res := snap.core.SearchExplainOptionsSeededInto(dst, seed, q, k, lambda, opts, &sp.Stats)
+	res := snap.core.SearchExplainOptionsSeededMetaInto(dst, seed, q, k, lambda, opts, &sp.Stats, &lm)
 	sp.DurationNanos += time.Since(t0).Nanoseconds()
+	pm.Partial = pm.Partial || lm.Partial
 	return res
 }
 

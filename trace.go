@@ -92,6 +92,29 @@ func endTrace(sink *obs.Sink, t *obs.Trace, res []Result, err error, start time.
 	if len(res) > 0 {
 		kth = res[len(res)-1].Dist
 	}
+	t.Results = len(res)
+	if err != nil {
+		t.Error = err.Error()
+	}
+	t.Finish(kth, time.Since(start).Nanoseconds())
+	sink.Finish(t)
+}
+
+// endTraceBatch is endTrace for a batched request: the trace records
+// the per-query result counts summed across the batch and the largest
+// per-query k-NN bound (each query's kth distance is its own bound, so
+// the max is the batch's worst-case bound, mirroring what the
+// single-query path records).
+func endTraceBatch(sink *obs.Sink, t *obs.Trace, out [][]Result, err error, start time.Time) {
+	var kth float64
+	total := 0
+	for _, res := range out {
+		total += len(res)
+		if len(res) > 0 && res[len(res)-1].Dist > kth {
+			kth = res[len(res)-1].Dist
+		}
+	}
+	t.Results = total
 	if err != nil {
 		t.Error = err.Error()
 	}
@@ -105,6 +128,7 @@ func endTrace(sink *obs.Sink, t *obs.Trace, res []Result, err error, start time.
 // pooled span so the caller-visible behavior (results, Stats, Explain
 // accumulation) is unchanged.
 func (x *Index) doTraced(sink *obs.Sink, flavor string, req SearchRequest) ([]Result, error) {
+	req.ensureMeta()
 	if len(req.Keywords) > 0 {
 		// The keyword path's brute-force arm bypasses the instrumented
 		// cluster scan (and rejects Explain), so its trace is the
@@ -128,6 +152,7 @@ func (x *Index) doTraced(sink *obs.Sink, flavor string, req SearchRequest) ([]Re
 		req.Explain.Merge(&sp.Stats)
 		req.Explain.KthDistance = sp.Stats.KthDistance
 	}
+	t.Partial = req.Meta.Partial
 	endTrace(sink, t, res, err, start)
 	return res, err
 }
@@ -135,6 +160,7 @@ func (x *Index) doTraced(sink *obs.Sink, flavor string, req SearchRequest) ([]Re
 // doBatchTraced runs the batch while recording a single-span trace
 // with the batch's aggregate work counters.
 func (x *Index) doBatchTraced(sink *obs.Sink, flavor string, req BatchSearchRequest) ([][]Result, error) {
+	req.ensureMeta()
 	t, start := beginTrace(sink, flavor, "batch", len(req.Queries), req.K, req.Lambda, req.searchOptions(), req.RequestID, req.TraceID)
 	t.Shards = append(t.Shards, SearchSpan{Objects: x.Len()})
 	sp := &t.Shards[0]
@@ -147,6 +173,7 @@ func (x *Index) doBatchTraced(sink *obs.Sink, flavor string, req BatchSearchRequ
 	if req.Stats != nil {
 		req.Stats.Add(&local)
 	}
-	endTrace(sink, t, nil, err, start)
+	t.Partial = req2.Meta.Partial
+	endTraceBatch(sink, t, out, err, start)
 	return out, err
 }
